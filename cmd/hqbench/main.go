@@ -1,0 +1,110 @@
+// Command hqbench regenerates the paper's tables and figures from this
+// reproduction's substrates.
+//
+// Usage:
+//
+//	hqbench -exp all            # everything (slow: includes 954x6 RIPE runs)
+//	hqbench -exp table2         # IPC primitive send costs
+//	hqbench -exp table4         # correctness classification
+//	hqbench -exp table5         # RIPE effectiveness
+//	hqbench -exp fig3           # IPC primitives under HQ-CFI-SfeStk
+//	hqbench -exp fig4           # MODEL vs SIM on the train input
+//	hqbench -exp fig5           # CFI design comparison
+//	hqbench -exp table6         # lines of code per component
+//	hqbench -exp metrics        # §5.4 message/memory statistics
+//	hqbench -scale test|train|ref (default ref)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"herqules/internal/experiments"
+	"herqules/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, all")
+	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = workload.ScaleTest
+	case "train":
+		scale = workload.ScaleTrain
+	case "ref":
+		scale = workload.ScaleRef
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		header("Table 2: IPC primitive send costs")
+		fmt.Print(experiments.FormatTable2(experiments.Table2(20000)))
+	}
+	if want("table4") {
+		ran = true
+		header(fmt.Sprintf("Table 4: correctness of CFI designs (48 benchmarks, %s input)", scale))
+		fmt.Print(experiments.FormatTable4(experiments.Table4(scale)))
+	}
+	if want("table5") {
+		ran = true
+		header("Table 5: successful RIPE exploits by overflow origin (954 attacks)")
+		tabs, err := experiments.Table5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTable5(tabs))
+	}
+	if want("fig3") {
+		ran = true
+		header(fmt.Sprintf("Figure 3: HQ-CFI-SfeStk relative performance per IPC primitive (%s input)", scale))
+		fmt.Print(experiments.FormatSeries(experiments.Figure3(scale)))
+	}
+	if want("fig4") {
+		ran = true
+		header("Figure 4: AppendWrite-µarch software model vs simulator (train input)")
+		fmt.Print(experiments.FormatSeries(experiments.Figure4()))
+	}
+	if want("fig5") {
+		ran = true
+		header(fmt.Sprintf("Figure 5: relative performance of CFI designs (%s input)", scale))
+		fmt.Print(experiments.FormatSeries(experiments.Figure5(scale)))
+	}
+	if want("table6") {
+		ran = true
+		header("Table 6: size of HerQules-Go, in lines of code")
+		out, err := experiments.Table6(".")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
+	if want("metrics") {
+		ran = true
+		header(fmt.Sprintf("§5.4 metrics under HQ-CFI-SfeStk-MODEL (%s input)", scale))
+		fmt.Print(experiments.CollectMetrics(scale).Format())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func header(s string) {
+	fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

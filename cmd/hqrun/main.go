@@ -1,0 +1,106 @@
+// Command hqrun executes a textual MIR program (the format printed by
+// Module.String and parsed by ParseModule) under a chosen CFI design and
+// transport, monitored by the full HerQules stack.
+//
+// Usage:
+//
+//	hqrun [-design baseline|hq-sfestk|hq-retptr|clang-cfi|ccfi|cpi]
+//	      [-channel inline|fpga|model|shm|mq]
+//	      [-entry main] [-monitor] [-print] program.mir
+//
+// With -monitor the verifier records violations without killing; -print
+// dumps the instrumented program before running it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	hq "herqules"
+)
+
+var designs = map[string]hq.Design{
+	"baseline":  hq.Baseline,
+	"hq-sfestk": hq.HQSfeStk,
+	"hq-retptr": hq.HQRetPtr,
+	"clang-cfi": hq.ClangCFI,
+	"ccfi":      hq.CCFI,
+	"cpi":       hq.CPI,
+}
+
+func main() {
+	design := flag.String("design", "hq-sfestk", "CFI design: baseline, hq-sfestk, hq-retptr, clang-cfi, ccfi, cpi")
+	channel := flag.String("channel", "inline", "transport: inline (deterministic), fpga, model, shm, mq")
+	entry := flag.String("entry", "main", "entry function")
+	monitor := flag.Bool("monitor", false, "record violations without killing")
+	print := flag.Bool("print", false, "print the instrumented program before running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hqrun [flags] program.mir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := hq.ParseModule(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, ok := designs[*design]
+	if !ok {
+		log.Fatalf("unknown design %q", *design)
+	}
+	ins, err := hq.Instrument(mod, d, hq.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *print {
+		fmt.Println(ins.Mod.String())
+	}
+
+	opts := hq.RunOptions{Entry: *entry, KillOnViolation: !*monitor}
+	switch *channel {
+	case "inline":
+	case "fpga":
+		opts.Channel, err = hq.NewChannel(hq.FPGA)
+	case "model":
+		opts.Channel, err = hq.NewChannel(hq.UArchModel)
+	case "shm":
+		opts.Channel, err = hq.NewChannel(hq.SharedRing)
+	case "mq":
+		opts.Channel, err = hq.NewChannel(hq.MessageQueue)
+	default:
+		log.Fatalf("unknown channel %q", *channel)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := hq.Run(ins, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, v := range out.Output {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr, "exit=%d messages=%d instructions=%d\n",
+		out.ExitCode, out.MessagesProcessed, out.Stats.Instructions)
+	if out.Killed {
+		fmt.Fprintf(os.Stderr, "KILLED: %s\n", out.KillReason)
+		os.Exit(137)
+	}
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "CRASHED: %v\n", out.Err)
+		os.Exit(139)
+	}
+	for _, v := range out.PolicyViolations {
+		fmt.Fprintf(os.Stderr, "violation: %s\n", v.Reason)
+	}
+	os.Exit(int(out.ExitCode))
+}

@@ -1,0 +1,25 @@
+// Command loccount reproduces Table 6: the size of each HerQules component
+// in approximate lines of code, for this reproduction's components.
+//
+// Usage: loccount [repo-root]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"herqules/internal/experiments"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	out, err := experiments.Table6(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,3 @@
+module herqules
+
+go 1.22

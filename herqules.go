@@ -1,0 +1,205 @@
+// Package herqules is a from-scratch Go reproduction of HerQules (HQ), the
+// framework from "HerQules: Securing Programs via Hardware-Enforced Message
+// Queues" (ASPLOS 2021): integrity-based execution policies enforced by
+// streaming append-only AppendWrite messages from a monitored program to a
+// verifier in a separate protection domain, with bounded asynchronous
+// validation at system calls.
+//
+// The package is a facade over the internal substrates:
+//
+//   - an IR and compiler pipeline implementing the paper's instrumentation
+//     (pointer-integrity CFI with store-to-load forwarding, message elision
+//     and devirtualization) plus the baseline designs it compares against
+//     (Clang/LLVM CFI, CCFI, CPI);
+//   - a process virtual machine in which corrupted control transfers are
+//     really taken, so attacks and defences are executed rather than
+//     assumed;
+//   - AppendWrite implementations: an FPGA model, a µarch (ISA-extension)
+//     model with MMU-enforced appendable memory regions, and the software
+//     primitives of Table 2;
+//   - the kernel module and verifier of Figure 1;
+//   - the paper's benchmark and exploit suites, and a harness regenerating
+//     every table and figure (see cmd/hqbench).
+//
+// # Quick start
+//
+// Build a program with NewBuilder, instrument it for a design, and run it
+// monitored:
+//
+//	mod := herqules.NewModule("demo")
+//	b := herqules.NewBuilder(mod)
+//	... // construct functions (see examples/)
+//	ins, err := herqules.Instrument(mod, herqules.HQSfeStk, herqules.DefaultOptions())
+//	out, err := herqules.Run(ins, herqules.RunOptions{})
+package herqules
+
+import (
+	"herqules/internal/compiler"
+	"herqules/internal/core"
+	"herqules/internal/fpga"
+	"herqules/internal/ipc"
+	"herqules/internal/mem"
+	"herqules/internal/policy"
+	"herqules/internal/sim"
+	"herqules/internal/uarch"
+	"herqules/internal/verifier"
+	"herqules/internal/vm"
+)
+
+// Design identifies a control-flow-integrity design (Table 3).
+type Design = compiler.Design
+
+// The designs under evaluation.
+const (
+	// Baseline is the uninstrumented program.
+	Baseline = compiler.Baseline
+	// HQSfeStk is HQ-CFI-SfeStk: pointer-integrity messages for forward
+	// edges, a guarded safe stack for return pointers.
+	HQSfeStk = compiler.HQSfeStk
+	// HQRetPtr is HQ-CFI-RetPtr: fully message-protected, including
+	// return pointers.
+	HQRetPtr = compiler.HQRetPtr
+	// ClangCFI is modern Clang/LLVM CFI.
+	ClangCFI = compiler.ClangCFI
+	// CCFI is Cryptographically-Enforced CFI.
+	CCFI = compiler.CCFI
+	// CPI is Code-Pointer Integrity.
+	CPI = compiler.CPI
+)
+
+// Options tunes the instrumentation pipeline (§4.1.4).
+type Options = compiler.Options
+
+// DefaultOptions is the paper's default configuration: all optimizations
+// enabled, strict subtype checking.
+func DefaultOptions() Options { return compiler.DefaultOptions() }
+
+// Instrumented is a compiled, instrumented program ready to run.
+type Instrumented = compiler.Instrumented
+
+// Instrument applies a design's pass pipeline to a clone of mod.
+func Instrument(mod *Module, d Design, opts Options) (*Instrumented, error) {
+	return compiler.Instrument(mod, d, opts)
+}
+
+// RunOptions configures a monitored execution.
+type RunOptions = core.Options
+
+// Outcome is the result of a monitored execution.
+type Outcome = core.Outcome
+
+// Run executes an instrumented program under the HerQules framework:
+// kernel module, verifier with the default policy set (CFI pointer
+// integrity, memory safety, event counter), and — when RunOptions.Channel
+// is set — a real concurrent AppendWrite transport.
+func Run(ins *Instrumented, opts RunOptions) (*Outcome, error) {
+	return core.Run(ins, opts)
+}
+
+// Policy is a verifier-side execution policy.
+type Policy = policy.Policy
+
+// Violation is a failed policy check.
+type Violation = policy.Violation
+
+// NewCFIPolicy returns the pointer-integrity policy of the case study
+// (§4.1).
+func NewCFIPolicy() Policy { return policy.NewCFI() }
+
+// NewMemSafetyPolicy returns the §4.2 allocation-tracking policy.
+func NewMemSafetyPolicy() Policy { return policy.NewMemSafety() }
+
+// NewCounterPolicy returns the §2 event-counter policy.
+func NewCounterPolicy() *policy.Counter { return policy.NewCounter() }
+
+// NewDFIPolicy returns the §4.3 data-flow integrity policy (enable the
+// matching instrumentation with Options.DFI).
+func NewDFIPolicy() Policy { return policy.NewDFI() }
+
+// PolicyFactory builds a policy set per monitored process.
+type PolicyFactory = verifier.PolicyFactory
+
+// Channel is a bidirectionally wired AppendWrite/IPC transport.
+type Channel = ipc.Channel
+
+// Message is the fixed-size AppendWrite message (§3.1).
+type Message = ipc.Message
+
+// ChannelKind selects an IPC primitive.
+type ChannelKind = ipc.Kind
+
+// The IPC primitives of Table 2.
+const (
+	SharedRing   = ipc.KindSharedRing
+	MessageQueue = ipc.KindMessageQueue
+	Pipe         = ipc.KindPipe
+	Socket       = ipc.KindSocket
+	LWC          = ipc.KindLWC
+	FPGA         = ipc.KindFPGA
+	UArchModel   = ipc.KindUArchModel
+	UArchSim     = ipc.KindUArchSim
+)
+
+// NewChannel constructs an IPC channel of the given kind with a default
+// capacity. The AppendWrite-µarch kind allocates its appendable memory
+// region in a private address space.
+func NewChannel(kind ChannelKind) (*Channel, error) {
+	const slots = 1 << 14
+	switch kind {
+	case ipc.KindSharedRing:
+		return ipc.NewSharedRing(slots), nil
+	case ipc.KindMessageQueue:
+		return ipc.NewMessageQueue(), nil
+	case ipc.KindPipe:
+		return ipc.NewPipe(), nil
+	case ipc.KindSocket:
+		return ipc.NewSocket(), nil
+	case ipc.KindLWC:
+		return ipc.NewLWC(), nil
+	case ipc.KindFPGA:
+		ch, _ := fpga.New(slots)
+		return ch, nil
+	case ipc.KindUArchModel:
+		return uarch.NewModel(slots), nil
+	case ipc.KindUArchSim:
+		m := mem.New()
+		ch, _, err := uarch.New(m, 0x7f00_0000_0000, slots*uint64(ipc.MessageSize))
+		return ch, err
+	default:
+		return nil, errUnknownKind(kind)
+	}
+}
+
+type errUnknownKind ipc.Kind
+
+func (e errUnknownKind) Error() string { return "herqules: unknown channel kind" }
+
+// CostModel is the deterministic cycle model used by performance
+// experiments.
+type CostModel = sim.CostModel
+
+// DefaultCostModel returns the baseline cycle model; attach a message cost
+// with WithMessaging.
+func DefaultCostModel() *CostModel { return sim.Default() }
+
+// MessageCost converts a send latency in nanoseconds to model cycles.
+func MessageCost(nanos float64) uint64 { return sim.MessageCost(nanos) }
+
+// Result is the raw VM execution result embedded in Outcome.
+type Result = vm.Result
+
+// vmStaticFuncAddr backs StaticFuncAddr in ir.go.
+var vmStaticFuncAddr = vm.StaticFuncAddr
+
+// System call numbers available to generated programs.
+const (
+	// SysWrite appends a value to the program output.
+	SysWrite = vm.SysWrite
+	// SysNop is a read-only (stat-like) kernel service.
+	SysNop = vm.SysNop
+	// SysSend is an effectful (write/send-like) kernel service whose side
+	// effects bounded asynchronous validation gates.
+	SysSend = vm.SysSend
+	// SysExit terminates the program.
+	SysExit = vm.SysExit
+)

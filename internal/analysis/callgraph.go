@@ -1,0 +1,106 @@
+package analysis
+
+import "herqules/internal/mir"
+
+// CallGraph is the module call graph. Direct edges come from OpCall;
+// indirect call sites are resolved conservatively to every address-taken
+// function whose signature matches the call site (the same
+// equivalence-class-by-type approximation coarse-grained CFI uses, §4.1.1).
+type CallGraph struct {
+	// Callees maps each function to the set of functions it may call.
+	Callees map[*mir.Func]map[*mir.Func]bool
+	// Callers is the reverse relation.
+	Callers map[*mir.Func]map[*mir.Func]bool
+}
+
+// BuildCallGraph computes the call graph of m.
+func BuildCallGraph(m *mir.Module) *CallGraph {
+	cg := &CallGraph{
+		Callees: make(map[*mir.Func]map[*mir.Func]bool),
+		Callers: make(map[*mir.Func]map[*mir.Func]bool),
+	}
+	addEdge := func(from, to *mir.Func) {
+		if cg.Callees[from] == nil {
+			cg.Callees[from] = make(map[*mir.Func]bool)
+		}
+		cg.Callees[from][to] = true
+		if cg.Callers[to] == nil {
+			cg.Callers[to] = make(map[*mir.Func]bool)
+		}
+		cg.Callers[to][from] = true
+	}
+	// Index address-taken functions by signature for icall resolution.
+	bySig := make(map[string][]*mir.Func)
+	for _, f := range m.Funcs {
+		if f.AddressTaken {
+			bySig[f.Sig.Signature()] = append(bySig[f.Sig.Signature()], f)
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case mir.OpCall:
+					addEdge(f, in.Callee)
+				case mir.OpICall:
+					for _, t := range bySig[in.FSig.Signature()] {
+						addEdge(f, t)
+					}
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// MayRecurse reports whether f can reach itself through the call graph —
+// the condition under which inter-procedural store-to-load forwarding needs
+// the runtime recursion guard of §4.1.4.
+func (cg *CallGraph) MayRecurse(f *mir.Func) bool {
+	seen := make(map[*mir.Func]bool)
+	var walk func(g *mir.Func) bool
+	walk = func(g *mir.Func) bool {
+		for callee := range cg.Callees[g] {
+			if callee == f {
+				return true
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				if walk(callee) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(f)
+}
+
+// UniqueCallers returns the only external call site of f when exactly one
+// exists in the module, which is the precondition for localizing an
+// inter-procedural checked load to the caller (§4.1.4, "unique call path").
+// Self-recursive calls inside f do not count as additional sites — they are
+// exactly the case the runtime recursion guard exists for. It returns nil
+// when f has zero or multiple external call sites or is address-taken.
+func UniqueCallers(m *mir.Module, f *mir.Func) *mir.Instr {
+	if f.AddressTaken {
+		return nil
+	}
+	var site *mir.Instr
+	for _, g := range m.Funcs {
+		if g == f {
+			continue
+		}
+		for _, b := range g.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == mir.OpCall && in.Callee == f {
+					if site != nil {
+						return nil
+					}
+					site = in
+				}
+			}
+		}
+	}
+	return site
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import "herqules/internal/mir"
+
+// EscapeInfo classifies each alloca of a function. The HQ final-lowering
+// pass uses it as a more precise replacement for LLVM's fast-but-conservative
+// alias analysis (§4.1.4): store-to-load forwarding and message elision are
+// only sound for memory locations whose address never escapes, because an
+// escaped location can be written through an alias the analysis cannot see.
+type EscapeInfo struct {
+	// Escapes maps each alloca to whether its address escapes the
+	// function: passed to a call, stored into memory, returned, cast to an
+	// integer, or offset by a non-constant index.
+	Escapes map[*mir.Instr]bool
+}
+
+// EscapeAnalysis computes EscapeInfo for f. The analysis walks the
+// derivation tree of each alloca's address: FieldAddr with constant field
+// index keeps the address "tracked"; any other use that lets the address
+// flow elsewhere marks the alloca escaping.
+func EscapeAnalysis(f *mir.Func) *EscapeInfo {
+	info := &EscapeInfo{Escapes: make(map[*mir.Instr]bool)}
+
+	// root maps a derived address value to the alloca it originates from.
+	root := make(map[mir.Value]*mir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpAlloca {
+				root[in] = in
+				info.Escapes[in] = false
+			}
+		}
+	}
+	// Propagate derivations in program order; MIR is SSA so one pass over
+	// blocks in layout order suffices for dominating definitions, and a
+	// second pass catches back-edge flows through phis.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case mir.OpFieldAddr:
+					if r, ok := root[in.Args[0]]; ok {
+						root[in] = r
+					}
+				case mir.OpIndexAddr:
+					if r, ok := root[in.Args[0]]; ok {
+						// Constant index keeps it tracked; variable
+						// indexing may go out of bounds and alias
+						// anything, so treat as escaping.
+						if _, isConst := in.Args[1].(*mir.Const); isConst {
+							root[in] = r
+						} else {
+							info.Escapes[r] = true
+						}
+					}
+				case mir.OpPhi:
+					for _, a := range in.Args {
+						if r, ok := root[a]; ok {
+							// Merged addresses are hard to track
+							// field-sensitively; be conservative.
+							info.Escapes[r] = true
+						}
+					}
+				case mir.OpCast:
+					if r, ok := root[in.Args[0]]; ok {
+						info.Escapes[r] = true
+					}
+				}
+			}
+		}
+	}
+	// Uses that leak a tracked address.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case mir.OpStore:
+				// Storing the address itself (not storing *to* it).
+				if r, ok := root[in.Args[0]]; ok {
+					info.Escapes[r] = true
+				}
+			case mir.OpCall, mir.OpICall:
+				for _, a := range in.Args {
+					if r, ok := root[a]; ok {
+						info.Escapes[r] = true
+					}
+				}
+			case mir.OpRet:
+				for _, a := range in.Args {
+					if r, ok := root[a]; ok {
+						info.Escapes[r] = true
+					}
+				}
+			case mir.OpMemcpy, mir.OpMemmove, mir.OpMemset,
+				mir.OpFree, mir.OpRealloc, mir.OpSyscall:
+				// Runtime (OpRuntime) operations are deliberately NOT
+				// escape sources: the trusted messaging/check runtime
+				// observes addresses but never captures or writes
+				// through them, and instrumentation inserting runtime
+				// calls must not defeat its own later optimizations.
+				for _, a := range in.Args {
+					if r, ok := root[a]; ok {
+						info.Escapes[r] = true
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+// AddrRoots recomputes the address-derivation map used internally; exported
+// for the compiler passes that need to relate loads/stores back to allocas.
+// The result maps derived address values to their alloca of origin,
+// following only constant-offset derivations.
+func AddrRoots(f *mir.Func) map[mir.Value]*mir.Instr {
+	root := make(map[mir.Value]*mir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpAlloca {
+				root[in] = in
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case mir.OpFieldAddr:
+					if r, ok := root[in.Args[0]]; ok {
+						root[in] = r
+					}
+				case mir.OpIndexAddr:
+					if r, ok := root[in.Args[0]]; ok {
+						if _, isConst := in.Args[1].(*mir.Const); isConst {
+							root[in] = r
+						}
+					}
+				}
+			}
+		}
+	}
+	return root
+}

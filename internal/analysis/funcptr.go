@@ -1,0 +1,122 @@
+package analysis
+
+import "herqules/internal/mir"
+
+// FuncPtrInfo records which SSA values and memory roots the function-pointer
+// detection scheme of §4.1.4 classifies as (potential) control-flow pointers.
+//
+// The paper treats any pointer as a function pointer if (1) it is ever
+// defined from a value of function-pointer type, including via pointer casts
+// and φ-nodes, or (2) other uses of its original value are ever cast to
+// function-pointer type. This over-approximation avoids false negatives when
+// type casting decays function pointers into generic pointers (e.g. void*).
+type FuncPtrInfo struct {
+	// Values holds SSA values (per function) that may carry a function
+	// pointer at runtime.
+	Values map[mir.Value]bool
+}
+
+// DetectFuncPtrs runs the detection scheme over a whole module. It
+// propagates the "may be a function pointer" property forward through casts
+// and phis, and backward from casts to function-pointer type onto the cast's
+// source (clause 2 of §4.1.4).
+func DetectFuncPtrs(m *mir.Module) *FuncPtrInfo {
+	info := &FuncPtrInfo{Values: make(map[mir.Value]bool)}
+
+	mark := func(v mir.Value) bool {
+		if v == nil || info.Values[v] {
+			return false
+		}
+		// Constants other than function references never carry code
+		// pointers.
+		if _, isConst := v.(*mir.Const); isConst {
+			return false
+		}
+		info.Values[v] = true
+		return true
+	}
+
+	// Seed: any value of static control-flow-pointer type (function
+	// pointer or vtable pointer, §4.1.3).
+	seedValue := func(v mir.Value) {
+		if v.Type().IsCtrlPtr() {
+			mark(v)
+		}
+		if _, ok := v.(*mir.FuncRef); ok {
+			mark(v)
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, p := range f.Params {
+			seedValue(p)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Type() != mir.Void {
+					seedValue(in)
+				}
+				for _, a := range in.Args {
+					seedValue(a)
+				}
+			}
+		}
+	}
+
+	// Fixpoint propagation.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					switch in.Op {
+					case mir.OpCast:
+						// Forward: cast of a funcptr-ish value stays funcptr-ish.
+						if info.Values[in.Args[0]] && mark(in) {
+							changed = true
+						}
+						// Backward (clause 2): if the cast result is of
+						// function-pointer type, the original value was
+						// carrying one.
+						if in.Type().IsFuncPtr() && mark(in.Args[0]) {
+							changed = true
+						}
+						// And if the result was inferred to carry one, so
+						// does the source.
+						if info.Values[in] && mark(in.Args[0]) {
+							changed = true
+						}
+					case mir.OpPhi:
+						// A phi merging any funcptr-ish input is funcptr-ish.
+						for _, a := range in.Args {
+							if info.Values[a] && mark(in) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return info
+}
+
+// IsFuncPtrStore reports whether in is a store whose stored value may be a
+// control-flow pointer, i.e. a store that the HQ initial-lowering pass must
+// follow with a Pointer-Define message.
+func (fp *FuncPtrInfo) IsFuncPtrStore(in *mir.Instr) bool {
+	if in.Op != mir.OpStore {
+		return false
+	}
+	v := in.Args[0]
+	return v.Type().IsCtrlPtr() || fp.Values[v]
+}
+
+// IsFuncPtrLoad reports whether in is a load that may produce a control-flow
+// pointer, i.e. a load that must be checked before the value is used as an
+// indirect-call target.
+func (fp *FuncPtrInfo) IsFuncPtrLoad(in *mir.Instr) bool {
+	if in.Op != mir.OpLoad {
+		return false
+	}
+	return in.Type().IsCtrlPtr() || fp.Values[in]
+}

@@ -1,0 +1,193 @@
+package compiler
+
+import (
+	"herqules/internal/analysis"
+	"herqules/internal/mir"
+)
+
+// markSafeSlots runs the safe-stack pass (§6.3.4, Clang's -fsanitize=safe-stack
+// as adopted by Clang CFI, HQ-CFI-SfeStk and CPI): scalar and pointer locals
+// whose address never escapes move to the protected safe region, while
+// arrays — anything that may overflow — and address-escaping locals stay on
+// the regular (unsafe) stack. This split is why a contiguous stack overflow
+// cannot reach most stack-resident code pointers under these designs, but
+// can still reach the ones whose address was taken (the residue RIPE's
+// stack-origin attacks exploit, §5.2).
+func markSafeSlots(out *Instrumented) {
+	for _, f := range out.Mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		esc := analysis.EscapeAnalysis(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != mir.OpAlloca {
+					continue
+				}
+				if in.AllocTy.Kind == mir.KindArray {
+					continue // may overflow: stays unsafe
+				}
+				if esc.Escapes[in] {
+					continue // address taken: must stay addressable
+				}
+				in.SafeSlot = true
+			}
+		}
+	}
+}
+
+// instrumentClangCFI implements modern Clang/LLVM CFI (§6.3.1): before every
+// indirect call, an in-process check verifies that the target belongs to the
+// equivalence class of the call site's *static* function type, and return
+// addresses move to a guarded safe stack. The class key is the nominal type
+// signature — which is exactly why programs that cast or decay function
+// pointers produce false positives (§5.1): the runtime target's true class
+// differs from the static class at the call site.
+func instrumentClangCFI(out *Instrumented, opts Options) {
+	if opts.Devirtualize {
+		// Clang CFI builds also benefit from devirtualization (fewer
+		// indirect calls means fewer checks).
+		devirtualize(out)
+	}
+	for _, f := range out.Mod.Funcs {
+		f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			if in.Op != mir.OpICall {
+				return
+			}
+			b.InsertBefore(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTClangCFICheck,
+				Args:     []mir.Value{in.Args[0]},
+				ClassSig: in.FSig.Signature(),
+			})
+			out.Stats.TypeChecks++
+		})
+	}
+}
+
+// instrumentCCFI implements Cryptographically-Enforced CFI (§6.3.3): every
+// store of a control-flow pointer records a MAC over (address, value, static
+// type); every load re-verifies it, and function prologues/epilogues MAC the
+// return address. The type tag comes from the *static* type at each site, so
+// a pointer stored through a decayed type and loaded through its real type
+// (or vice versa) fails verification — CCFI's false-positive mode. Full
+// detection (including decay tracking) is used for coverage, matching CCFI's
+// goal of protecting all code pointers.
+func instrumentCCFI(out *Instrumented) {
+	mod := out.Mod
+	fpInfo := analysis.DetectFuncPtrs(mod)
+	for _, f := range mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			switch {
+			case fpInfo.IsFuncPtrStore(in):
+				b.InsertAfter(in, &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTMACStore,
+					Args:     []mir.Value{in.Args[1], in.Args[0]},
+					ClassSig: in.Args[0].Type().Signature(),
+				})
+				out.Stats.MACSites++
+			case fpInfo.IsFuncPtrLoad(in):
+				// Pointers in read-only memory (vtable contents,
+				// constant tables) cannot be corrupted and carry no
+				// MACs.
+				if readOnlyAddr(in.Args[0]) {
+					return
+				}
+				b.InsertAfter(in, &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTMACCheck,
+					Args:     []mir.Value{in.Args[0], in},
+					ClassSig: in.Type().Signature(),
+				})
+				out.Stats.MACSites++
+			}
+		})
+		// Return-address MACs on every function with a real frame.
+		entry := f.Entry()
+		entry.InsertBefore(entry.Instrs[0], &mir.Instr{Op: mir.OpRuntime, RT: mir.RTMACRetStore})
+		for _, b := range f.Blocks {
+			term := b.Terminator()
+			if term == nil || term.Op != mir.OpRet {
+				continue
+			}
+			b.InsertBefore(term, &mir.Instr{Op: mir.OpRuntime, RT: mir.RTMACRetCheck})
+		}
+		out.Stats.RetProtected++
+	}
+}
+
+// instrumentCPI implements Code-Pointer Integrity (§6.3.3): code pointers
+// are *relocated* — stores of function pointers go to the safe store and the
+// raw memory slot is poisoned; loads of function pointers read the safe
+// store. Return addresses live on an unguarded safe stack (the original CPI
+// runtime layout).
+//
+// Deliberately reproduced limitations (§5.1, confirmed by the CPI authors as
+// prototype gaps): detection is static-type-only — pointers that decay
+// through casts are missed — and block memory operations are not
+// interposed, so a memcpy moves the poison rather than the pointer and the
+// destination's safe-store entry is never created. Programs that do either
+// crash on a poisoned (null) indirect call, which is how the paper's 14
+// failing benchmarks fail.
+func instrumentCPI(out *Instrumented) {
+	for _, f := range out.Mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			switch in.Op {
+			case mir.OpStore:
+				// Static-type-only detection (function pointers and
+				// vtable pointers): decayed stores are missed — the
+				// prototype gap.
+				if !in.Args[0].Type().IsCtrlPtr() {
+					return
+				}
+				b.InsertBefore(in, &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTSafeStoreSet,
+					Args: []mir.Value{in.Args[1], in.Args[0]},
+				})
+				// Poison the raw slot: the pointer lives only in the
+				// safe store.
+				in.Args = []mir.Value{mir.Null(in.Args[0].Type()), in.Args[1]}
+				out.Stats.SafeStoreSites++
+			case mir.OpLoad:
+				if !in.Type().IsCtrlPtr() {
+					return
+				}
+				// Read-only pointers are never relocated: the memory
+				// itself is immutable.
+				if readOnlyAddr(in.Args[0]) {
+					return
+				}
+				// Replace the load's consumers with a safe-store read.
+				get := &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTSafeStoreGet,
+					Typ:  in.Type(),
+					Args: []mir.Value{in.Args[0]},
+				}
+				b.InsertAfter(in, get)
+				replaceUses(f, in, get, get)
+				out.Stats.SafeStoreSites++
+			}
+		})
+	}
+}
+
+// replaceUses rewrites every operand of f that references old to point at
+// nw, skipping the instruction skip (the replacement itself).
+func replaceUses(f *mir.Func, old, nw mir.Value, skip *mir.Instr) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in == skip {
+				continue
+			}
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = nw
+				}
+			}
+		}
+	}
+}

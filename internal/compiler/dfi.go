@@ -1,0 +1,150 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"herqules/internal/analysis"
+	"herqules/internal/mir"
+)
+
+// instrumentDFI adds the data-flow integrity policy of §4.3 on top of the
+// HQ pipeline (Options.DFI): every store is assigned an identity and
+// announces itself as the last writer of its address; every load from a
+// *trackable* location — a non-escaping stack slot or an unaliased global,
+// where the reaching-writer set is statically exact — is checked against
+// that set. Corruption of plain data through out-of-bounds or aliased
+// writes is then caught at the next legitimate read, whether or not any
+// control-flow pointer was involved.
+func instrumentDFI(out *Instrumented) {
+	mod := out.Mod
+	aliased := aliasedGlobals(mod)
+
+	// Pass 1: assign store identities and collect per-root writer sets.
+	nextID := uint64(1) // 0 is the loader
+	storeID := make(map[*mir.Instr]uint64)
+	rootWriters := make(map[interface{}][]uint64) // alloca or *Global -> ids
+	rootsByFunc := make(map[*mir.Func]map[mir.Value]*mir.Instr)
+	for _, f := range mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		roots := analysis.AddrRoots(f)
+		rootsByFunc[f] = roots
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != mir.OpStore {
+					continue
+				}
+				id := nextID
+				nextID++
+				storeID[in] = id
+				if r := roots[in.Args[1]]; r != nil {
+					rootWriters[r] = append(rootWriters[r], id)
+				} else if g, ok := in.Args[1].(*mir.Global); ok {
+					rootWriters[g] = append(rootWriters[g], id)
+				}
+			}
+		}
+	}
+
+	// Set registry, deduplicated by member list.
+	setIDs := make(map[string]uint64)
+	setMembers := make(map[uint64][]uint64)
+	nextSet := uint64(1)
+	setFor := func(writers []uint64) uint64 {
+		ws := append([]uint64(nil), writers...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		key := fmt.Sprint(ws)
+		if id, ok := setIDs[key]; ok {
+			return id
+		}
+		id := nextSet
+		nextSet++
+		setIDs[key] = id
+		setMembers[id] = ws
+		return id
+	}
+
+	// Pass 2: instrument stores and checked loads.
+	for _, f := range mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		roots := rootsByFunc[f]
+		esc := analysis.EscapeAnalysis(f)
+		f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			switch in.Op {
+			case mir.OpStore:
+				b.InsertAfter(in, &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTDFISet,
+					Args: []mir.Value{in.Args[1], mir.ConstInt(storeID[in])},
+				})
+				out.Stats.DFISets++
+			case mir.OpLoad:
+				var writers []uint64
+				trackable := false
+				if r := roots[in.Args[0]]; r != nil && !esc.Escapes[r] {
+					writers, trackable = rootWriters[r], true
+				} else if g, ok := in.Args[0].(*mir.Global); ok && !g.ReadOnly && !aliased[g] {
+					writers, trackable = rootWriters[g], true
+				}
+				if !trackable {
+					return
+				}
+				b.InsertBefore(in, &mir.Instr{
+					Op: mir.OpRuntime, RT: mir.RTDFICheck,
+					Args: []mir.Value{in.Args[0], mir.ConstInt(setFor(writers))},
+				})
+				out.Stats.DFIChecks++
+			}
+		})
+	}
+
+	// Pass 3: declare the sets at program start.
+	main := mod.Func("main")
+	if main == nil || len(main.Blocks) == 0 {
+		return
+	}
+	entry := main.Entry()
+	pos := entry.Instrs[0]
+	var ids []uint64
+	for id := range setMembers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, w := range setMembers[id] {
+			entry.InsertBefore(pos, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTDFIDeclare,
+				Args: []mir.Value{mir.ConstInt(id), mir.ConstInt(w)},
+			})
+		}
+	}
+}
+
+// aliasedGlobals reports globals whose address is used in any way other
+// than a direct load, a direct store destination, or a runtime argument —
+// the same condition the inter-procedural forwarding pass uses.
+func aliasedGlobals(mod *mir.Module) map[*mir.Global]bool {
+	aliased := make(map[*mir.Global]bool)
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, a := range in.Args {
+					g, ok := a.(*mir.Global)
+					if !ok {
+						continue
+					}
+					safeUse := (in.Op == mir.OpLoad && i == 0) ||
+						(in.Op == mir.OpStore && i == 1) ||
+						in.Op == mir.OpRuntime
+					if !safeUse {
+						aliased[g] = true
+					}
+				}
+			}
+		}
+	}
+	return aliased
+}

@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"testing"
+
+	"herqules/internal/mir"
+	"herqules/internal/vm"
+)
+
+// buildNonControlDataAttack models the attack class DFI exists for (§4.3):
+// an overflow corrupts a *data* value — an is_admin flag — that no
+// control-flow pointer ever touches. The program then branches on the flag
+// and, when it is set, performs a privileged operation.
+func buildNonControlDataAttack(corrupt bool) *mir.Module {
+	mod := mir.NewModule("noncontrol")
+	b := mir.NewBuilder(mod)
+
+	// Layout: the request buffer sits directly below the flag in BSS, so
+	// buf[4] is the flag.
+	buf := b.Global("request_buf", mir.ArrayType(mir.I64, 4), "bss")
+	flag := b.Global("is_admin", mir.I64, "bss")
+
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Store(mir.ConstInt(0), flag) // legitimate writer: deny by default
+	b.Store(mir.ConstInt(7), b.IndexAddr(buf, mir.ConstInt(0)))
+	if corrupt {
+		// The memory-safety bug: an overflow from the adjacent buffer
+		// (a store through a derived out-of-bounds address) sets the
+		// flag. The write itself is just another store — CFI has
+		// nothing to check, but its DFI identity is not in the flag's
+		// reaching set.
+		oob := b.IndexAddr(buf, mir.ConstInt(4)) // one past the end = flag
+		b.Store(mir.ConstInt(1), oob)
+	}
+	v := b.Load(flag)
+	granted := b.Block("granted")
+	denied := b.Block("denied")
+	b.CondBr(v, granted, denied)
+	b.SetBlock(granted)
+	b.Syscall(vm.SysMarkExploit) // the privileged action
+	b.Syscall(vm.SysExit, mir.ConstInt(99))
+	b.Ret(mir.ConstInt(0))
+	b.SetBlock(denied)
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	return mod
+}
+
+func TestDFICatchesNonControlDataAttack(t *testing.T) {
+	// Declare order matters: the buffer global precedes the flag so the
+	// OOB index lands on it. Verify layout assumption via a benign run.
+	opts := DefaultOptions()
+	opts.DFI = true
+
+	// Benign: no false positives, clean exit.
+	benign := instrument(t, buildNonControlDataAttack(false), HQSfeStk, opts)
+	if benign.Stats.DFIChecks == 0 || benign.Stats.DFISets == 0 {
+		t.Fatalf("DFI inserted nothing: %+v", benign.Stats)
+	}
+	res, _ := launch(t, benign, "main")
+	if res.Killed || res.Err != nil || res.ExitCode != 0 {
+		t.Fatalf("benign run: killed=%t err=%v exit=%d (%s)",
+			res.Killed, res.Err, res.ExitCode, res.KillReason)
+	}
+
+	// Without DFI, the attack succeeds: plain CFI sees nothing wrong.
+	cfiOnly := instrument(t, buildNonControlDataAttack(true), HQSfeStk, DefaultOptions())
+	resCFI, _ := launch(t, cfiOnly, "main")
+	if resCFI.Killed {
+		t.Fatalf("CFI-only run killed unexpectedly: %s", resCFI.KillReason)
+	}
+	if !resCFI.ExploitMarker {
+		t.Fatal("attack layout broken: privileged action not reached without DFI")
+	}
+
+	// With DFI, the corrupted flag's read is caught before the branch.
+	protected := instrument(t, buildNonControlDataAttack(true), HQSfeStk, opts)
+	resDFI, _ := launch(t, protected, "main")
+	if !resDFI.Killed {
+		t.Fatal("DFI missed the non-control-data attack")
+	}
+	if resDFI.ExploitMarker {
+		t.Error("privileged action executed despite the kill")
+	}
+}
+
+func TestDFIBenignOnWorkloadLikeProgram(t *testing.T) {
+	// DFI must not false-positive on ordinary programs: run a random
+	// benign program under HQ+DFI and compare output with baseline.
+	for seed := int64(1); seed <= 6; seed++ {
+		mod := genRandomProgram(seed)
+		base := mustRun(t, instrument(t, mod, Baseline, DefaultOptions()), seed, "base")
+		opts := DefaultOptions()
+		opts.DFI = true
+		ins := instrument(t, mod, HQSfeStk, opts)
+		res, _ := launch(t, ins, "main")
+		if res.Err != nil || res.Killed {
+			t.Fatalf("seed %d: DFI broke a benign program: err=%v killed=%t (%s)",
+				seed, res.Err, res.Killed, res.KillReason)
+		}
+		if len(res.Output) != len(base.Output) {
+			t.Fatalf("seed %d: output diverged", seed)
+		}
+		for i := range base.Output {
+			if res.Output[i] != base.Output[i] {
+				t.Fatalf("seed %d: output[%d] diverged", seed, i)
+			}
+		}
+	}
+}
+
+func TestDFITextualRoundTrip(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DFI = true
+	ins := instrument(t, buildNonControlDataAttack(false), HQSfeStk, opts)
+	text := ins.Mod.String()
+	parsed, err := mir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("parse of DFI-instrumented program: %v", err)
+	}
+	if parsed.String() != text {
+		t.Error("DFI round trip not a fixed point")
+	}
+}

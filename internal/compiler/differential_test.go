@@ -1,0 +1,159 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"herqules/internal/mir"
+	"herqules/internal/vm"
+)
+
+// genRandomProgram builds a random-but-valid benign program: a pool of
+// handler functions, a global and a local function-pointer slot, and a main
+// that interleaves arithmetic, memory traffic, pointer rotation, indirect
+// calls, direct calls, heap and block operations, emitting output along the
+// way. Determinism comes from the seed; benignity by construction (no
+// out-of-bounds indices, no stale pointers).
+func genRandomProgram(seed int64) *mir.Module {
+	rng := rand.New(rand.NewSource(seed))
+	mod := mir.NewModule(fmt.Sprintf("rand%d", seed))
+	b := mir.NewBuilder(mod)
+	sig := mir.FuncType(mir.I64, mir.I64)
+
+	var handlers []*mir.Func
+	for i := 0; i < 3; i++ {
+		h := b.Func(fmt.Sprintf("h%d", i), sig, "x")
+		v := b.Add(h.Params[0], mir.ConstInt(uint64(rng.Intn(100)+1)))
+		if rng.Intn(2) == 0 {
+			v = b.Bin(mir.BinXor, v, mir.ConstInt(uint64(rng.Intn(1<<16))))
+		}
+		b.Ret(v)
+		handlers = append(handlers, h)
+	}
+
+	helper := b.Func("helper", sig, "x")
+	pad := b.Alloca("pad", mir.ArrayType(mir.I64, 4))
+	b.Store(helper.Params[0], b.IndexAddr(pad, mir.ConstInt(uint64(rng.Intn(4)))))
+	b.Ret(b.Mul(helper.Params[0], mir.ConstInt(3)))
+
+	gslot := b.Global("gslot", mir.Ptr(sig), "data")
+	arr := b.Global("arr", mir.ArrayType(mir.I64, 16), "bss")
+
+	b.Func("main", mir.FuncType(mir.I64))
+	lslot := b.Alloca("lslot", mir.Ptr(sig))
+	b.Store(b.FuncAddr(handlers[0]), gslot)
+	b.Store(b.FuncAddr(handlers[1]), lslot)
+	var v mir.Value = mir.ConstInt(uint64(rng.Intn(1000)))
+
+	steps := rng.Intn(30) + 10
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(8) {
+		case 0: // arithmetic
+			v = b.Add(v, mir.ConstInt(uint64(rng.Intn(50))))
+		case 1: // memory traffic
+			idx := mir.ConstInt(uint64(rng.Intn(16)))
+			slot := b.IndexAddr(arr, idx)
+			b.Store(v, slot)
+			v = b.Add(v, b.Load(slot))
+		case 2: // rotate the global pointer
+			b.Store(b.FuncAddr(handlers[rng.Intn(len(handlers))]), gslot)
+		case 3: // indirect call through the global
+			fp := b.Load(gslot)
+			v = b.ICall(fp, sig, v)
+		case 4: // indirect call through the local
+			fp := b.Load(lslot)
+			v = b.ICall(fp, sig, v)
+		case 5: // direct call
+			v = b.Call(helper, v)
+		case 6: // heap round trip
+			n := uint64(rng.Intn(48) + 16)
+			hp := b.Malloc(mir.ConstInt(n))
+			w := b.Cast(hp, mir.Ptr(mir.I64))
+			b.Store(v, w)
+			v = b.Load(w)
+			b.Free(hp)
+		case 7: // block op over a struct holding a pointer
+			holder := mir.StructType("H", mir.I64, mir.Ptr(sig))
+			src := b.Alloca(fmt.Sprintf("src%d", s), holder)
+			dst := b.Alloca(fmt.Sprintf("dst%d", s), holder)
+			b.Store(b.FuncAddr(handlers[rng.Intn(len(handlers))]), b.FieldAddr(src, 1))
+			b.Memcpy(dst, src, mir.ConstInt(holder.Size()))
+			fp := b.Load(b.FieldAddr(dst, 1))
+			v = b.ICall(fp, sig, v)
+		}
+		if rng.Intn(6) == 0 {
+			b.Syscall(vm.SysWrite, v)
+		}
+	}
+	b.Syscall(vm.SysWrite, v)
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	return mod
+}
+
+// TestDifferentialRandomPrograms is the pipeline's randomized soundness
+// check: for many random benign programs, instrumentation under every HQ
+// configuration (all optimization combinations) must preserve output
+// exactly, raise no violations, and never get the program killed. It also
+// exercises the textual round trip on each program.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	optionSets := []Options{
+		{StrictSubtype: true},
+		{StrictSubtype: true, Optimize: true},
+		{StrictSubtype: true, Optimize: true, InterProcForwarding: true, Devirtualize: true},
+		{StrictSubtype: false, Optimize: true},
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		mod := genRandomProgram(seed)
+		if err := mir.Validate(mod); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		// Textual round trip must be a fixed point for arbitrary
+		// generated programs, too.
+		text := mod.String()
+		reparsed, err := mir.ParseModule(text)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if reparsed.String() != text {
+			t.Fatalf("seed %d: textual round trip diverged", seed)
+		}
+
+		base := mustRun(t, instrument(t, mod, Baseline, DefaultOptions()), seed, "baseline")
+		for _, d := range []Design{HQSfeStk, HQRetPtr} {
+			for oi, opts := range optionSets {
+				ins := instrument(t, mod, d, opts)
+				res := mustRun(t, ins, seed, fmt.Sprintf("%v/opts%d", d, oi))
+				if res.Killed {
+					t.Fatalf("seed %d %v opts%d: benign program killed: %s",
+						seed, d, oi, res.KillReason)
+				}
+				if len(res.Output) != len(base.Output) {
+					t.Fatalf("seed %d %v opts%d: output length %d vs %d",
+						seed, d, oi, len(res.Output), len(base.Output))
+				}
+				for i := range base.Output {
+					if res.Output[i] != base.Output[i] {
+						t.Fatalf("seed %d %v opts%d: output[%d] = %d, want %d",
+							seed, d, oi, i, res.Output[i], base.Output[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, ins *Instrumented, seed int64, label string) *vm.Result {
+	t.Helper()
+	res, _ := launch(t, ins, "main")
+	if res.Err != nil {
+		t.Fatalf("seed %d %s: crash: %v", seed, label, res.Err)
+	}
+	return res
+}

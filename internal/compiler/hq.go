@@ -1,0 +1,334 @@
+package compiler
+
+import (
+	"herqules/internal/analysis"
+	"herqules/internal/mir"
+	"herqules/internal/vm"
+)
+
+// instrumentHQ runs the HerQules pipeline on out.Mod: devirtualization,
+// initial lowering (pointer define/check/invalidate insertion), final
+// lowering (block memory operations, system-call synchronization,
+// store-to-load forwarding and message elision), and — for HQ-CFI-RetPtr —
+// return-pointer protection (§4.1.4, §4.1.6).
+func instrumentHQ(out *Instrumented, opts Options, retPtr bool) {
+	mod := out.Mod
+	if opts.Devirtualize {
+		devirtualize(out)
+	}
+	fpInfo := analysis.DetectFuncPtrs(mod)
+	for _, f := range mod.Funcs {
+		if f.Intrinsic {
+			continue
+		}
+		initialLowering(out, f, fpInfo)
+	}
+	for _, f := range mod.Funcs {
+		if f.Intrinsic {
+			continue
+		}
+		finalLoweringBlocks(out, f, opts)
+		if opts.MemSafety {
+			memSafetyLowering(out, f)
+		}
+		if retPtr {
+			retPtrLowering(out, f)
+		}
+		placeSyscallSyncs(out, f, opts)
+	}
+	out.ElideReadOnlyGates = opts.ElideReadOnlySyncs
+	if opts.Optimize {
+		forwardAndElide(out, opts)
+	}
+	if opts.DFI {
+		instrumentDFI(out)
+	}
+	mod.Finalize()
+}
+
+// initialLowering inserts Pointer-Define after every store of a (possibly
+// decayed) control-flow pointer, Pointer-Check after every load of one, and
+// frame invalidates for stack slots that may hold them (§4.1.3).
+func initialLowering(out *Instrumented, f *mir.Func, fpInfo *analysis.FuncPtrInfo) {
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		switch {
+		case fpInfo.IsFuncPtrStore(in):
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTPointerDefine,
+				Args: []mir.Value{in.Args[1], in.Args[0]},
+			})
+			out.Stats.Defines++
+		case fpInfo.IsFuncPtrLoad(in):
+			// Read-only pointers need no protection (§4.1.3): loads
+			// from inside a read-only vtable or from a read-only
+			// global are immutable by construction.
+			if readOnlyAddr(in.Args[0]) {
+				return
+			}
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTPointerCheck,
+				Args: []mir.Value{in.Args[0], in},
+			})
+			out.Stats.Checks++
+		}
+	})
+
+	// Invalidate stack slots that may contain control-flow pointers when
+	// the frame dies — this is what gives HQ-CFI use-after-free detection
+	// on stack-resident pointers.
+	roots := analysis.AddrRoots(f)
+	holds := make(map[*mir.Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpAlloca && in.AllocTy.ContainsFuncPtr() {
+				holds[in] = true
+			}
+			if in.Op == mir.OpRuntime && in.RT == mir.RTPointerDefine {
+				if r := roots[in.Args[0]]; r != nil {
+					holds[r] = true
+				}
+			}
+		}
+	}
+	if len(holds) == 0 {
+		return
+	}
+	// Deterministic order: program order of the allocas.
+	var slots []*mir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpAlloca && holds[in] {
+				slots = append(slots, in)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != mir.OpRet {
+			continue
+		}
+		for _, slot := range slots {
+			b.InsertBefore(term, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTBlockInvalidate,
+				Args: []mir.Value{slot, mir.ConstInt(slot.AllocTy.Size())},
+			})
+			out.Stats.Invalidates++
+		}
+	}
+}
+
+// finalLoweringBlocks instruments block memory operations (§4.1.4, Final
+// Lowering): memcpy/memmove transplant any pointers they move, memset and
+// free destroy them, realloc moves them. Strict subtype checking elides
+// operations whose static types cannot contain control-flow pointers, with
+// an allowlist for functions known to pass decayed pointers.
+func finalLoweringBlocks(out *Instrumented, f *mir.Func, opts Options) {
+	allowed := false
+	for _, name := range opts.Allowlist {
+		if name == f.Name {
+			allowed = true
+			break
+		}
+	}
+	shouldInstrument := func(ptr mir.Value) bool {
+		if !opts.StrictSubtype || allowed {
+			return true
+		}
+		pt := ptr.Type()
+		if !pt.IsPtr() {
+			return true // unknown provenance: conservative
+		}
+		elem := pt.Elem
+		if elem.Kind == mir.KindInt && elem.Bits == 8 {
+			// Generic byte pointer: the type tells us nothing, and
+			// strict checking (the paper's default) skips it — the
+			// behaviour that required the allowlist for four
+			// benchmarks.
+			return false
+		}
+		return elem.ContainsFuncPtr()
+	}
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		switch in.Op {
+		case mir.OpMemcpy, mir.OpMemmove:
+			if !shouldInstrument(in.Args[0]) && !shouldInstrument(in.Args[1]) {
+				out.Stats.BlockOpsElided++
+				return
+			}
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTBlockCopy,
+				Args: []mir.Value{in.Args[1], in.Args[0], in.Args[2]},
+			})
+			out.Stats.BlockOps++
+		case mir.OpMemset:
+			if !shouldInstrument(in.Args[0]) {
+				out.Stats.BlockOpsElided++
+				return
+			}
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTBlockInvalidate,
+				Args: []mir.Value{in.Args[0], in.Args[2]},
+			})
+			out.Stats.Invalidates++
+		case mir.OpFree:
+			// Before the free, while the allocation's size is still
+			// known to the runtime (malloc_usable_size).
+			b.InsertBefore(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTBlockInvalidate,
+				Args: []mir.Value{in.Args[0], mir.ConstInt(0)},
+			})
+			out.Stats.Invalidates++
+		case mir.OpRealloc:
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTBlockMove,
+				Args: []mir.Value{in.Args[0], in, mir.ConstInt(0)},
+			})
+			out.Stats.BlockOps++
+		}
+	})
+}
+
+// memSafetyLowering instruments the §4.2 allocation policy: creation,
+// access checks, and destruction of heap and stack allocations.
+func memSafetyLowering(out *Instrumented, f *mir.Func) {
+	var stackAllocs []*mir.Instr
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		switch in.Op {
+		case mir.OpAlloca:
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocCreate,
+				Args: []mir.Value{in, mir.ConstInt(in.AllocTy.Size())},
+			})
+			stackAllocs = append(stackAllocs, in)
+		case mir.OpMalloc:
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocCreate,
+				Args: []mir.Value{in, in.Args[0]},
+			})
+		case mir.OpFree:
+			b.InsertBefore(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocDestroy,
+				Args: []mir.Value{in.Args[0]},
+			})
+		case mir.OpRealloc:
+			b.InsertAfter(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocExtend,
+				Args: []mir.Value{in.Args[0], in, mir.ConstInt(0)},
+			})
+		case mir.OpLoad, mir.OpStore:
+			addr := in.Args[0]
+			if in.Op == mir.OpStore {
+				addr = in.Args[1]
+			}
+			b.InsertBefore(in, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocCheck,
+				Args: []mir.Value{addr},
+			})
+		}
+	})
+	// Destroy stack allocations at every return.
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != mir.OpRet {
+			continue
+		}
+		for _, a := range stackAllocs {
+			b.InsertBefore(term, &mir.Instr{
+				Op: mir.OpRuntime, RT: mir.RTAllocDestroy,
+				Args: []mir.Value{a},
+			})
+		}
+	}
+}
+
+// retPtrLowering applies HQ-CFI-RetPtr protection (§4.1.6): functions that
+// may write memory, are known to return, contain stack allocations, and are
+// not always tail-called get a Pointer-Define on their return slot in the
+// prologue and a Pointer-Check-Invalidate in the epilogue.
+func retPtrLowering(out *Instrumented, f *mir.Func) {
+	if !f.MayWriteMemory() || f.NoReturn || !f.HasStackAlloc() || f.AlwaysTailCalled {
+		return
+	}
+	entry := f.Entry()
+	if entry == nil || len(entry.Instrs) == 0 {
+		return
+	}
+	entry.InsertBefore(entry.Instrs[0], &mir.Instr{Op: mir.OpRuntime, RT: mir.RTRetDefine})
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != mir.OpRet {
+			continue
+		}
+		b.InsertBefore(term, &mir.Instr{Op: mir.OpRuntime, RT: mir.RTRetCheckInvalidate})
+	}
+	out.Stats.RetProtected++
+}
+
+// placeSyscallSyncs inserts the System-Call message before each system call
+// at the earliest suitable program point (§3.2): a point that dominates the
+// system call, is post-dominated by it, and is not followed by any other
+// message or function call before the system call executes. Within those
+// constraints the message is hoisted as early as possible so its cost
+// pipelines with the surrounding code.
+func placeSyscallSyncs(out *Instrumented, f *mir.Func, opts Options) {
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpSyscall {
+			return
+		}
+		// §5.3.3 future work: read-only system calls cannot produce
+		// external side effects, so their synchronization can be elided
+		// without weakening the security argument.
+		if opts.ElideReadOnlySyncs && vm.ReadOnlySyscall(in.SyscallNo) {
+			out.Stats.SyncsElided++
+			return
+		}
+		// Scan backwards from the syscall within its block: every
+		// instruction crossed must be free of messages and calls (which
+		// could themselves fault or send), and must not be an operand
+		// producer the message depends on — the sync takes no operands,
+		// so only the message/call constraint applies. Block boundaries
+		// stop the scan: a predecessor may not be post-dominated by the
+		// syscall.
+		pos := in
+		for i := indexOf(b, in) - 1; i >= 0; i-- {
+			prev := b.Instrs[i]
+			if prev.IsCall() || prev.Op == mir.OpSyscall || prev.Op == mir.OpRuntime ||
+				prev.Op == mir.OpPhi {
+				break
+			}
+			pos = prev
+		}
+		b.InsertBefore(pos, &mir.Instr{
+			Op: mir.OpRuntime, RT: mir.RTSyscallSync, SyscallNo: in.SyscallNo,
+		})
+		out.Stats.SyscallSyncs++
+	})
+}
+
+// readOnlyAddr reports whether a load address provably refers to read-only
+// memory: a read-only global (directly or through constant offsets) or a
+// slot inside a virtual-method table, which the compiler emits read-only.
+func readOnlyAddr(v mir.Value) bool {
+	switch v := v.(type) {
+	case *mir.Global:
+		return v.ReadOnly
+	case *mir.Instr:
+		switch v.Op {
+		case mir.OpFieldAddr, mir.OpIndexAddr:
+			if bt := v.Args[0].Type(); bt.IsPtr() && bt.Elem.VTable {
+				return true
+			}
+			return readOnlyAddr(v.Args[0])
+		}
+	}
+	return false
+}
+
+func indexOf(b *mir.Block, in *mir.Instr) int {
+	for i, cur := range b.Instrs {
+		if cur == in {
+			return i
+		}
+	}
+	return -1
+}

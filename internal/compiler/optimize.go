@@ -1,0 +1,419 @@
+package compiler
+
+import (
+	"herqules/internal/analysis"
+	"herqules/internal/mir"
+)
+
+// devirtualize converts indirect calls with statically known targets into
+// direct calls, modelling the Virtual Pointer Invariance / Whole Program
+// Devirtualization bundle the paper enables (§4.1.4, "C++
+// Devirtualization"). The recognized pattern is the standard virtual
+// dispatch sequence:
+//
+//	store @vtable, vptrSlot          ; object construction
+//	vp   = load vptrSlot             ; dispatch
+//	slot = indexaddr/fieldaddr vp, k
+//	fn   = load slot
+//	icall fn(...)
+//
+// where @vtable is a read-only global whose k-th word is a known function
+// and vptrSlot is a non-escaping local whose unique store dominates the
+// dispatch (virtual pointer invariance).
+func devirtualize(out *Instrumented) {
+	for _, f := range out.Mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		cfg := analysis.NewCFG(f)
+		dom := analysis.Dominators(cfg)
+		esc := analysis.EscapeAnalysis(f)
+		roots := analysis.AddrRoots(f)
+
+		// Index stores by address value.
+		storesByAddr := make(map[mir.Value][]*mir.Instr)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == mir.OpStore {
+					storesByAddr[in.Args[1]] = append(storesByAddr[in.Args[1]], in)
+				}
+			}
+		}
+
+		f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			if in.Op != mir.OpICall {
+				return
+			}
+			fn := resolveVirtualTarget(in, storesByAddr, dom, esc, roots)
+			if fn == nil {
+				return
+			}
+			// Rewrite in place: icall -> call.
+			in.Op = mir.OpCall
+			in.Callee = fn
+			in.Args = in.Args[1:]
+			in.FSig = nil
+			out.Stats.Devirtualized++
+		})
+	}
+}
+
+// resolveVirtualTarget walks the dispatch chain of an icall and returns the
+// statically determined callee, or nil.
+func resolveVirtualTarget(icall *mir.Instr, storesByAddr map[mir.Value][]*mir.Instr,
+	dom *analysis.DomTree, esc *analysis.EscapeInfo, roots map[mir.Value]*mir.Instr) *mir.Func {
+
+	fnLoad, ok := icall.Args[0].(*mir.Instr)
+	if !ok || fnLoad.Op != mir.OpLoad {
+		return nil
+	}
+	slot, ok := fnLoad.Args[0].(*mir.Instr)
+	if !ok {
+		return nil
+	}
+	var vpVal mir.Value
+	var index int
+	switch slot.Op {
+	case mir.OpIndexAddr:
+		c, ok := slot.Args[1].(*mir.Const)
+		if !ok {
+			return nil
+		}
+		vpVal, index = slot.Args[0], int(c.Val)
+	case mir.OpFieldAddr:
+		vpVal, index = slot.Args[0], slot.Field
+	default:
+		return nil
+	}
+	vp, ok := vpVal.(*mir.Instr)
+	if !ok || vp.Op != mir.OpLoad {
+		return nil
+	}
+	vptrSlot := vp.Args[0]
+	// Virtual pointer invariance: the slot is a tracked non-escaping
+	// local with exactly one store, and that store dominates the load.
+	root := roots[vptrSlot]
+	if root == nil || esc.Escapes[root] {
+		return nil
+	}
+	stores := storesByAddr[vptrSlot]
+	if len(stores) != 1 || !dom.DominatesInstr(stores[0], vp) {
+		return nil
+	}
+	vt, ok := stores[0].Args[0].(*mir.Global)
+	if !ok || !vt.ReadOnly {
+		return nil
+	}
+	return vt.InitFuncs[index]
+}
+
+// forwardAndElide performs the paper's final-lowering message optimizations
+// (§4.1.4): field-sensitive store-to-load forwarding backed by the escape
+// analysis, elision of never-checked defines and invalidates, removal of
+// checks orphaned by devirtualization, and — when enabled — inter-procedural
+// forwarding across unique call paths with runtime recursion guards.
+func forwardAndElide(out *Instrumented, opts Options) {
+	nextGuard := 1
+	for _, f := range out.Mod.Funcs {
+		if f.Intrinsic || len(f.Blocks) == 0 {
+			continue
+		}
+		forwardChecksIntra(out, f)
+		// Interleave dead-code elimination with orphan-check elision to
+		// a fixpoint: devirtualization leaves dead dispatch loads whose
+		// removal exposes further elidable checks (vptr loads whose only
+		// remaining consumer is their own check).
+		for {
+			removed := eliminateDeadCode(f)
+			elided := elideOrphanedChecks(out, f)
+			if removed == 0 && elided == 0 {
+				break
+			}
+		}
+		elideUncheckedDefines(out, f)
+	}
+	if opts.InterProcForwarding {
+		forwardChecksInter(out, &nextGuard)
+	}
+}
+
+// eliminateDeadCode removes pure instructions with no remaining uses:
+// loads (non-volatile), address computations, arithmetic, casts and phis.
+// It returns the number of instructions removed.
+func eliminateDeadCode(f *mir.Func) int {
+	removed := 0
+	for {
+		uses := useCounts(f)
+		n := 0
+		for _, b := range f.Blocks {
+			for _, in := range append([]*mir.Instr(nil), b.Instrs...) {
+				if uses[in] > 0 {
+					continue
+				}
+				switch in.Op {
+				case mir.OpLoad:
+					if in.Volatile {
+						continue
+					}
+				case mir.OpFieldAddr, mir.OpIndexAddr, mir.OpBin, mir.OpCmp,
+					mir.OpCast, mir.OpPhi:
+					// pure
+				default:
+					continue
+				}
+				b.Remove(in)
+				n++
+			}
+		}
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// forwardChecksIntra performs true store-to-load forwarding on checked
+// pointer loads: when the checked location is a non-escaping local with a
+// unique define that dominates the load, the load's consumers are rewired to
+// the *defined register value* and both the load and its check disappear.
+// This is what makes the optimization sound against corruption — the
+// possibly-corrupted memory is never consulted, so no check is needed
+// (§4.1.4: "forwards stored control-flow pointer values to dominated
+// loads").
+func forwardChecksIntra(out *Instrumented, f *mir.Func) {
+	cfg := analysis.NewCFG(f)
+	dom := analysis.Dominators(cfg)
+	esc := analysis.EscapeAnalysis(f)
+	roots := analysis.AddrRoots(f)
+
+	defsByAddr := make(map[mir.Value][]*mir.Instr)
+	storesByAddr := make(map[mir.Value]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpRuntime && in.RT == mir.RTPointerDefine {
+				defsByAddr[in.Args[0]] = append(defsByAddr[in.Args[0]], in)
+			}
+			if in.Op == mir.OpStore {
+				storesByAddr[in.Args[1]]++
+			}
+		}
+	}
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpRuntime || in.RT != mir.RTPointerCheck {
+			return
+		}
+		addr := in.Args[0]
+		root := roots[addr]
+		if root == nil || esc.Escapes[root] {
+			return
+		}
+		if storesByAddr[addr] != 1 {
+			return // multiple stores: the memory value is path-dependent
+		}
+		defs := defsByAddr[addr]
+		if len(defs) != 1 || !dom.DominatesInstr(defs[0], in) {
+			return
+		}
+		load, ok := in.Args[1].(*mir.Instr)
+		if !ok || load.Op != mir.OpLoad || load.Volatile || load.Args[0] != addr {
+			return
+		}
+		if !dom.DominatesInstr(defs[0], load) {
+			return
+		}
+		// Forward the defined value to every consumer of the load, then
+		// drop both the load and its check.
+		forwarded := defs[0].Args[1]
+		replaceUses(f, load, forwarded, in)
+		b.Remove(in)
+		load.Blk.Remove(load)
+		out.Stats.ChecksElided++
+	})
+}
+
+// elideOrphanedChecks removes checks whose loaded value has no remaining
+// consumer — typically because devirtualization converted the indirect call
+// that used it. The load itself is removed too when it becomes dead. It
+// returns the number of checks elided.
+func elideOrphanedChecks(out *Instrumented, f *mir.Func) int {
+	uses := useCounts(f)
+	elided := 0
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpRuntime || in.RT != mir.RTPointerCheck {
+			return
+		}
+		load, ok := in.Args[1].(*mir.Instr)
+		if !ok || load.Op != mir.OpLoad || load.Volatile {
+			return
+		}
+		if uses[load] != 1 { // the check itself is the only use
+			return
+		}
+		b.Remove(in)
+		load.Blk.Remove(load)
+		out.Stats.ChecksElided++
+		elided++
+	})
+	return elided
+}
+
+// elideUncheckedDefines removes Pointer-Define and frame-invalidate messages
+// for non-escaping locals that are never checked: "if a given control-flow
+// pointer is never checked, then it does not need to be defined or
+// invalidated" (§4.1.4).
+func elideUncheckedDefines(out *Instrumented, f *mir.Func) {
+	esc := analysis.EscapeAnalysis(f)
+	roots := analysis.AddrRoots(f)
+	checkedRoots := make(map[*mir.Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpRuntime &&
+				(in.RT == mir.RTPointerCheck || in.RT == mir.RTPointerCheckInvalidate) {
+				if r := roots[in.Args[0]]; r != nil {
+					checkedRoots[r] = true
+				}
+			}
+		}
+	}
+	f.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+		if in.Op != mir.OpRuntime {
+			return
+		}
+		if in.RT != mir.RTPointerDefine && in.RT != mir.RTBlockInvalidate {
+			return
+		}
+		root := roots[in.Args[0]]
+		if root == nil || esc.Escapes[root] || checkedRoots[root] {
+			return
+		}
+		// A local, never-checked, never-escaping slot: its messages can
+		// never influence a verifier decision. (Escaped slots could be
+		// checked through aliases; global checks do not alias locals.)
+		b.Remove(in)
+		out.Stats.MsgsElided++
+	})
+}
+
+// forwardChecksInter forwards checked loads across unique call paths
+// (§4.1.4): when a function's check refers to a module global whose only
+// store is in its unique caller and dominates the call, the callee's check
+// is subsumed by the caller's define. Indirect calls make recursion hard to
+// rule out statically, so when the call graph admits reentry the callee gets
+// a runtime guard that terminates the program if the optimized function is
+// re-entered while active.
+func forwardChecksInter(out *Instrumented, guardID *int) {
+	mod := out.Mod
+	cg := analysis.BuildCallGraph(mod)
+
+	// Count stores to each global across the module. Globals that may be
+	// written through aliases the analysis cannot see (aliasedGlobals)
+	// must never have their checks forwarded.
+	globalStores := make(map[*mir.Global][]*mir.Instr)
+	storeOwner := make(map[*mir.Instr]*mir.Func)
+	aliased := aliasedGlobals(mod)
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == mir.OpStore {
+					if g, ok := in.Args[1].(*mir.Global); ok {
+						globalStores[g] = append(globalStores[g], in)
+						storeOwner[in] = f
+					}
+				}
+			}
+		}
+	}
+
+	for _, g := range mod.Funcs {
+		if g.Intrinsic || len(g.Blocks) == 0 {
+			continue
+		}
+		site := analysis.UniqueCallers(mod, g)
+		if site == nil {
+			continue
+		}
+		caller := site.Blk.Fn
+		callerCFG := analysis.NewCFG(caller)
+		callerDom := analysis.Dominators(callerCFG)
+
+		elided := 0
+		g.ForEachInstr(func(b *mir.Block, in *mir.Instr) {
+			if in.Op != mir.OpRuntime || in.RT != mir.RTPointerCheck {
+				return
+			}
+			glob, ok := in.Args[0].(*mir.Global)
+			if !ok || glob.ReadOnly || aliased[glob] {
+				return
+			}
+			stores := globalStores[glob]
+			if len(stores) != 1 || storeOwner[stores[0]] != caller {
+				return
+			}
+			if !callerDom.DominatesInstr(stores[0], site) {
+				return
+			}
+			// The load must precede any call or block op inside g that
+			// could rewrite the global (conservative: require the check
+			// in g's entry block before any call).
+			if b != g.Entry() || anyCallBefore(b, in) {
+				return
+			}
+			b.Remove(in)
+			elided++
+		})
+		if elided == 0 {
+			continue
+		}
+		out.Stats.ChecksElided += elided
+		if cg.MayRecurse(g) {
+			insertRecursionGuard(g, *guardID)
+			out.Stats.Guards++
+			*guardID++
+		}
+	}
+}
+
+func anyCallBefore(b *mir.Block, stop *mir.Instr) bool {
+	for _, in := range b.Instrs {
+		if in == stop {
+			return false
+		}
+		if in.IsCall() || in.IsBlockMemOp() {
+			return true
+		}
+	}
+	return false
+}
+
+// insertRecursionGuard wraps g with enter/exit guard runtime calls.
+func insertRecursionGuard(g *mir.Func, id int) {
+	entry := g.Entry()
+	entry.InsertBefore(entry.Instrs[0], &mir.Instr{
+		Op: mir.OpRuntime, RT: mir.RTRecursionGuardEnter, GuardID: id,
+	})
+	for _, b := range g.Blocks {
+		term := b.Terminator()
+		if term == nil || term.Op != mir.OpRet {
+			continue
+		}
+		b.InsertBefore(term, &mir.Instr{
+			Op: mir.OpRuntime, RT: mir.RTRecursionGuardExit, GuardID: id,
+		})
+	}
+}
+
+// useCounts counts, for every instruction in f, how many operand positions
+// reference it.
+func useCounts(f *mir.Func) map[*mir.Instr]int {
+	uses := make(map[*mir.Instr]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*mir.Instr); ok {
+					uses[ai]++
+				}
+			}
+		}
+	}
+	return uses
+}

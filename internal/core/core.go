@@ -1,0 +1,162 @@
+// Package core is the HerQules framework proper: it wires the four
+// components of Figure 1 — an instrumented program (compiler + vm), the
+// AppendWrite channel (ipc/fpga/uarch), the kernel module (kernel) and the
+// verifier (verifier) — and runs monitored programs under a chosen design.
+//
+// Two execution modes are provided:
+//
+//   - Deterministic: messages are delivered to the verifier inline at send
+//     time. Policy decisions land at exactly the same program points on
+//     every run, which the correctness, effectiveness and performance
+//     experiments require. Performance comes from the cycle model (package
+//     sim), which charges each message its primitive's send cost — the
+//     asynchrony the paper gains from concurrency shows up as the *absence*
+//     of verifier processing time on the program's critical path.
+//
+//   - Concurrent: messages travel through a real ipc.Channel to a verifier
+//     pump goroutine, and system calls genuinely block in the kernel model
+//     until the verifier's confirmation arrives — the paper's actual
+//     runtime structure, used by the examples and the demo binary.
+package core
+
+import (
+	"fmt"
+
+	"herqules/internal/compiler"
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/policy"
+	"herqules/internal/sim"
+	"herqules/internal/verifier"
+	"herqules/internal/vm"
+)
+
+// Options configures one monitored run.
+type Options struct {
+	// Entry is the entry function (default "main"); Args its arguments.
+	Entry string
+	Args  []uint64
+
+	// Channel, when non-nil, selects concurrent mode over this transport.
+	// Nil selects deterministic inline delivery.
+	Channel *ipc.Channel
+
+	// Cost is the cycle model (nil: no accounting).
+	Cost *sim.CostModel
+
+	// KillOnViolation controls the verifier (§3.4). Default true; the
+	// paper disables it for performance/correctness runs because baseline
+	// designs false-positive (§5).
+	KillOnViolation bool
+
+	// ContinueChecks makes in-process checks (Clang-CFI, CCFI) record and
+	// continue rather than trap — the §5 performance methodology.
+	ContinueChecks bool
+
+	// Policies builds the verifier policy set per process; nil installs
+	// CFI + memory-safety + counter.
+	Policies verifier.PolicyFactory
+
+	// MaxInstructions bounds execution (0: vm default).
+	MaxInstructions uint64
+
+	// Seed randomizes information-hiding layout.
+	Seed uint64
+}
+
+// Outcome is the result of a monitored run.
+type Outcome struct {
+	*vm.Result
+	// PolicyViolations are the verifier-side violations recorded for the
+	// process (empty when it was killed on the first one).
+	PolicyViolations []*policy.Violation
+	// MessagesProcessed counts verifier-side deliveries.
+	MessagesProcessed uint64
+	// Entries / MaxEntries are the verifier metadata sizes (§5.4).
+	Entries, MaxEntries int
+	PID                 int32
+}
+
+// DefaultPolicies installs the standard policy set.
+func DefaultPolicies() []policy.Policy {
+	return []policy.Policy{
+		policy.NewCFI(), policy.NewMemSafety(), policy.NewCounter(), policy.NewDFI(),
+	}
+}
+
+// Run executes an instrumented program under the framework.
+func Run(ins *compiler.Instrumented, opts Options) (*Outcome, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	factory := opts.Policies
+	if factory == nil {
+		factory = DefaultPolicies
+	}
+
+	k := kernel.New(nil)
+	v := verifier.New(factory, k)
+	v.KillOnViolation = opts.KillOnViolation
+	k.SetListener(v)
+	pid := k.Register()
+
+	cfg := ins.VMConfig()
+	cfg.PID = pid
+	cfg.ContinueOnViolation = opts.ContinueChecks
+	cfg.Cost = opts.Cost
+	cfg.MaxInstructions = opts.MaxInstructions
+	cfg.Seed = opts.Seed
+	if ins.Design.IsHQ() {
+		// Only HQ programs carry synchronization messages; gating a
+		// baseline would stall every system call until the epoch.
+		cfg.Kernel = k
+	}
+	cfg.Killed = func() (bool, string) { return k.Killed(pid) }
+
+	pumpDone := make(chan struct{})
+	if opts.Channel != nil {
+		ch := opts.Channel
+		// Transports with a kernel-managed PID register (the FPGA's
+		// authenticity mechanism, §3.1.1) must be programmed with the
+		// process identity on the context switch; the framework plays
+		// the kernel here.
+		if reg, ok := ch.Sender.(interface{ SetPID(int32) }); ok {
+			reg.SetPID(pid)
+		}
+		go func() {
+			v.Pump(ch.Receiver)
+			close(pumpDone)
+		}()
+		cfg.Emit = func(m ipc.Message) error { return ch.Sender.Send(m) }
+	} else {
+		close(pumpDone)
+		cfg.Emit = func(m ipc.Message) error { v.Deliver(m); return nil }
+	}
+
+	p, err := vm.NewProcess(ins.Mod, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", ins.Mod.Name, err)
+	}
+	res := p.Run(opts.Entry, opts.Args...)
+
+	if opts.Channel != nil {
+		opts.Channel.Close()
+		<-pumpDone
+		// A violation may have landed after the program's last
+		// instruction; fold it into the result.
+		if killed, reason := k.Killed(pid); killed && !res.Killed {
+			res.Killed = true
+			res.KillReason = reason
+		}
+	}
+
+	out := &Outcome{
+		Result:            res,
+		PolicyViolations:  v.Violations(pid),
+		MessagesProcessed: v.Messages(pid),
+		PID:               pid,
+	}
+	out.Entries, out.MaxEntries = v.Entries(pid)
+	k.Exit(pid)
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"herqules/internal/compiler"
+	"herqules/internal/ipc"
+	"herqules/internal/mir"
+	"herqules/internal/policy"
+	"herqules/internal/vm"
+)
+
+// victim builds a program whose function pointer is corrupted through an
+// integer alias before dispatch; the payload marks the exploit.
+func victim(t *testing.T, corrupt bool) *mir.Module {
+	return victimWithPayload(t, corrupt, false)
+}
+
+// victimWithPayload optionally gives the attacker a *gated* side effect
+// (exit 99) in addition to the ungated marker, for concurrent-mode tests.
+func victimWithPayload(t *testing.T, corrupt, gatedPayload bool) *mir.Module {
+	t.Helper()
+	mod := mir.NewModule("core-victim")
+	b := mir.NewBuilder(mod)
+	sig := mir.FuncType(mir.I64, mir.I64)
+
+	b.Func("attacker", sig, "x") // function #0
+	b.Syscall(vm.SysMarkExploit) // ungated, like RIPE shellcode
+	if gatedPayload {
+		b.Syscall(vm.SysExit, mir.ConstInt(99)) // gated external effect
+	}
+	b.Ret(mir.ConstInt(0))
+
+	legit := b.Func("legit", sig, "x")
+	b.Ret(b.Add(legit.Params[0], mir.ConstInt(1)))
+
+	b.Func("main", mir.FuncType(mir.I64))
+	slot := b.Cast(b.Malloc(mir.ConstInt(16)), mir.Ptr(mir.Ptr(sig)))
+	b.Store(b.FuncAddr(legit), slot)
+	if corrupt {
+		b.Store(mir.ConstInt(vm.StaticFuncAddr(0)), b.Cast(slot, mir.Ptr(mir.I64)))
+	}
+	fp := b.Load(slot)
+	r := b.ICall(fp, sig, mir.ConstInt(41))
+	b.Syscall(vm.SysWrite, r)
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	if err := mir.Validate(mod); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func instrumentHQ(t *testing.T, mod *mir.Module) *compiler.Instrumented {
+	t.Helper()
+	ins, err := compiler.Instrument(mod, compiler.HQSfeStk, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestDeterministicCleanRun(t *testing.T) {
+	ins := instrumentHQ(t, victim(t, false))
+	out, err := Run(ins, Options{KillOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed || out.Err != nil {
+		t.Fatalf("clean run: killed=%t err=%v", out.Killed, out.Err)
+	}
+	if len(out.Output) != 1 || out.Output[0] != 42 {
+		t.Errorf("output = %v", out.Output)
+	}
+	if out.MessagesProcessed == 0 {
+		t.Error("no messages reached the verifier")
+	}
+	if out.Entries < 0 || out.MaxEntries < 1 {
+		t.Errorf("entries = %d/%d", out.Entries, out.MaxEntries)
+	}
+}
+
+func TestDeterministicAttackKilledBeforeSideEffects(t *testing.T) {
+	ins := instrumentHQ(t, victim(t, true))
+	out, err := Run(ins, Options{KillOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Killed {
+		t.Fatal("attack not caught")
+	}
+	if out.ExploitMarker {
+		t.Error("payload's system call executed despite the kill")
+	}
+	if len(out.Output) != 0 {
+		t.Error("output produced after the violation")
+	}
+}
+
+func TestConcurrentModeOverEveryTransport(t *testing.T) {
+	mk := map[string]func() *ipc.Channel{
+		"shm":  func() *ipc.Channel { return ipc.NewSharedRing(1 << 12) },
+		"mq":   ipc.NewMessageQueue,
+		"pipe": ipc.NewPipe,
+	}
+	for name, f := range mk {
+		t.Run(name, func(t *testing.T) {
+			ins := instrumentHQ(t, victimWithPayload(t, true, true))
+			out, err := Run(ins, Options{Channel: f(), KillOnViolation: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Killed {
+				t.Error("attack survived concurrent verification")
+			}
+			// Bounded asynchrony's guarantee is about *gated* side
+			// effects: the payload's exit syscall must never commit.
+			// (Its ungated marker — the RIPE execve exemption — can
+			// race the verifier in concurrent mode, by design.)
+			if out.ExitCode == 99 {
+				t.Error("payload's gated syscall committed")
+			}
+		})
+	}
+}
+
+func TestMonitoringModeRecordsWithoutKilling(t *testing.T) {
+	ins := instrumentHQ(t, victim(t, true))
+	out, err := Run(ins, Options{KillOnViolation: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed {
+		t.Error("killed in monitoring mode")
+	}
+	if len(out.PolicyViolations) == 0 {
+		t.Error("violation not recorded")
+	}
+	// In monitoring mode the hijack actually runs (bounded asynchrony
+	// does not roll back the transfer; it only gates side effects when
+	// killing is enabled).
+	if !out.ExploitMarker {
+		t.Error("hijacked call suppressed in monitoring mode")
+	}
+}
+
+func TestBaselineNotGated(t *testing.T) {
+	mod := victim(t, false)
+	base, err := compiler.Instrument(mod, compiler.Baseline, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(base, Options{KillOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without HQ there are no sync messages; if the kernel gated the
+	// baseline, its syscalls would hit the epoch and kill it.
+	if out.Killed || out.Err != nil {
+		t.Errorf("baseline gated: killed=%t err=%v", out.Killed, out.Err)
+	}
+}
+
+func TestCustomPolicySet(t *testing.T) {
+	ins := instrumentHQ(t, victim(t, false))
+	counter := policy.NewCounter()
+	out, err := Run(ins, Options{
+		Policies: func() []policy.Policy { return []policy.Policy{counter, policy.NewCFI()} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err != nil || out.Killed {
+		t.Fatalf("custom policies broke the run: %v %t", out.Err, out.Killed)
+	}
+}
+
+func TestRunErrorsOnMissingEntry(t *testing.T) {
+	ins := instrumentHQ(t, victim(t, false))
+	out, err := Run(ins, Options{Entry: "nonexistent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil {
+		t.Error("missing entry did not error")
+	}
+}

@@ -1,0 +1,138 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common channel errors.
+var (
+	// ErrClosed is returned by Send after the channel has been closed.
+	ErrClosed = errors.New("ipc: channel closed")
+	// ErrFull is returned by non-blocking backends when the buffer is full
+	// and the backend has no back-pressure mechanism.
+	ErrFull = errors.New("ipc: channel full")
+	// ErrIntegrity is reported when the receiver detects that message
+	// integrity was violated (a dropped, reordered, or overwritten
+	// message). Under HerQules this is a fatal policy violation: the
+	// monitored program must be terminated (§3.1.1).
+	ErrIntegrity = errors.New("ipc: message integrity violated")
+)
+
+// Sender is the monitored-program side of an IPC channel. Send transmits one
+// fixed-size message; implementations differ in cost (system call, memory
+// write, MMIO write) and in whether previously sent messages can later be
+// altered by the sender.
+type Sender interface {
+	// Send appends one message. It may block when the channel applies
+	// back-pressure, or return ErrFull when it cannot.
+	Send(m Message) error
+	// Close releases sender-side resources. Subsequent Sends fail.
+	Close() error
+}
+
+// Receiver is the verifier side of an IPC channel.
+type Receiver interface {
+	// Recv returns the next message. ok is false once the channel is
+	// closed and drained. err is non-nil when integrity verification
+	// fails, which the verifier must treat as a policy violation.
+	Recv() (m Message, ok bool, err error)
+}
+
+// TryReceiver is implemented by backends that support non-blocking receive,
+// used by the verifier to drain all currently pending messages.
+type TryReceiver interface {
+	// TryRecv returns ok=false immediately when no message is pending.
+	TryRecv() (m Message, ok bool, err error)
+}
+
+// Properties describes the security and cost characteristics of an IPC
+// primitive, mirroring the columns of the paper's Table 2.
+type Properties struct {
+	// Name is the primitive's display name (Table 2 row label).
+	Name string
+	// AppendOnly reports whether the sender is prevented from modifying
+	// or erasing messages after they are sent. Required for HerQules.
+	AppendOnly bool
+	// AsyncValidation reports whether sends complete without waiting for
+	// the receiver (no synchronous privilege transition on the critical
+	// path). Required for HerQules.
+	AsyncValidation bool
+	// PrimaryCost names the dominant per-send cost ("system call",
+	// "memory write", "MMIO write").
+	PrimaryCost string
+	// SendNanos is the modelled per-message send latency in nanoseconds,
+	// used by the deterministic performance experiments. The paper's
+	// measured values (Table 2) are the defaults.
+	SendNanos float64
+}
+
+// Suitable reports whether the primitive satisfies both HerQules
+// requirements: message integrity (append-only) and asynchronous validation.
+func (p Properties) Suitable() bool { return p.AppendOnly && p.AsyncValidation }
+
+func (p Properties) String() string {
+	return fmt.Sprintf("%s{append-only=%t async=%t cost=%s %.1fns}",
+		p.Name, p.AppendOnly, p.AsyncValidation, p.PrimaryCost, p.SendNanos)
+}
+
+// Channel bundles both endpoints of an IPC primitive together with its
+// properties. Concrete constructors (NewSharedRing, NewMessageQueue, ...)
+// return Channels wired back-to-back; the monitored program holds the Sender
+// and the verifier holds the Receiver.
+type Channel struct {
+	Sender   Sender
+	Receiver Receiver
+	Props    Properties
+}
+
+// Close closes the sender side (which eventually drains the receiver).
+func (c *Channel) Close() error { return c.Sender.Close() }
+
+// Kind enumerates the IPC primitives available to the framework, matching
+// the suffixes used in the paper's evaluation (-MQ, -FPGA, -MODEL, -SIM).
+type Kind int
+
+const (
+	// KindSharedRing is a raw shared-memory ring: fastest software
+	// primitive, but not append-only (a compromised writer can rewrite
+	// unread slots).
+	KindSharedRing Kind = iota
+	// KindMessageQueue is a POSIX-style kernel message queue: append-only
+	// but every send is a system call.
+	KindMessageQueue
+	// KindPipe is a named pipe.
+	KindPipe
+	// KindSocket is a local (Unix-domain-style) socket.
+	KindSocket
+	// KindLWC models light-weight contexts: a disjoint-address-space
+	// switch to the verifier and back on every send (2010 ns each way,
+	// per Litton et al. as cited in Table 2).
+	KindLWC
+	// KindFPGA is AppendWrite-FPGA (package fpga).
+	KindFPGA
+	// KindUArchModel is the software-only model of AppendWrite-µarch
+	// (the paper's -MODEL configurations).
+	KindUArchModel
+	// KindUArchSim is AppendWrite-µarch under the cycle simulator (the
+	// paper's -SIM configurations).
+	KindUArchSim
+)
+
+var kindNames = [...]string{
+	KindSharedRing:   "shm",
+	KindMessageQueue: "mq",
+	KindPipe:         "pipe",
+	KindSocket:       "socket",
+	KindLWC:          "lwc",
+	KindFPGA:         "fpga",
+	KindUArchModel:   "model",
+	KindUArchSim:     "sim",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}

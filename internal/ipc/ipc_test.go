@@ -1,0 +1,258 @@
+package ipc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
+	m := Message{Op: OpPointerDefine, PID: 42, Arg1: 0xdeadbeef, Arg2: 0xcafebabe12345678, Arg3: 7, Seq: 99}
+	var buf [MessageSize]byte
+	n := m.Encode(buf[:])
+	if n != MessageSize {
+		t.Fatalf("Encode wrote %d bytes, want %d", n, MessageSize)
+	}
+	got, err := DecodeMessage(buf[:])
+	if err != nil {
+		t.Fatalf("DecodeMessage: %v", err)
+	}
+	if got != m {
+		t.Errorf("round trip mismatch: got %v, want %v", got, m)
+	}
+}
+
+func TestMessageEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, pid int32, a1, a2, a3, seq uint64) bool {
+		m := Message{Op: Op(uint32(op) % uint32(numOps)), PID: pid, Arg1: a1, Arg2: a2, Arg3: a3, Seq: seq}
+		var buf [MessageSize]byte
+		m.Encode(buf[:])
+		got, err := DecodeMessage(buf[:])
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	if _, err := DecodeMessage(make([]byte, MessageSize-1)); err == nil {
+		t.Error("DecodeMessage accepted a short buffer")
+	}
+}
+
+func TestDecodeRejectsInvalidOp(t *testing.T) {
+	var buf [MessageSize]byte
+	Message{Op: numOps + 5}.Encode(buf[:])
+	if _, err := DecodeMessage(buf[:]); err == nil {
+		t.Error("DecodeMessage accepted an invalid op code")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		if s := op.String(); s == "" || s[0] == 'o' && s[1] == 'p' && s[2] == '(' {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if got := Op(9999).String(); got != "op(9999)" {
+		t.Errorf("unknown op String = %q", got)
+	}
+}
+
+// channelConstructors lists every software primitive for table-driven tests.
+func channelConstructors() map[string]func() *Channel {
+	return map[string]func() *Channel{
+		"shm":    func() *Channel { return NewSharedRing(64) },
+		"mq":     NewMessageQueue,
+		"pipe":   NewPipe,
+		"socket": NewSocket,
+		"lwc":    NewLWC,
+	}
+}
+
+func TestChannelDeliveryInOrder(t *testing.T) {
+	for name, mk := range channelConstructors() {
+		t.Run(name, func(t *testing.T) {
+			ch := mk()
+			const n = 50
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < n; i++ {
+					if err := ch.Sender.Send(Message{Op: OpCounterInc, Arg1: uint64(i)}); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- ch.Sender.Close()
+			}()
+			for i := 0; i < n; i++ {
+				m, ok, err := ch.Receiver.Recv()
+				if err != nil {
+					t.Fatalf("Recv error at %d: %v", i, err)
+				}
+				if !ok {
+					t.Fatalf("channel closed early at message %d", i)
+				}
+				if m.Arg1 != uint64(i) {
+					t.Fatalf("out of order: got arg %d at position %d", m.Arg1, i)
+				}
+				if m.Seq != uint64(i+1) {
+					t.Fatalf("sequence counter: got %d at position %d", m.Seq, i)
+				}
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("sender: %v", err)
+			}
+		})
+	}
+}
+
+func TestChannelCloseDrains(t *testing.T) {
+	for name, mk := range channelConstructors() {
+		t.Run(name, func(t *testing.T) {
+			ch := mk()
+			if err := ch.Sender.Send(Message{Op: OpInit}); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			if err := ch.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, ok, err := ch.Receiver.Recv(); !ok || err != nil {
+				t.Fatalf("pending message lost on close: ok=%t err=%v", ok, err)
+			}
+			if _, ok, _ := ch.Receiver.Recv(); ok {
+				t.Error("Recv returned a message after drain")
+			}
+		})
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	for name, mk := range channelConstructors() {
+		t.Run(name, func(t *testing.T) {
+			ch := mk()
+			ch.Close()
+			if err := ch.Sender.Send(Message{}); err == nil {
+				t.Error("Send after Close succeeded")
+			}
+		})
+	}
+}
+
+func TestSharedRingBlocksWhenFull(t *testing.T) {
+	ch := NewSharedRing(8)
+	ring := ch.Sender.(*SharedRing)
+	for i := 0; i < 8; i++ {
+		if err := ring.Send(Message{Arg1: uint64(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if got := ring.Pending(); got != 8 {
+		t.Fatalf("Pending = %d, want 8", got)
+	}
+	// A full ring must block the sender until the receiver drains; verify by
+	// draining concurrently and checking the blocked send completes.
+	done := make(chan error, 1)
+	go func() { done <- ring.Send(Message{Arg1: 99}) }()
+	for i := 0; i < 9; i++ {
+		m, ok, err := ring.Recv()
+		if !ok || err != nil {
+			t.Fatalf("Recv %d: ok=%t err=%v", i, ok, err)
+		}
+		want := uint64(i)
+		if i == 8 {
+			want = 99
+		}
+		if m.Arg1 != want {
+			t.Fatalf("Recv %d: got arg %d, want %d", i, m.Arg1, want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Send: %v", err)
+	}
+}
+
+func TestSharedRingIsNotAppendOnly(t *testing.T) {
+	ch := NewSharedRing(16)
+	ring := ch.Sender.(*SharedRing)
+	// Send evidence of a violation, then "compromise" the program and erase it.
+	ring.Send(Message{Op: OpPointerCheck, Arg1: 0x1000, Arg2: 0xbad})
+	if !ring.Corrupt(0, Message{Op: OpNop}) {
+		t.Fatal("Corrupt failed on an unread slot")
+	}
+	m, ok, err := ring.TryRecv()
+	if !ok || err != nil {
+		t.Fatalf("TryRecv: ok=%t err=%v", ok, err)
+	}
+	if m.Op != OpNop {
+		t.Errorf("evidence survived corruption: got %v", m)
+	}
+	if ch.Props.AppendOnly {
+		t.Error("shared ring must advertise AppendOnly=false")
+	}
+	if ring.Corrupt(5, Message{}) {
+		t.Error("Corrupt succeeded on a nonexistent slot")
+	}
+}
+
+func TestPropertiesSuitability(t *testing.T) {
+	// Table 2: only the AppendWrite primitives satisfy both requirements;
+	// among software primitives, none do.
+	for name, mk := range channelConstructors() {
+		ch := mk()
+		ch.Close()
+		if ch.Props.Suitable() {
+			t.Errorf("%s: software primitive reports Suitable()=true", name)
+		}
+	}
+}
+
+func TestTable2CostOrdering(t *testing.T) {
+	// The modelled costs must preserve the paper's ordering:
+	// shm < mq < pipe < socket < lwc.
+	shm := NewSharedRing(8).Props.SendNanos
+	mq := NewMessageQueue().Props.SendNanos
+	pipe := NewPipe().Props.SendNanos
+	sock := NewSocket().Props.SendNanos
+	lwc := NewLWC().Props.SendNanos
+	if !(shm < mq && mq < pipe && pipe < sock && sock < lwc) {
+		t.Errorf("cost ordering violated: shm=%v mq=%v pipe=%v socket=%v lwc=%v",
+			shm, mq, pipe, sock, lwc)
+	}
+}
+
+func BenchmarkSendSharedRing(b *testing.B) {
+	benchmarkSend(b, NewSharedRing(1<<16))
+}
+
+func BenchmarkSendMessageQueue(b *testing.B) {
+	benchmarkSend(b, NewMessageQueue())
+}
+
+func BenchmarkSendPipe(b *testing.B) {
+	benchmarkSend(b, NewPipe())
+}
+
+func BenchmarkSendSocket(b *testing.B) {
+	benchmarkSend(b, NewSocket())
+}
+
+func benchmarkSend(b *testing.B, ch *Channel) {
+	defer ch.Close()
+	// Drain in the background so bounded backends do not stall.
+	go func() {
+		for {
+			if _, ok, _ := ch.Receiver.Recv(); !ok {
+				return
+			}
+		}
+	}()
+	m := Message{Op: OpPointerDefine, Arg1: 1, Arg2: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.Sender.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ipc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SharedRing is a single-producer single-consumer circular buffer modelling
+// the "Shared Memory" row of Table 2: the fastest software primitive (a send
+// is one memory write), but *not* append-only — the writer retains access to
+// every unread slot and can rewrite or erase messages before the verifier
+// reads them. The Corrupt method exposes exactly that weakness so tests and
+// examples can demonstrate why raw shared memory is unsuitable for HerQules.
+type SharedRing struct {
+	slots []Message
+	mask  uint64
+
+	head   atomic.Uint64 // next slot to write
+	tail   atomic.Uint64 // next slot to read
+	closed atomic.Bool
+
+	seq uint64 // sender-side message counter (forgeable: sender-managed)
+}
+
+var (
+	_ Sender      = (*SharedRing)(nil)
+	_ Receiver    = (*SharedRing)(nil)
+	_ TryReceiver = (*SharedRing)(nil)
+)
+
+// NewSharedRing creates a shared-memory ring with capacity rounded up to a
+// power of two (minimum 8 slots) and returns it as a Channel: the same object
+// serves as both endpoints, exactly like a memory region mapped into two
+// processes.
+func NewSharedRing(capacity int) *Channel {
+	n := uint64(8)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	r := &SharedRing{slots: make([]Message, n), mask: n - 1}
+	return &Channel{Sender: r, Receiver: r, Props: Properties{
+		Name:            "Shared Memory",
+		AppendOnly:      false,
+		AsyncValidation: true,
+		PrimaryCost:     "memory write",
+		SendNanos:       12,
+	}}
+}
+
+// Send writes m into the next free slot, spinning while the ring is full.
+func (r *SharedRing) Send(m Message) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	head := r.head.Load()
+	for head-r.tail.Load() >= uint64(len(r.slots)) {
+		if r.closed.Load() {
+			return ErrClosed
+		}
+		runtime.Gosched()
+	}
+	r.seq++
+	m.Seq = r.seq
+	r.slots[head&r.mask] = m
+	r.head.Store(head + 1)
+	return nil
+}
+
+// Close marks the ring closed; the receiver drains remaining slots.
+func (r *SharedRing) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// Recv blocks until a message is available or the ring is closed and empty.
+func (r *SharedRing) Recv() (Message, bool, error) {
+	for {
+		if m, ok, err := r.TryRecv(); ok || err != nil {
+			return m, ok, err
+		}
+		if r.closed.Load() && r.tail.Load() == r.head.Load() {
+			return Message{}, false, nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryRecv returns the next message without blocking.
+func (r *SharedRing) TryRecv() (Message, bool, error) {
+	tail := r.tail.Load()
+	if tail == r.head.Load() {
+		return Message{}, false, nil
+	}
+	m := r.slots[tail&r.mask]
+	r.tail.Store(tail + 1)
+	return m, true, nil
+}
+
+// Pending reports the number of sent-but-unread messages.
+func (r *SharedRing) Pending() int {
+	return int(r.head.Load() - r.tail.Load())
+}
+
+// Corrupt overwrites the i-th unread message (0 = oldest), simulating a
+// compromised writer erasing evidence before the verifier reads it. It
+// returns false when no such unread slot exists. A raw shared-memory mapping
+// gives the monitored process precisely this power, which is why Table 2
+// marks shared memory as lacking the append-only property.
+func (r *SharedRing) Corrupt(i int, m Message) bool {
+	tail := r.tail.Load()
+	if uint64(i) >= r.head.Load()-tail {
+		return false
+	}
+	slot := (tail + uint64(i)) & r.mask
+	m.Seq = r.slots[slot].Seq // preserve the counter: corruption is invisible
+	r.slots[slot] = m
+	return true
+}

@@ -1,0 +1,233 @@
+// Package kernel models the HerQules kernel module (§3.3): it maintains a
+// per-process context for every program that has enabled HerQules,
+// intercepts system calls, and implements bounded asynchronous validation
+// (§2.2) by pausing each system call until the verifier confirms — over a
+// privileged channel the monitored program cannot touch — that every
+// in-flight message has been processed and no policy check failed.
+//
+// The real system intercepts syscalls with kprobes/tracepoints; here the VM
+// calls SyscallEnter explicitly, which is the same interposition point.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultEpoch is the default synchronization timeout: if no System-Call
+// message arrives within this window while a system call is pending, the
+// kernel treats the silence as a policy violation and terminates the
+// monitored program (§2.2).
+const DefaultEpoch = 2 * time.Second
+
+// Listener is the kernel→verifier privileged notification channel (edges 1b
+// and 4a of Figure 1): the verifier learns about process lifecycle events
+// from the kernel, never from the untrusted program.
+type Listener interface {
+	// ProcessStarted is invoked when a process enables HerQules.
+	ProcessStarted(pid int32)
+	// ProcessForked is invoked on fork/clone; the verifier duplicates the
+	// parent's policy context for the child (§3.4).
+	ProcessForked(parent, child int32)
+	// ProcessExited is invoked when a process terminates; the verifier
+	// destroys its policy context.
+	ProcessExited(pid int32)
+}
+
+// proc is the kernel-side context for one monitored process: the boolean
+// synchronization variable of §3.3 plus bookkeeping.
+type proc struct {
+	pid        int32
+	syncReady  bool // set by verifier on System-Call message, reset on resume
+	killed     bool
+	killReason string
+	cond       *sync.Cond
+
+	stats ProcStats
+}
+
+// ProcStats are the per-process statistics the kernel context maintains.
+type ProcStats struct {
+	Syscalls    uint64 // system calls gated
+	SyncStalls  uint64 // system calls that had to wait for the verifier
+	Forks       uint64
+	KilledByAll string // reason, when killed
+}
+
+// Kernel is the kernel-module model.
+type Kernel struct {
+	mu       sync.Mutex
+	procs    map[int32]*proc
+	nextPID  int32
+	listener Listener
+
+	// Epoch is the synchronization timeout (§2.2). Zero means
+	// DefaultEpoch.
+	Epoch time.Duration
+}
+
+// New creates a kernel module instance. listener may be nil (no verifier
+// attached; system calls then fail closed only on explicit Kill).
+func New(listener Listener) *Kernel {
+	return &Kernel{
+		procs:    make(map[int32]*proc),
+		nextPID:  100,
+		listener: listener,
+	}
+}
+
+// SetListener attaches the verifier's privileged channel after construction
+// (used to break the construction cycle between kernel and verifier).
+func (k *Kernel) SetListener(l Listener) {
+	k.mu.Lock()
+	k.listener = l
+	k.mu.Unlock()
+}
+
+// Register allocates a kernel context for a process that enabled HerQules
+// (edge 1a of Figure 1) and notifies the verifier (edge 1b). It returns the
+// new PID.
+func (k *Kernel) Register() int32 {
+	k.mu.Lock()
+	k.nextPID++
+	pid := k.nextPID
+	p := &proc{pid: pid}
+	p.cond = sync.NewCond(&k.mu)
+	k.procs[pid] = p
+	l := k.listener
+	k.mu.Unlock()
+	if l != nil {
+		l.ProcessStarted(pid)
+	}
+	return pid
+}
+
+// Fork allocates a context for a child of parent (fork/clone interception,
+// §3.3) and notifies the verifier so it can duplicate the policy context.
+func (k *Kernel) Fork(parent int32) (int32, error) {
+	k.mu.Lock()
+	pp, ok := k.procs[parent]
+	if !ok {
+		k.mu.Unlock()
+		return 0, fmt.Errorf("kernel: fork from unregistered pid %d", parent)
+	}
+	pp.stats.Forks++
+	k.nextPID++
+	child := k.nextPID
+	cp := &proc{pid: child}
+	cp.cond = sync.NewCond(&k.mu)
+	k.procs[child] = cp
+	l := k.listener
+	k.mu.Unlock()
+	if l != nil {
+		l.ProcessForked(parent, child)
+	}
+	return child, nil
+}
+
+// Exit tears down the context for pid and notifies the verifier.
+func (k *Kernel) Exit(pid int32) {
+	k.mu.Lock()
+	delete(k.procs, pid)
+	l := k.listener
+	k.mu.Unlock()
+	if l != nil {
+		l.ProcessExited(pid)
+	}
+}
+
+// SyscallEnter gates one system call (edge 3b of Figure 1): it blocks until
+// the verifier has confirmed, via NotifySyncReady, that all messages sent
+// before the syscall have been processed with no violation. If the
+// confirmation does not arrive within the epoch, the process is killed
+// (§2.2). It returns an error when the process has been killed.
+func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("kernel: syscall from unregistered pid %d", pid)
+	}
+	p.stats.Syscalls++
+	if p.killed {
+		return fmt.Errorf("kernel: pid %d killed: %s", pid, p.killReason)
+	}
+	if !p.syncReady {
+		p.stats.SyncStalls++
+		epoch := k.Epoch
+		if epoch == 0 {
+			epoch = DefaultEpoch
+		}
+		deadline := time.Now().Add(epoch)
+		timer := time.AfterFunc(epoch, func() {
+			k.mu.Lock()
+			p.cond.Broadcast()
+			k.mu.Unlock()
+		})
+		for !p.syncReady && !p.killed {
+			if time.Now().After(deadline) {
+				// No synchronization message within the epoch:
+				// treat as a policy violation (§2.2).
+				p.killed = true
+				p.killReason = "synchronization epoch expired"
+				p.stats.KilledByAll = p.killReason
+				break
+			}
+			p.cond.Wait()
+		}
+		timer.Stop()
+	}
+	if p.killed {
+		return fmt.Errorf("kernel: pid %d killed: %s", pid, p.killReason)
+	}
+	// Reset the synchronization variable upon resumption (§3.3).
+	p.syncReady = false
+	return nil
+}
+
+// NotifySyncReady is called by the verifier (edge 4b of Figure 1) when it
+// has processed a System-Call message for pid with no outstanding
+// violations.
+func (k *Kernel) NotifySyncReady(pid int32) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p, ok := k.procs[pid]; ok {
+		p.syncReady = true
+		p.cond.Broadcast()
+	}
+}
+
+// Kill marks pid killed; any pending or future system call fails. The
+// verifier invokes this on policy violation (default behaviour, §3.4).
+func (k *Kernel) Kill(pid int32, reason string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p, ok := k.procs[pid]; ok && !p.killed {
+		p.killed = true
+		p.killReason = reason
+		p.stats.KilledByAll = reason
+		p.cond.Broadcast()
+	}
+}
+
+// Killed reports whether pid has been killed and why.
+func (k *Kernel) Killed(pid int32) (bool, string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p, ok := k.procs[pid]; ok {
+		return p.killed, p.killReason
+	}
+	return false, ""
+}
+
+// Stats returns a copy of the per-process statistics.
+func (k *Kernel) Stats(pid int32) (ProcStats, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	if !ok {
+		return ProcStats{}, false
+	}
+	return p.stats, true
+}

@@ -1,0 +1,390 @@
+package mir
+
+import "fmt"
+
+// Opcode enumerates MIR instructions.
+type Opcode int
+
+// Instruction opcodes.
+const (
+	OpInvalid Opcode = iota
+
+	// Memory.
+	OpAlloca    // result = stack slot of AllocTy (one per call frame)
+	OpLoad      // result = *Args[0]
+	OpStore     // *Args[1] = Args[0]
+	OpFieldAddr // result = &Args[0]->field[Field]
+	OpIndexAddr // result = &Args[0][Args[1]] (element type = pointee)
+
+	// Arithmetic and comparison.
+	OpBin  // result = Args[0] <BinKind> Args[1]
+	OpCmp  // result = Args[0] <CmpKind> Args[1] ? 1 : 0
+	OpCast // result = Args[0] reinterpreted as Typ (ptr<->int, ptr->ptr)
+
+	// Control flow.
+	OpCall   // direct call of Callee(Args...)
+	OpICall  // indirect call through Args[0] with Args[1:]...
+	OpRet    // return Args[0] (or void)
+	OpBr     // unconditional branch to Targets[0]
+	OpCondBr // branch on Args[0] != 0 to Targets[0] else Targets[1]
+	OpPhi    // SSA phi: value Args[i] when arriving from PhiBlocks[i]
+
+	// Heap and block memory library operations (instrumented by the
+	// final-lowering pass, §4.1.4).
+	OpMalloc  // result = malloc(Args[0])
+	OpFree    // free(Args[0])
+	OpRealloc // result = realloc(Args[0], Args[1])
+	OpMemcpy  // memcpy(Args[0]=dst, Args[1]=src, Args[2]=n)
+	OpMemmove // memmove(dst, src, n)
+	OpMemset  // memset(Args[0]=dst, Args[1]=byte, Args[2]=n)
+
+	// OpSyscall performs system call SyscallNo with Args; under HerQules
+	// the kernel pauses it until the verifier confirms no policy check has
+	// failed (§2.2).
+	OpSyscall
+
+	// OpRuntime is a runtime-library call inserted by instrumentation
+	// passes; RT selects the operation. These are never present in
+	// source programs.
+	OpRuntime
+
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpInvalid:   "invalid",
+	OpAlloca:    "alloca",
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpFieldAddr: "fieldaddr",
+	OpIndexAddr: "indexaddr",
+	OpBin:       "bin",
+	OpCmp:       "cmp",
+	OpCast:      "cast",
+	OpCall:      "call",
+	OpICall:     "icall",
+	OpRet:       "ret",
+	OpBr:        "br",
+	OpCondBr:    "condbr",
+	OpPhi:       "phi",
+	OpMalloc:    "malloc",
+	OpFree:      "free",
+	OpRealloc:   "realloc",
+	OpMemcpy:    "memcpy",
+	OpMemmove:   "memmove",
+	OpMemset:    "memset",
+	OpSyscall:   "syscall",
+	OpRuntime:   "runtime",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("opcode(%d)", int(o))
+}
+
+// BinKind selects an OpBin operation.
+type BinKind int
+
+// Binary operations.
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr"}
+
+func (b BinKind) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", int(b))
+}
+
+// CmpKind selects an OpCmp predicate (unsigned comparisons).
+type CmpKind int
+
+// Comparison predicates.
+const (
+	CmpEq CmpKind = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c CmpKind) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", int(c))
+}
+
+// RuntimeOp identifies a runtime-library call inserted by an instrumentation
+// pass. HQ ops become AppendWrite messages; the others model the in-process
+// runtime behaviour of the baseline CFI designs the paper compares against.
+type RuntimeOp int
+
+// Runtime operations.
+const (
+	RTNone RuntimeOp = iota
+
+	// HerQules messaging runtime (§4.1.3, §4.1.5, §2.2).
+	RTPointerDefine          // (addr, value)
+	RTPointerCheck           // (addr, value)
+	RTPointerInvalidate      // (addr)
+	RTPointerCheckInvalidate // (addr, value)
+	RTBlockCopy              // (src, dst, n)
+	RTBlockMove              // (src, dst, n)
+	RTBlockInvalidate        // (addr, n)
+	RTSyscallSync            // () — System-Call message
+	RTRetDefine              // () — define return pointer in prologue
+	RTRetCheckInvalidate     // () — check-invalidate in epilogue
+
+	// Memory-safety policy runtime (§4.2).
+	RTAllocCreate     // (addr, size)
+	RTAllocCheck      // (addr)
+	RTAllocCheckBase  // (addr1, addr2)
+	RTAllocExtend     // (src, dst, size)
+	RTAllocDestroy    // (addr)
+	RTAllocDestroyAll // (addr, size)
+
+	// Toy call-counter policy (§2).
+	RTCounterInc // (class)
+
+	// Data-flow integrity policy (§4.3).
+	RTDFIDeclare // (set id, writer id)
+	RTDFISet     // (addr, writer id)
+	RTDFICheck   // (addr, set id)
+
+	// Clang/LLVM CFI: in-process type-class check before an indirect call.
+	// Args: (target); ClassSig carries the statically expected signature.
+	RTClangCFICheck
+
+	// CCFI: MAC maintenance on code-pointer stores and loads. The MAC is
+	// computed over (address, value, type) with a register-held key.
+	RTMACStore    // (addr, value)
+	RTMACCheck    // (addr, value)
+	RTMACRetStore // () — MAC the return slot in the prologue
+	RTMACRetCheck // () — verify the return slot MAC in the epilogue
+
+	// CPI: safe-store redirection for code-pointer stores and loads.
+	RTSafeStoreSet // (addr, value)
+	RTSafeStoreGet // (addr, expected) — loads authoritative value
+
+	// Store-to-load-forwarding runtime guard (§4.1.4): terminates the
+	// program if an optimized function is reentered while active.
+	RTRecursionGuardEnter // (guard id)
+	RTRecursionGuardExit  // (guard id)
+)
+
+var runtimeNames = map[RuntimeOp]string{
+	RTPointerDefine:          "hq.define",
+	RTPointerCheck:           "hq.check",
+	RTPointerInvalidate:      "hq.invalidate",
+	RTPointerCheckInvalidate: "hq.check_invalidate",
+	RTBlockCopy:              "hq.block_copy",
+	RTBlockMove:              "hq.block_move",
+	RTBlockInvalidate:        "hq.block_invalidate",
+	RTSyscallSync:            "hq.syscall_sync",
+	RTRetDefine:              "hq.ret_define",
+	RTRetCheckInvalidate:     "hq.ret_check_invalidate",
+	RTAllocCreate:            "hq.alloc_create",
+	RTAllocCheck:             "hq.alloc_check",
+	RTAllocCheckBase:         "hq.alloc_check_base",
+	RTAllocExtend:            "hq.alloc_extend",
+	RTAllocDestroy:           "hq.alloc_destroy",
+	RTAllocDestroyAll:        "hq.alloc_destroy_all",
+	RTCounterInc:             "hq.counter_inc",
+	RTDFIDeclare:             "hq.dfi_declare",
+	RTDFISet:                 "hq.dfi_set",
+	RTDFICheck:               "hq.dfi_check",
+	RTClangCFICheck:          "cfi.typecheck",
+	RTMACStore:               "ccfi.mac_store",
+	RTMACCheck:               "ccfi.mac_check",
+	RTMACRetStore:            "ccfi.mac_ret_store",
+	RTMACRetCheck:            "ccfi.mac_ret_check",
+	RTSafeStoreSet:           "cpi.safestore_set",
+	RTSafeStoreGet:           "cpi.safestore_get",
+	RTRecursionGuardEnter:    "hq.guard_enter",
+	RTRecursionGuardExit:     "hq.guard_exit",
+}
+
+func (r RuntimeOp) String() string {
+	if s, ok := runtimeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("rt(%d)", int(r))
+}
+
+// Instr is one MIR instruction. An instruction with a non-void Typ is also a
+// Value (its result). ID is a dense per-function index assigned by
+// Func.Finalize and used by the interpreter for register slots.
+type Instr struct {
+	Op   Opcode
+	Typ  *Type
+	Args []Value
+	Nm   string
+	ID   int
+	Blk  *Block
+
+	// Op-specific fields.
+	Bin       BinKind
+	Cmp       CmpKind
+	Callee    *Func    // OpCall
+	FSig      *Type    // OpICall: static signature of the callee
+	Targets   []*Block // OpBr, OpCondBr
+	PhiBlocks []*Block // OpPhi: predecessor per Args entry
+	AllocTy   *Type    // OpAlloca: allocated element type
+	Field     int      // OpFieldAddr
+	SyscallNo int      // OpSyscall
+	RT        RuntimeOp
+	// ClassSig is the expected signature string for RTClangCFICheck, and
+	// the type tag mixed into CCFI MACs.
+	ClassSig string
+	// GuardID labels RTRecursionGuard* instructions.
+	GuardID int
+	// Volatile suppresses optimization of this load/store.
+	Volatile bool
+	// SafeSlot marks an alloca that safe-stack designs place in the
+	// protected safe region instead of the regular frame (§6.3.4): scalar
+	// and pointer locals whose address does not escape. Ignored when the
+	// process runs without a safe stack.
+	SafeSlot bool
+}
+
+// Type implements Value.
+func (in *Instr) Type() *Type {
+	if in.Typ == nil {
+		return Void
+	}
+	return in.Typ
+}
+
+// Ref implements Value.
+func (in *Instr) Ref() string {
+	if in.Nm != "" {
+		return "%" + in.Nm
+	}
+	return fmt.Sprintf("%%v%d", in.ID)
+}
+
+// IsTerminator reports whether in ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpRet, OpBr, OpCondBr:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether in transfers control to another function.
+func (in *Instr) IsCall() bool { return in.Op == OpCall || in.Op == OpICall }
+
+// IsBlockMemOp reports whether in is a block memory library operation that
+// may copy or destroy control-flow pointers (§4.1.3).
+func (in *Instr) IsBlockMemOp() bool {
+	switch in.Op {
+	case OpMemcpy, OpMemmove, OpMemset:
+		return true
+	}
+	return false
+}
+
+// Block is a basic block: zero or more phis, then ordinary instructions,
+// then exactly one terminator.
+type Block struct {
+	Name   string
+	Fn     *Func
+	Instrs []*Instr
+	Index  int // position within Fn.Blocks
+}
+
+// Terminator returns the block's terminator, or nil if malformed.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	if t := b.Instrs[len(b.Instrs)-1]; t.IsTerminator() {
+		return t
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	if t := b.Terminator(); t != nil {
+		return t.Targets
+	}
+	return nil
+}
+
+// Preds returns the predecessor blocks (computed by scanning; callers that
+// need repeated queries should use analysis.CFG).
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, other := range b.Fn.Blocks {
+		for _, s := range other.Succs() {
+			if s == b {
+				preds = append(preds, other)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+func (b *Block) String() string { return b.Name }
+
+// insert places in at position i.
+func (b *Block) insert(i int, in *Instr) {
+	in.Blk = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// InsertBefore inserts in immediately before pos, which must be in b.
+func (b *Block) InsertBefore(pos *Instr, in *Instr) {
+	for i, cur := range b.Instrs {
+		if cur == pos {
+			b.insert(i, in)
+			return
+		}
+	}
+	panic("mir: InsertBefore: position not in block")
+}
+
+// InsertAfter inserts in immediately after pos, which must be in b.
+func (b *Block) InsertAfter(pos *Instr, in *Instr) {
+	for i, cur := range b.Instrs {
+		if cur == pos {
+			b.insert(i+1, in)
+			return
+		}
+	}
+	panic("mir: InsertAfter: position not in block")
+}
+
+// Remove deletes in from b.
+func (b *Block) Remove(in *Instr) {
+	for i, cur := range b.Instrs {
+		if cur == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Blk = nil
+			return
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeSizes(t *testing.T) {
+	tests := []struct {
+		typ  *Type
+		size uint64
+	}{
+		{I8, 1},
+		{I16, 2},
+		{I32, 4},
+		{I64, 8},
+		{Ptr(I64), 8},
+		{ArrayType(I8, 100), 100},
+		{ArrayType(I64, 4), 32},
+		{StructType("s", I64, I64), 16},
+		{StructType("s", I8, I64), 16},       // padding before i64
+		{StructType("s", I64, I8), 16},       // tail padding
+		{StructType("s", I32, I32, I64), 16}, // packed pairs
+		{StructType("empty"), 0},
+		{FuncType(Void), 8},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.Size(); got != tt.size {
+			t.Errorf("Size(%s) = %d, want %d", tt.typ, got, tt.size)
+		}
+	}
+}
+
+func TestFieldOffsets(t *testing.T) {
+	s := StructType("s", I8, I64, I32)
+	if off := s.FieldOffset(0); off != 0 {
+		t.Errorf("field 0 offset = %d", off)
+	}
+	if off := s.FieldOffset(1); off != 8 {
+		t.Errorf("field 1 offset = %d, want 8", off)
+	}
+	if off := s.FieldOffset(2); off != 16 {
+		t.Errorf("field 2 offset = %d, want 16", off)
+	}
+}
+
+func TestContainsFuncPtr(t *testing.T) {
+	fp := Ptr(FuncType(Void))
+	tests := []struct {
+		typ  *Type
+		want bool
+	}{
+		{I64, false},
+		{fp, true},
+		{Ptr(I64), false},
+		{StructType("s", I64, fp), true},
+		{StructType("s", I64, Ptr(I8)), false},
+		{ArrayType(fp, 3), true},
+		{StructType("outer", StructType("inner", fp)), true},
+		{ArrayType(StructType("s", I32), 2), false},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.ContainsFuncPtr(); got != tt.want {
+			t.Errorf("ContainsFuncPtr(%s) = %t, want %t", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestSignatureEquivalenceClasses(t *testing.T) {
+	// void(void*) and void(Obj*) must land in different Clang-CFI classes —
+	// that mismatch is the source of the paper's povray false positive.
+	generic := FuncType(Void, Ptr(I8))
+	object := FuncType(Void, Ptr(StructType("Object_Struct", I64)))
+	if generic.Signature() == object.Signature() {
+		t.Error("distinct parameter types produced one equivalence class")
+	}
+	// Identical signatures share a class.
+	if FuncType(I64, I64).Signature() != FuncType(I64, I64).Signature() {
+		t.Error("identical types produced distinct classes")
+	}
+	// Signature through a pointer matches the function type itself.
+	if Ptr(generic).Signature() != generic.Signature() {
+		t.Error("pointer-to-func signature differs from func signature")
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !Ptr(I64).Equal(Ptr(I64)) {
+		t.Error("structural pointer equality failed")
+	}
+	if StructType("a", I64).Equal(StructType("b", I64)) {
+		t.Error("nominal struct equality ignored names")
+	}
+	if I32.Equal(I64) {
+		t.Error("i32 == i64")
+	}
+	if !FuncType(Void, I64).Equal(FuncType(Void, I64)) {
+		t.Error("function type equality failed")
+	}
+	if FuncType(Void, I64).Equal(FuncType(Void, I32)) {
+		t.Error("function types with different params compared equal")
+	}
+}
+
+// buildLoop constructs the paper's Figure 2 loop: count sorted pairs in a
+// buffer, with an indirect call in the body.
+func buildLoop(t *testing.T) (*Module, *Func) {
+	t.Helper()
+	mod := NewModule("fig2")
+	b := NewBuilder(mod)
+
+	cmpSig := FuncType(I64, I64, I64)
+	less := b.Func("less", cmpSig, "a", "b")
+	b.Ret(b.Cmp(CmpLt, less.Params[0], less.Params[1]))
+
+	mainSig := FuncType(I64, Ptr(ArrayType(I64, 8)))
+	f := b.Func("count_sorted", mainSig, "buf")
+	entry := b.Blk
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	fpSlot := b.Alloca("fp", Ptr(cmpSig))
+	b.Store(b.FuncAddr(less), fpSlot)
+	b.Br(header)
+
+	b.SetBlock(header)
+	i := b.Phi(I64, ConstInt(0), entry)
+	n := b.Phi(I64, ConstInt(0), entry)
+	cond := b.Cmp(CmpLt, i, ConstInt(7))
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	pa := b.IndexAddr(f.Params[0], i)
+	a := b.Load(pa)
+	i1 := b.Add(i, ConstInt(1))
+	pb := b.IndexAddr(f.Params[0], i1)
+	bv := b.Load(pb)
+	fp := b.Load(fpSlot)
+	r := b.ICall(fp, cmpSig, a, bv)
+	n1 := b.Add(n, r)
+	b.Br(header)
+	i.Args = append(i.Args, i1)
+	i.PhiBlocks = append(i.PhiBlocks, body)
+	n.Args = append(n.Args, n1)
+	n.PhiBlocks = append(n.PhiBlocks, body)
+
+	b.SetBlock(exit)
+	b.Ret(n)
+
+	mod.Finalize()
+	return mod, f
+}
+
+func TestBuilderProducesValidIR(t *testing.T) {
+	mod, f := buildLoop(t)
+	if err := Validate(mod); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, mod)
+	}
+	if f.NumValues == 0 {
+		t.Error("Finalize assigned no value IDs")
+	}
+	if !mod.Func("less").AddressTaken {
+		t.Error("FuncAddr did not mark the callee address-taken")
+	}
+	if !f.HasStackAlloc() {
+		t.Error("HasStackAlloc missed the alloca")
+	}
+	if !f.MayWriteMemory() {
+		t.Error("MayWriteMemory missed the store")
+	}
+}
+
+func TestValidateCatchesMissingTerminator(t *testing.T) {
+	mod := NewModule("bad")
+	b := NewBuilder(mod)
+	b.Func("f", FuncType(Void))
+	b.Add(ConstInt(1), ConstInt(2)) // no terminator
+	mod.Finalize()
+	if err := Validate(mod); err == nil {
+		t.Error("Validate accepted a block without terminator")
+	}
+}
+
+func TestValidateCatchesMidBlockTerminator(t *testing.T) {
+	mod := NewModule("bad")
+	b := NewBuilder(mod)
+	b.Func("f", FuncType(Void))
+	b.Ret(nil)
+	b.Ret(nil)
+	mod.Finalize()
+	if err := Validate(mod); err == nil {
+		t.Error("Validate accepted two terminators")
+	}
+}
+
+func TestValidateCatchesForeignOperand(t *testing.T) {
+	mod := NewModule("bad")
+	b := NewBuilder(mod)
+	b.Func("f", FuncType(Void))
+	x := b.Add(ConstInt(1), ConstInt(2))
+	b.Ret(nil)
+	b.Func("g", FuncType(Void))
+	b.Add(x, ConstInt(3)) // x belongs to f
+	b.Ret(nil)
+	mod.Finalize()
+	if err := Validate(mod); err == nil {
+		t.Error("Validate accepted a cross-function operand")
+	}
+}
+
+func TestValidateCatchesPhiPredMismatch(t *testing.T) {
+	mod := NewModule("bad")
+	b := NewBuilder(mod)
+	b.Func("f", FuncType(Void))
+	entry := b.Blk
+	next := b.Block("next")
+	b.Br(next)
+	b.SetBlock(next)
+	// Phi names a non-predecessor (next itself has only entry as pred, and
+	// the phi claims two entries).
+	b.Phi(I64, ConstInt(0), entry, ConstInt(1), next)
+	b.Ret(nil)
+	mod.Finalize()
+	if err := Validate(mod); err == nil {
+		t.Error("Validate accepted phi with wrong predecessor count")
+	}
+}
+
+func TestValidateCatchesCallArityMismatch(t *testing.T) {
+	mod := NewModule("bad")
+	b := NewBuilder(mod)
+	callee := b.Func("callee", FuncType(Void, I64))
+	b.Ret(nil)
+	b.Func("caller", FuncType(Void))
+	b.emit(&Instr{Op: OpCall, Typ: Void, Callee: callee}) // 0 args, want 1
+	b.Ret(nil)
+	mod.Finalize()
+	if err := Validate(mod); err == nil {
+		t.Error("Validate accepted arity mismatch")
+	}
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	mod, _ := buildLoop(t)
+	cl := mod.Clone()
+	if err := Validate(cl); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if cl.String() != mod.String() {
+		t.Errorf("clone differs:\n--- original\n%s\n--- clone\n%s", mod, cl)
+	}
+	// Mutating the clone must not affect the original.
+	clf := cl.Func("count_sorted")
+	clf.Blocks[0].Instrs = clf.Blocks[0].Instrs[:1]
+	if cl.String() == mod.String() {
+		t.Error("clone shares structure with original")
+	}
+}
+
+func TestCloneRemapsGlobalsAndFuncRefs(t *testing.T) {
+	mod := NewModule("g")
+	b := NewBuilder(mod)
+	target := b.Func("target", FuncType(Void))
+	b.Ret(nil)
+	g := b.Global("fptr", Ptr(target.Sig), "data")
+	g.InitFuncs[0] = target
+	b.Func("main", FuncType(Void))
+	fp := b.Load(g)
+	b.ICall(fp, target.Sig)
+	b.Ret(nil)
+	mod.Finalize()
+	if err := Validate(mod); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := mod.Clone()
+	clG := cl.Globals[0]
+	if clG == g {
+		t.Fatal("clone shares globals")
+	}
+	if clG.InitFuncs[0] != cl.Func("target") {
+		t.Error("global initializer function not remapped to clone")
+	}
+	// FuncRef inside main of the clone must point at the clone's function.
+	for _, blk := range cl.Func("main").Blocks {
+		for _, in := range blk.Instrs {
+			for _, a := range in.Args {
+				if fr, ok := a.(*FuncRef); ok && fr.Fn != cl.Func("target") {
+					t.Error("FuncRef not remapped")
+				}
+				if gr, ok := a.(*Global); ok && gr != clG {
+					t.Error("Global operand not remapped")
+				}
+			}
+		}
+	}
+}
+
+func TestInsertBeforeAfterRemove(t *testing.T) {
+	mod := NewModule("m")
+	b := NewBuilder(mod)
+	b.Func("f", FuncType(Void))
+	first := b.Add(ConstInt(1), ConstInt(1))
+	b.Ret(nil)
+	blk := b.Blk
+
+	mid := &Instr{Op: OpBin, Typ: I64, Bin: BinAdd, Args: []Value{ConstInt(2), ConstInt(2)}}
+	blk.InsertAfter(first, mid)
+	pre := &Instr{Op: OpBin, Typ: I64, Bin: BinAdd, Args: []Value{ConstInt(0), ConstInt(0)}}
+	blk.InsertBefore(first, pre)
+	if blk.Instrs[0] != pre || blk.Instrs[1] != first || blk.Instrs[2] != mid {
+		t.Fatalf("insert order wrong: %v", blk.Instrs)
+	}
+	blk.Remove(mid)
+	if len(blk.Instrs) != 3 || blk.Instrs[2].Op != OpRet {
+		t.Fatalf("remove failed: %v", blk.Instrs)
+	}
+	mod.Finalize()
+	if err := Validate(mod); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleStringIsStable(t *testing.T) {
+	mod, _ := buildLoop(t)
+	s := mod.String()
+	for _, want := range []string{"func @count_sorted", "icall", "phi", "condbr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module printout missing %q:\n%s", want, s)
+		}
+	}
+	if s != mod.String() {
+		t.Error("String is not deterministic")
+	}
+}
+
+func TestBlockPredsSuccs(t *testing.T) {
+	_, f := buildLoop(t)
+	header := f.Blocks[1]
+	if got := len(header.Preds()); got != 2 {
+		t.Errorf("header preds = %d, want 2 (entry+body)", got)
+	}
+	if got := len(header.Succs()); got != 2 {
+		t.Errorf("header succs = %d, want 2 (body+exit)", got)
+	}
+	exit := f.Blocks[3]
+	if got := len(exit.Succs()); got != 0 {
+		t.Errorf("exit succs = %d, want 0", got)
+	}
+}

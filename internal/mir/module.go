@@ -1,0 +1,487 @@
+package mir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Func is an MIR function.
+type Func struct {
+	Name   string
+	Sig    *Type // KindFunc
+	Params []*Param
+	Blocks []*Block
+
+	// NumValues is the number of dense instruction result slots; valid
+	// after Finalize.
+	NumValues int
+
+	// Attributes consumed by instrumentation (§4.1.6): a function gets
+	// return-pointer protection when it may write memory, is known to
+	// return, has stack allocations, and is not always tail-called.
+	AddressTaken     bool
+	AlwaysTailCalled bool
+	NoReturn         bool
+
+	// Intrinsic marks runtime-provided functions with no MIR body (their
+	// behaviour is implemented by the VM); Blocks is empty for them.
+	Intrinsic bool
+}
+
+// NewFunc constructs a function with named parameters bound to sig.
+func NewFunc(name string, sig *Type, paramNames ...string) *Func {
+	if sig.Kind != KindFunc {
+		panic("mir: NewFunc requires a function type")
+	}
+	f := &Func{Name: name, Sig: sig}
+	for i, pt := range sig.Params {
+		pn := fmt.Sprintf("p%d", i)
+		if i < len(paramNames) {
+			pn = paramNames[i]
+		}
+		f.Params = append(f.Params, &Param{Nm: pn, Typ: pt, Idx: i})
+	}
+	return f
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new basic block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Finalize assigns dense IDs to every instruction and reindexes blocks. It
+// must be called after construction and after any pass that adds or removes
+// instructions, before the function is executed or printed.
+func (f *Func) Finalize() {
+	id := 0
+	for i, b := range f.Blocks {
+		b.Index = i
+		for _, in := range b.Instrs {
+			in.ID = id
+			id++
+		}
+	}
+	f.NumValues = id
+}
+
+// ForEachInstr calls fn for every instruction in program order.
+func (f *Func) ForEachInstr(fn func(*Block, *Instr)) {
+	for _, b := range f.Blocks {
+		// Copy: fn may insert instructions.
+		instrs := append([]*Instr(nil), b.Instrs...)
+		for _, in := range instrs {
+			fn(b, in)
+		}
+	}
+}
+
+// HasStackAlloc reports whether the function contains any alloca.
+func (f *Func) HasStackAlloc() bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAlloca {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MayWriteMemory reports whether the function contains stores, block memory
+// operations, calls (which may transitively write), or heap operations.
+func (f *Func) MayWriteMemory() bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpStore, OpMemcpy, OpMemmove, OpMemset, OpCall, OpICall,
+				OpMalloc, OpFree, OpRealloc:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Module is a translation unit: functions plus global variables.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+
+	funcByName map[string]*Func
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, funcByName: make(map[string]*Func)}
+}
+
+// AddFunc registers f; function names must be unique.
+func (m *Module) AddFunc(f *Func) *Func {
+	if _, dup := m.funcByName[f.Name]; dup {
+		panic(fmt.Sprintf("mir: duplicate function %q", f.Name))
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.Name] = f
+	return f
+}
+
+// Func looks up a function by name.
+func (m *Module) Func(name string) *Func { return m.funcByName[name] }
+
+// AddGlobal registers a global variable.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// Finalize finalizes every function.
+func (m *Module) Finalize() {
+	for _, f := range m.Funcs {
+		f.Finalize()
+	}
+}
+
+// Clone produces a deep copy of the module so that instrumentation for one
+// CFI design does not disturb the pristine program used by another.
+func (m *Module) Clone() *Module {
+	nm := NewModule(m.Name)
+	gmap := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := &Global{
+			Name: g.Name, Elem: g.Elem, ReadOnly: g.ReadOnly,
+			InitWords: append([]uint64(nil), g.InitWords...),
+			Segment:   g.Segment,
+		}
+		if g.InitFuncs != nil {
+			ng.InitFuncs = make(map[int]*Func, len(g.InitFuncs))
+		}
+		nm.AddGlobal(ng)
+		gmap[g] = ng
+	}
+	fmap := make(map[*Func]*Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Name: f.Name, Sig: f.Sig, AddressTaken: f.AddressTaken,
+			AlwaysTailCalled: f.AlwaysTailCalled, NoReturn: f.NoReturn,
+			Intrinsic: f.Intrinsic,
+		}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, &Param{Nm: p.Nm, Typ: p.Typ, Idx: p.Idx})
+		}
+		nm.AddFunc(nf)
+		fmap[f] = nf
+	}
+	// Fix up global initializer function references.
+	for _, g := range m.Globals {
+		for i, fn := range g.InitFuncs {
+			gmap[g].InitFuncs[i] = fmap[fn]
+		}
+	}
+	for _, f := range m.Funcs {
+		cloneFuncBody(f, fmap[f], fmap, gmap)
+	}
+	nm.Finalize()
+	return nm
+}
+
+func cloneFuncBody(src, dst *Func, fmap map[*Func]*Func, gmap map[*Global]*Global) {
+	bmap := make(map[*Block]*Block, len(src.Blocks))
+	imap := make(map[*Instr]*Instr)
+	for _, b := range src.Blocks {
+		bmap[b] = dst.NewBlock(b.Name)
+	}
+	mapValue := func(v Value) Value {
+		switch v := v.(type) {
+		case *Const:
+			return v
+		case *FuncRef:
+			return &FuncRef{Fn: fmap[v.Fn]}
+		case *Global:
+			return gmap[v]
+		case *Param:
+			return dst.Params[v.Idx]
+		case *Instr:
+			ni, ok := imap[v]
+			if !ok {
+				panic(fmt.Sprintf("mir: clone: use of %s before definition in %s", v.Ref(), src.Name))
+			}
+			return ni
+		default:
+			panic(fmt.Sprintf("mir: clone: unknown value %T", v))
+		}
+	}
+	// Two passes: create instructions, then fix operands (phis may refer
+	// forward). First create shells in order.
+	for _, b := range src.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Typ: in.Typ, Nm: in.Nm, Bin: in.Bin, Cmp: in.Cmp,
+				FSig: in.FSig, AllocTy: in.AllocTy, Field: in.Field,
+				SyscallNo: in.SyscallNo, RT: in.RT, ClassSig: in.ClassSig,
+				GuardID: in.GuardID, Volatile: in.Volatile, SafeSlot: in.SafeSlot,
+				Blk: nb,
+			}
+			if in.Callee != nil {
+				ni.Callee = fmap[in.Callee]
+			}
+			for _, t := range in.Targets {
+				ni.Targets = append(ni.Targets, bmap[t])
+			}
+			for _, pb := range in.PhiBlocks {
+				ni.PhiBlocks = append(ni.PhiBlocks, bmap[pb])
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+			imap[in] = ni
+		}
+	}
+	// Second pass: operands.
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			ni := imap[in]
+			for _, a := range in.Args {
+				if ai, ok := a.(*Instr); ok {
+					ni.Args = append(ni.Args, imap[ai])
+				} else {
+					ni.Args = append(ni.Args, mapValue(a))
+				}
+			}
+		}
+	}
+}
+
+// String renders the module in a readable LLVM-like syntax that
+// ParseModule accepts back (a lossless round trip for everything the
+// builders produce). Named struct types are declared up front; globals
+// carry their segment and initializers.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+
+	// Declare every named struct type reachable from the module, in
+	// name order.
+	structs := map[string]*Type{}
+	m.collectStructs(structs)
+	var names []string
+	for n := range structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := structs[n]
+		var fs []string
+		for _, f := range st.Fields {
+			fs = append(fs, f.String())
+		}
+		fmt.Fprintf(&sb, "type %%%s = { %s }\n", n, strings.Join(fs, ", "))
+	}
+
+	gs := append([]*Global(nil), m.Globals...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	for _, g := range gs {
+		ro := ""
+		if g.ReadOnly {
+			ro = " readonly"
+		}
+		init := formatGlobalInit(g)
+		fmt.Fprintf(&sb, "global @%s : %s%s [%s]%s\n", g.Name, g.Elem, ro, g.Segment, init)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// collectStructs gathers named struct types reachable from globals,
+// signatures and instruction types.
+func (m *Module) collectStructs(out map[string]*Type) {
+	var walk func(t *Type)
+	walk = func(t *Type) {
+		if t == nil {
+			return
+		}
+		switch t.Kind {
+		case KindStruct:
+			if _, seen := out[t.Name]; seen {
+				return
+			}
+			out[t.Name] = t
+			for _, f := range t.Fields {
+				walk(f)
+			}
+		case KindPtr, KindArray:
+			walk(t.Elem)
+		case KindFunc:
+			walk(t.Ret)
+			for _, p := range t.Params {
+				walk(p)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		walk(g.Elem)
+	}
+	for _, f := range m.Funcs {
+		walk(f.Sig)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				walk(in.Typ)
+				walk(in.AllocTy)
+				walk(in.FSig)
+			}
+		}
+	}
+}
+
+// formatGlobalInit renders a global's initializer words.
+func formatGlobalInit(g *Global) string {
+	words := len(g.InitWords)
+	for i := range g.InitFuncs {
+		if i+1 > words {
+			words = i + 1
+		}
+	}
+	if words == 0 {
+		return ""
+	}
+	var parts []string
+	for i := 0; i < words; i++ {
+		if fn, ok := g.InitFuncs[i]; ok {
+			parts = append(parts, "@"+fn.Name)
+		} else {
+			var w uint64
+			if i < len(g.InitWords) {
+				w = g.InitWords[i]
+			}
+			parts = append(parts, fmt.Sprintf("%d", w))
+		}
+	}
+	return " init { " + strings.Join(parts, ", ") + " }"
+}
+
+// String renders the function, including the attributes instrumentation
+// relies on.
+func (f *Func) String() string {
+	var sb strings.Builder
+	var ps []string
+	for _, p := range f.Params {
+		ps = append(ps, fmt.Sprintf("%%%s: %s", p.Nm, p.Typ))
+	}
+	attrs := ""
+	if f.AddressTaken {
+		attrs += " addrtaken"
+	}
+	if f.NoReturn {
+		attrs += " noreturn"
+	}
+	if f.AlwaysTailCalled {
+		attrs += " tailcalled"
+	}
+	if f.Intrinsic {
+		fmt.Fprintf(&sb, "\nfunc @%s(%s) -> %s%s intrinsic\n",
+			f.Name, strings.Join(ps, ", "), f.Sig.Ret, attrs)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "\nfunc @%s(%s) -> %s%s {\n", f.Name, strings.Join(ps, ", "), f.Sig.Ret, attrs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.Format())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Format renders one instruction.
+func (in *Instr) Format() string {
+	var sb strings.Builder
+	if in.Type() != Void {
+		fmt.Fprintf(&sb, "%s = ", in.Ref())
+	}
+	switch in.Op {
+	case OpBin:
+		fmt.Fprintf(&sb, "%s %s, %s", in.Bin, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpCmp:
+		fmt.Fprintf(&sb, "cmp.%s %s, %s", in.Cmp, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpCall:
+		sb.WriteString("call @" + in.Callee.Name + "(" + refs(in.Args) + ")")
+	case OpICall:
+		fmt.Fprintf(&sb, "icall %s(%s)", in.Args[0].Ref(), refs(in.Args[1:]))
+	case OpBr:
+		fmt.Fprintf(&sb, "br %s", in.Targets[0])
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, %s, %s", in.Args[0].Ref(), in.Targets[0], in.Targets[1])
+	case OpPhi:
+		sb.WriteString("phi ")
+		for i := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %s]", in.Args[i].Ref(), in.PhiBlocks[i])
+		}
+	case OpAlloca:
+		op := "alloca"
+		if in.SafeSlot {
+			op = "alloca.safe"
+		}
+		fmt.Fprintf(&sb, "%s %s", op, in.AllocTy)
+	case OpLoad:
+		op := "load"
+		if in.Volatile {
+			op = "load.volatile"
+		}
+		fmt.Fprintf(&sb, "%s %s", op, in.Args[0].Ref())
+	case OpFieldAddr:
+		fmt.Fprintf(&sb, "fieldaddr %s, %d", in.Args[0].Ref(), in.Field)
+	case OpSyscall:
+		fmt.Fprintf(&sb, "syscall %d(%s)", in.SyscallNo, refs(in.Args))
+	case OpRuntime:
+		if extra := runtimeExtra(in); extra != "" {
+			fmt.Fprintf(&sb, "%s[%s](%s)", in.RT, extra, refs(in.Args))
+		} else {
+			fmt.Fprintf(&sb, "%s(%s)", in.RT, refs(in.Args))
+		}
+	default:
+		fmt.Fprintf(&sb, "%s %s", in.Op, refs(in.Args))
+	}
+	if in.Type() != Void {
+		fmt.Fprintf(&sb, " : %s", in.Type())
+	}
+	return sb.String()
+}
+
+// runtimeExtra renders a runtime op's out-of-band parameter (syscall
+// number, guard id, or type-class tag) so the textual form is lossless.
+func runtimeExtra(in *Instr) string {
+	switch in.RT {
+	case RTSyscallSync:
+		return fmt.Sprintf("%d", in.SyscallNo)
+	case RTRecursionGuardEnter, RTRecursionGuardExit:
+		return fmt.Sprintf("%d", in.GuardID)
+	case RTClangCFICheck, RTMACStore, RTMACCheck, RTMACRetStore, RTMACRetCheck:
+		return in.ClassSig
+	default:
+		return ""
+	}
+}
+
+func refs(vs []Value) string {
+	var ps []string
+	for _, v := range vs {
+		ps = append(ps, v.Ref())
+	}
+	return strings.Join(ps, ", ")
+}

@@ -1,0 +1,403 @@
+package mir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses the textual MIR form produced by Module.String. The
+// syntax is lossless for everything the builders produce, so
+// ParseModule(mod.String()) reproduces mod (their printed forms are equal).
+//
+// The format, by example:
+//
+//	module demo
+//	type %pair = { i64, i64 }
+//	global @hook : i64(i64)* [data] init { @handler }
+//	func @handler(%x: i64) -> i64 {
+//	entry:
+//	  %v0 = add %x, 1 : i64
+//	  ret %v0
+//	}
+func ParseModule(src string) (*Module, error) {
+	p := &parser{
+		structs: map[string]*Type{},
+	}
+	if err := p.run(src); err != nil {
+		return nil, fmt.Errorf("mir: parse: %w", err)
+	}
+	finishICalls(p.mod)
+	p.mod.Finalize()
+	if err := Validate(p.mod); err != nil {
+		return nil, fmt.Errorf("mir: parse produced invalid IR: %w", err)
+	}
+	return p.mod, nil
+}
+
+type parser struct {
+	mod     *Module
+	structs map[string]*Type
+	lineNo  int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: "+format, append([]interface{}{p.lineNo}, args...)...)
+}
+
+// run performs the multi-pass parse: types, function headers, globals, then
+// function bodies (so forward references resolve).
+func (p *parser) run(src string) error {
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: module name and struct types.
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "module "):
+			if p.mod != nil {
+				return p.errf("duplicate module header")
+			}
+			p.mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+		case strings.HasPrefix(line, "type %"):
+			if err := p.parseTypeDecl(line); err != nil {
+				return err
+			}
+		}
+	}
+	if p.mod == nil {
+		return fmt.Errorf("missing module header")
+	}
+
+	// Pass 2: function headers.
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(raw)
+		if strings.HasPrefix(line, "func @") {
+			if err := p.parseFuncHeader(line); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 3: globals (initializers may reference functions).
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(raw)
+		if strings.HasPrefix(line, "global @") {
+			if err := p.parseGlobal(line); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 4: function bodies.
+	for i := 0; i < len(lines); i++ {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(line, "func @") || strings.HasSuffix(line, "intrinsic") {
+			continue
+		}
+		end, err := p.parseFuncBody(lines, i)
+		if err != nil {
+			return err
+		}
+		i = end
+	}
+	return nil
+}
+
+// parseTypeDecl handles `type %name = { T, T }`.
+func (p *parser) parseTypeDecl(line string) error {
+	rest := strings.TrimPrefix(line, "type %")
+	eq := strings.Index(rest, "=")
+	if eq < 0 {
+		return p.errf("malformed type declaration")
+	}
+	name := strings.TrimSpace(rest[:eq])
+	body := strings.TrimSpace(rest[eq+1:])
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return p.errf("type body must be { ... }")
+	}
+	inner := strings.TrimSpace(body[1 : len(body)-1])
+	st := &Type{Kind: KindStruct, Name: name}
+	// Register before parsing fields so self-references resolve.
+	p.structs[name] = st
+	if inner != "" {
+		for _, fs := range splitTop(inner) {
+			ft, err := p.parseType(strings.TrimSpace(fs))
+			if err != nil {
+				return err
+			}
+			st.Fields = append(st.Fields, ft)
+		}
+	}
+	return nil
+}
+
+// parseFuncHeader handles `func @name(%p: T, ...) -> T attrs... {|intrinsic`.
+func (p *parser) parseFuncHeader(line string) error {
+	rest := strings.TrimPrefix(line, "func @")
+	open := strings.Index(rest, "(")
+	if open < 0 {
+		return p.errf("missing parameter list")
+	}
+	name := rest[:open]
+	close := matchParen(rest, open)
+	if close < 0 {
+		return p.errf("unbalanced parameter list")
+	}
+	paramsStr := rest[open+1 : close]
+	tail := strings.TrimSpace(rest[close+1:])
+	if !strings.HasPrefix(tail, "->") {
+		return p.errf("missing return type")
+	}
+	tail = strings.TrimSpace(tail[2:])
+	// tail: "<ret-type> [attrs...] {" or "... intrinsic". The return type
+	// may contain spaces (array types), so strip known attribute tokens
+	// from the right and treat the remainder as the type.
+	words := strings.Fields(tail)
+	end := len(words)
+	isAttr := func(w string) bool {
+		switch w {
+		case "{", "addrtaken", "noreturn", "tailcalled", "intrinsic":
+			return true
+		}
+		return false
+	}
+	for end > 0 && isAttr(words[end-1]) {
+		end--
+	}
+	if end == 0 {
+		return p.errf("missing return type")
+	}
+	ret, err := p.parseType(strings.Join(words[:end], " "))
+	if err != nil {
+		return err
+	}
+	var params []*Type
+	var names []string
+	if strings.TrimSpace(paramsStr) != "" {
+		for _, ps := range splitTop(paramsStr) {
+			ps = strings.TrimSpace(ps)
+			if !strings.HasPrefix(ps, "%") {
+				return p.errf("parameter %q missing name", ps)
+			}
+			colon := strings.Index(ps, ":")
+			if colon < 0 {
+				return p.errf("parameter %q missing type", ps)
+			}
+			names = append(names, strings.TrimSpace(ps[1:colon]))
+			pt, err := p.parseType(strings.TrimSpace(ps[colon+1:]))
+			if err != nil {
+				return err
+			}
+			params = append(params, pt)
+		}
+	}
+	f := NewFunc(name, FuncType(ret, params...), names...)
+	for _, w := range words[end:] {
+		switch w {
+		case "addrtaken":
+			f.AddressTaken = true
+		case "noreturn":
+			f.NoReturn = true
+		case "tailcalled":
+			f.AlwaysTailCalled = true
+		case "intrinsic":
+			f.Intrinsic = true
+		case "{":
+		default:
+			return p.errf("unknown function attribute %q", w)
+		}
+	}
+	p.mod.AddFunc(f)
+	return nil
+}
+
+// parseGlobal handles
+// `global @name : TYPE [readonly] [seg] [init { ... }]`.
+func (p *parser) parseGlobal(line string) error {
+	rest := strings.TrimPrefix(line, "global @")
+	colon := strings.Index(rest, " : ")
+	if colon < 0 {
+		return p.errf("malformed global")
+	}
+	name := rest[:colon]
+	rest = rest[colon+3:]
+
+	// The type ends at " readonly", " [", or " init".
+	typeEnd := len(rest)
+	for _, marker := range []string{" readonly", " [", " init "} {
+		if i := strings.Index(rest, marker); i >= 0 && i < typeEnd {
+			typeEnd = i
+		}
+	}
+	elem, err := p.parseType(strings.TrimSpace(rest[:typeEnd]))
+	if err != nil {
+		return err
+	}
+	g := &Global{Name: name, Elem: elem, InitFuncs: map[int]*Func{}}
+	rest = strings.TrimSpace(rest[typeEnd:])
+	if strings.HasPrefix(rest, "readonly") {
+		g.ReadOnly = true
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "readonly"))
+	}
+	if !strings.HasPrefix(rest, "[") {
+		return p.errf("global %s missing segment", name)
+	}
+	seg := strings.Index(rest, "]")
+	g.Segment = rest[1:seg]
+	rest = strings.TrimSpace(rest[seg+1:])
+	if strings.HasPrefix(rest, "init {") {
+		inner := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(rest, "init {")), "}")
+		for i, ws := range splitTop(strings.TrimSpace(inner)) {
+			ws = strings.TrimSpace(ws)
+			if strings.HasPrefix(ws, "@") {
+				fn := p.mod.Func(ws[1:])
+				if fn == nil {
+					return p.errf("global %s: unknown function %s", name, ws)
+				}
+				g.InitFuncs[i] = fn
+				fn.AddressTaken = true
+			} else {
+				w, err := strconv.ParseUint(ws, 10, 64)
+				if err != nil {
+					return p.errf("global %s: bad word %q", name, ws)
+				}
+				for len(g.InitWords) < i {
+					g.InitWords = append(g.InitWords, 0)
+				}
+				g.InitWords = append(g.InitWords, w)
+			}
+		}
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+// pendingOperand defers operand resolution until all instructions exist.
+type pendingOperand struct {
+	in  *Instr
+	idx int
+	ref string
+}
+
+// parseFuncBody parses from the header line at start to the closing brace,
+// returning the index of the closing line.
+func (p *parser) parseFuncBody(lines []string, start int) (int, error) {
+	header := strings.TrimSpace(lines[start])
+	name := header[len("func @"):strings.Index(header, "(")]
+	f := p.mod.Func(name)
+	// Rebuild the body: drop the shell created by the header pass? The
+	// header pass created the Func with no blocks; we fill it here.
+
+	defs := map[string]Value{}
+	for _, prm := range f.Params {
+		defs["%"+prm.Nm] = prm
+	}
+	blocks := map[string]*Block{}
+	var pending []pendingOperand
+	var pendingBlocks []struct {
+		in   *Instr
+		idx  int
+		name string
+		phi  bool
+	}
+	var cur *Block
+
+	i := start + 1
+	for ; i < len(lines); i++ {
+		p.lineNo = i + 1
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			break
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			bn := strings.TrimSuffix(line, ":")
+			cur = f.NewBlock(bn)
+			blocks[bn] = cur
+			continue
+		}
+		if cur == nil {
+			return i, p.errf("instruction before first block in @%s", name)
+		}
+		in, resName, err := p.parseInstr(line, f, &pending, &pendingBlocks)
+		if err != nil {
+			return i, err
+		}
+		in.Blk = cur
+		cur.Instrs = append(cur.Instrs, in)
+		if resName != "" {
+			if _, dup := defs[resName]; dup {
+				return i, p.errf("duplicate definition %s", resName)
+			}
+			defs[resName] = in
+		}
+	}
+
+	// Resolve deferred operands.
+	for _, po := range pending {
+		v, err := p.resolveRef(po.ref, defs)
+		if err != nil {
+			return i, err
+		}
+		for len(po.in.Args) <= po.idx {
+			po.in.Args = append(po.in.Args, nil)
+		}
+		po.in.Args[po.idx] = v
+	}
+	for _, pb := range pendingBlocks {
+		b, ok := blocks[pb.name]
+		if !ok {
+			return i, p.errf("unknown block %q in @%s", pb.name, name)
+		}
+		if pb.phi {
+			for len(pb.in.PhiBlocks) <= pb.idx {
+				pb.in.PhiBlocks = append(pb.in.PhiBlocks, nil)
+			}
+			pb.in.PhiBlocks[pb.idx] = b
+		} else {
+			for len(pb.in.Targets) <= pb.idx {
+				pb.in.Targets = append(pb.in.Targets, nil)
+			}
+			pb.in.Targets[pb.idx] = b
+		}
+	}
+	return i, nil
+}
+
+// resolveRef turns an operand token into a Value.
+func (p *parser) resolveRef(ref string, defs map[string]Value) (Value, error) {
+	switch {
+	case ref == "null":
+		return Null(Ptr(I8)), nil
+	case strings.HasPrefix(ref, "%"):
+		v, ok := defs[ref]
+		if !ok {
+			return nil, p.errf("undefined value %s", ref)
+		}
+		return v, nil
+	case strings.HasPrefix(ref, "@"):
+		nm := ref[1:]
+		for _, g := range p.mod.Globals {
+			if g.Name == nm {
+				return g, nil
+			}
+		}
+		if fn := p.mod.Func(nm); fn != nil {
+			return &FuncRef{Fn: fn}, nil
+		}
+		return nil, p.errf("unknown symbol %s", ref)
+	default:
+		n, err := strconv.ParseUint(ref, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad operand %q", ref)
+		}
+		return ConstInt(n), nil
+	}
+}

@@ -1,0 +1,537 @@
+package mir
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Reverse lookup tables built from the printer's name tables.
+var (
+	binByName = func() map[string]BinKind {
+		m := map[string]BinKind{}
+		for k, n := range binNames {
+			m[n] = BinKind(k)
+		}
+		return m
+	}()
+	cmpByName = func() map[string]CmpKind {
+		m := map[string]CmpKind{}
+		for k, n := range cmpNames {
+			m[n] = CmpKind(k)
+		}
+		return m
+	}()
+	runtimeByName = func() map[string]RuntimeOp {
+		m := map[string]RuntimeOp{}
+		for op, n := range runtimeNames {
+			m[n] = op
+		}
+		return m
+	}()
+)
+
+// parseInstr parses one instruction line. Operand references are deferred
+// through pending/pendingBlocks so forward references (phis, loops) resolve
+// after the whole body is read. It returns the instruction and the result
+// name ("" when the instruction has no result).
+func (p *parser) parseInstr(line string, f *Func,
+	pending *[]pendingOperand,
+	pendingBlocks *[]struct {
+		in   *Instr
+		idx  int
+		name string
+		phi  bool
+	}) (*Instr, string, error) {
+
+	resName := ""
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, " = ")
+		if eq < 0 {
+			return nil, "", p.errf("malformed result assignment")
+		}
+		resName = line[:eq]
+		line = line[eq+3:]
+	}
+
+	// Split a trailing result-type annotation " : T" at top level.
+	body, typStr := splitTypeAnnotation(line)
+	in := &Instr{}
+	if resName != "" {
+		in.Nm = strings.TrimPrefix(resName, "%")
+	}
+	if typStr != "" {
+		t, err := p.parseType(typStr)
+		if err != nil {
+			return nil, "", err
+		}
+		in.Typ = t
+	}
+
+	defer3 := func(idx int, ref string) {
+		*pending = append(*pending, pendingOperand{in: in, idx: idx, ref: strings.TrimSpace(ref)})
+	}
+	deferAll := func(refs []string) {
+		for i, r := range refs {
+			defer3(i, r)
+		}
+	}
+	op, rest := splitWord(body)
+	binKind, isBin := binByName[op]
+	cmpKind, isCmp := cmpByName[strings.TrimPrefix(op, "cmp.")]
+	isCmp = isCmp && strings.HasPrefix(op, "cmp.")
+
+	switch {
+	case isBin:
+		in.Op = OpBin
+		in.Bin = binKind
+		deferAll(splitTop(rest))
+
+	case isCmp:
+		in.Op = OpCmp
+		in.Cmp = cmpKind
+		deferAll(splitTop(rest))
+
+	case op == "cast":
+		in.Op = OpCast
+		defer3(0, rest)
+
+	case op == "call":
+		in.Op = OpCall
+		if !strings.HasPrefix(rest, "@") {
+			return nil, "", p.errf("call needs a function name")
+		}
+		open := strings.Index(rest, "(")
+		callee := p.mod.Func(rest[1:open])
+		if callee == nil {
+			return nil, "", p.errf("unknown function %s", rest[:open])
+		}
+		in.Callee = callee
+		in.Typ = callee.Sig.Ret
+		deferAll(argList(rest[open:]))
+
+	case op == "icall":
+		in.Op = OpICall
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			return nil, "", p.errf("icall needs arguments")
+		}
+		defer3(0, rest[:open])
+		for i, a := range argList(rest[open:]) {
+			defer3(i+1, a)
+		}
+		// FSig is reconstructed after operand resolution (finishICalls).
+		if in.Typ == nil {
+			in.Typ = Void
+		}
+
+	case op == "ret":
+		in.Op = OpRet
+		if strings.TrimSpace(rest) != "" {
+			defer3(0, rest)
+		}
+
+	case op == "br":
+		in.Op = OpBr
+		*pendingBlocks = append(*pendingBlocks, struct {
+			in   *Instr
+			idx  int
+			name string
+			phi  bool
+		}{in, 0, strings.TrimSpace(rest), false})
+
+	case op == "condbr":
+		in.Op = OpCondBr
+		parts := splitTop(rest)
+		if len(parts) != 3 {
+			return nil, "", p.errf("condbr needs cond and two targets")
+		}
+		defer3(0, parts[0])
+		for i, t := range parts[1:] {
+			*pendingBlocks = append(*pendingBlocks, struct {
+				in   *Instr
+				idx  int
+				name string
+				phi  bool
+			}{in, i, strings.TrimSpace(t), false})
+		}
+
+	case op == "phi":
+		in.Op = OpPhi
+		for i, pair := range splitTop(rest) {
+			pair = strings.TrimSpace(pair)
+			if !strings.HasPrefix(pair, "[") || !strings.HasSuffix(pair, "]") {
+				return nil, "", p.errf("phi entry %q must be [value, block]", pair)
+			}
+			inner := splitTop(pair[1 : len(pair)-1])
+			if len(inner) != 2 {
+				return nil, "", p.errf("phi entry %q malformed", pair)
+			}
+			defer3(i, inner[0])
+			*pendingBlocks = append(*pendingBlocks, struct {
+				in   *Instr
+				idx  int
+				name string
+				phi  bool
+			}{in, i, strings.TrimSpace(inner[1]), true})
+		}
+
+	case op == "alloca" || op == "alloca.safe":
+		in.Op = OpAlloca
+		in.SafeSlot = op == "alloca.safe"
+		t, err := p.parseType(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, "", err
+		}
+		in.AllocTy = t
+		in.Typ = Ptr(t)
+
+	case op == "load" || op == "load.volatile":
+		in.Op = OpLoad
+		in.Volatile = op == "load.volatile"
+		defer3(0, rest)
+
+	case op == "store":
+		in.Op = OpStore
+		deferAll(splitTop(rest))
+
+	case op == "fieldaddr":
+		in.Op = OpFieldAddr
+		parts := splitTop(rest)
+		if len(parts) != 2 {
+			return nil, "", p.errf("fieldaddr needs pointer and index")
+		}
+		defer3(0, parts[0])
+		n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, "", p.errf("fieldaddr index %q", parts[1])
+		}
+		in.Field = n
+
+	case op == "indexaddr":
+		in.Op = OpIndexAddr
+		deferAll(splitTop(rest))
+
+	case op == "malloc":
+		in.Op = OpMalloc
+		defer3(0, rest)
+	case op == "free":
+		in.Op = OpFree
+		defer3(0, rest)
+	case op == "realloc":
+		in.Op = OpRealloc
+		deferAll(splitTop(rest))
+	case op == "memcpy":
+		in.Op = OpMemcpy
+		deferAll(splitTop(rest))
+	case op == "memmove":
+		in.Op = OpMemmove
+		deferAll(splitTop(rest))
+	case op == "memset":
+		in.Op = OpMemset
+		deferAll(splitTop(rest))
+
+	case strings.HasPrefix(op, "syscall"):
+		in.Op = OpSyscall
+		// form: syscall N(args)
+		open := strings.Index(body, "(")
+		if open < 0 {
+			return nil, "", p.errf("syscall needs parentheses")
+		}
+		numStr := strings.TrimSpace(strings.TrimPrefix(body[:open], "syscall"))
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			return nil, "", p.errf("syscall number %q", numStr)
+		}
+		in.SyscallNo = n
+		in.Typ = I64
+		deferAll(argList(body[open:]))
+
+	default:
+		// Runtime ops: name[extra](args). The extra may itself contain
+		// parentheses (type signatures), so find the argument paren at
+		// square-bracket depth zero.
+		var rtName, extra string
+		open := -1
+		brDepth := 0
+		for i := 0; i < len(body); i++ {
+			switch body[i] {
+			case '[':
+				brDepth++
+			case ']':
+				brDepth--
+			case '(':
+				if brDepth == 0 {
+					open = i
+				}
+			}
+			if open >= 0 {
+				break
+			}
+		}
+		if open < 0 {
+			return nil, "", p.errf("unknown instruction %q", op)
+		}
+		head := body[:open]
+		if br := strings.Index(head, "["); br >= 0 {
+			rtName = head[:br]
+			end := strings.LastIndex(head, "]")
+			if end < br {
+				return nil, "", p.errf("unbalanced runtime extra in %q", head)
+			}
+			extra = head[br+1 : end]
+		} else {
+			rtName = head
+		}
+		rt, ok := runtimeByName[strings.TrimSpace(rtName)]
+		if !ok {
+			return nil, "", p.errf("unknown instruction %q", rtName)
+		}
+		in.Op = OpRuntime
+		in.RT = rt
+		switch rt {
+		case RTSyscallSync:
+			n, err := strconv.Atoi(extra)
+			if err != nil {
+				return nil, "", p.errf("syscall-sync number %q", extra)
+			}
+			in.SyscallNo = n
+		case RTRecursionGuardEnter, RTRecursionGuardExit:
+			n, err := strconv.Atoi(extra)
+			if err != nil {
+				return nil, "", p.errf("guard id %q", extra)
+			}
+			in.GuardID = n
+		case RTClangCFICheck, RTMACStore, RTMACCheck, RTMACRetStore, RTMACRetCheck:
+			in.ClassSig = extra
+		}
+		deferAll(argList(body[open:]))
+	}
+
+	if in.Op == OpInvalid {
+		return nil, "", p.errf("unknown instruction %q", op)
+	}
+	if in.Typ == nil {
+		in.Typ = Void
+	}
+	return in, resName, nil
+}
+
+// finishICalls reconstructs the static signature of indirect calls from the
+// resolved operand types (the same information the printer had).
+func finishICalls(m *Module) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != OpICall {
+					continue
+				}
+				var params []*Type
+				for _, a := range in.Args[1:] {
+					params = append(params, a.Type())
+				}
+				in.FSig = FuncType(in.Type(), params...)
+			}
+		}
+	}
+}
+
+// parseType parses a type string: void, iN, %struct, [N x T], vtable[N x T],
+// ret(params) function types, with trailing '*' pointers.
+func (p *parser) parseType(s string) (*Type, error) {
+	s = strings.TrimSpace(s)
+	// Count and strip trailing pointer stars that belong to the whole
+	// type (i.e. at depth zero).
+	stars := 0
+	for strings.HasSuffix(s, "*") {
+		s = s[:len(s)-1]
+		stars++
+	}
+	t, err := p.parseBaseType(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < stars; i++ {
+		t = Ptr(t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseBaseType(s string) (*Type, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "void":
+		return Void, nil
+	case "i8":
+		return I8, nil
+	case "i16":
+		return I16, nil
+	case "i32":
+		return I32, nil
+	case "i64":
+		return I64, nil
+	}
+	if strings.HasPrefix(s, "%") {
+		st, ok := p.structs[s[1:]]
+		if !ok {
+			return nil, p.errf("unknown struct type %s", s)
+		}
+		return st, nil
+	}
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "vtable[") {
+		vt := strings.HasPrefix(s, "vtable[")
+		inner := s[strings.Index(s, "[")+1:]
+		if !strings.HasSuffix(inner, "]") {
+			return nil, p.errf("unbalanced array type %q", s)
+		}
+		inner = inner[:len(inner)-1]
+		x := strings.Index(inner, " x ")
+		if x < 0 {
+			return nil, p.errf("array type %q needs 'N x T'", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(inner[:x]))
+		if err != nil {
+			return nil, p.errf("array length %q", inner[:x])
+		}
+		elem, err := p.parseType(inner[x+3:])
+		if err != nil {
+			return nil, err
+		}
+		at := ArrayType(elem, n)
+		at.VTable = vt
+		return at, nil
+	}
+	// Function type: ret(params). Find the top-level '('.
+	if open := topLevelParen(s); open >= 0 {
+		ret, err := p.parseType(s[:open])
+		if err != nil {
+			return nil, err
+		}
+		close := matchParen(s, open)
+		if close != len(s)-1 {
+			return nil, p.errf("malformed function type %q", s)
+		}
+		var params []*Type
+		inner := strings.TrimSpace(s[open+1 : close])
+		if inner != "" {
+			for _, ps := range splitTop(inner) {
+				pt, err := p.parseType(ps)
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, pt)
+			}
+		}
+		return FuncType(ret, params...), nil
+	}
+	return nil, p.errf("unknown type %q", s)
+}
+
+// --- small text helpers ---
+
+// splitWord splits the first whitespace-delimited word off s.
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+// splitTop splits s on top-level commas (ignoring commas inside (), [], {}).
+func splitTop(s string) []string {
+	var out []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[last:]) != "" {
+		out = append(out, strings.TrimSpace(s[last:]))
+	}
+	return out
+}
+
+// argList parses "(a, b, c)" into its comma-separated elements.
+func argList(s string) []string {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") {
+		return nil
+	}
+	close := matchParen(s, 0)
+	if close < 0 {
+		return nil
+	}
+	inner := strings.TrimSpace(s[1:close])
+	if inner == "" {
+		return nil
+	}
+	return splitTop(inner)
+}
+
+// matchParen returns the index of the ')' matching the '(' at open.
+func matchParen(s string, open int) int {
+	depth := 0
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// topLevelParen returns the index of the first '(' at bracket depth zero
+// that is not at position 0 (a function type has a return type before it).
+func topLevelParen(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '(':
+			if depth == 0 && i > 0 {
+				return i
+			}
+			if depth == 0 && i == 0 {
+				return -1
+			}
+		}
+	}
+	return -1
+}
+
+// splitTypeAnnotation splits "body : T" at the first top-level " : "
+// scanning from the right.
+func splitTypeAnnotation(line string) (string, string) {
+	depth := 0
+	for i := len(line) - 1; i >= 2; i-- {
+		switch line[i] {
+		case ')', ']', '}':
+			depth++
+		case '(', '[', '{':
+			depth--
+		case ':':
+			if depth == 0 && line[i-1] == ' ' && i+1 < len(line) && line[i+1] == ' ' {
+				return strings.TrimSpace(line[:i-1]), strings.TrimSpace(line[i+2:])
+			}
+		}
+	}
+	return strings.TrimSpace(line), ""
+}

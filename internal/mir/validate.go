@@ -1,0 +1,215 @@
+package mir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidIR is wrapped by all validation failures.
+var ErrInvalidIR = errors.New("mir: invalid IR")
+
+// Validate checks structural well-formedness of every function in the
+// module: exactly one terminator per block (at the end), phis only at block
+// heads with one entry per predecessor, operands defined somewhere in the
+// same function, branch targets within the function, and call-site arity
+// matching the callee signature. It is run by tests after construction and
+// after every instrumentation pass, so a buggy pass cannot silently produce
+// garbage that the interpreter would misexecute.
+func Validate(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := validateFunc(f); err != nil {
+			return fmt.Errorf("%w: func @%s: %v", ErrInvalidIR, f.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateFunc(f *Func) error {
+	if f.Intrinsic {
+		if len(f.Blocks) != 0 {
+			return fmt.Errorf("intrinsic function has a body")
+		}
+		return nil
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	defined := make(map[*Instr]bool)
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+		for _, in := range b.Instrs {
+			defined[in] = true
+		}
+	}
+	preds := predecessors(f)
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s: empty", b)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.IsTerminator() != isLast {
+				return fmt.Errorf("block %s: terminator misplaced at %d (%s)", b, i, in.Op)
+			}
+			if in.Op == OpPhi {
+				if i > 0 && b.Instrs[i-1].Op != OpPhi {
+					return fmt.Errorf("block %s: phi not at head", b)
+				}
+				if len(in.Args) != len(in.PhiBlocks) {
+					return fmt.Errorf("block %s: phi arg/block mismatch", b)
+				}
+				if len(in.Args) != len(preds[b]) {
+					return fmt.Errorf("block %s: phi has %d entries, block has %d preds",
+						b, len(in.Args), len(preds[b]))
+				}
+				for _, pb := range in.PhiBlocks {
+					if !containsBlock(preds[b], pb) {
+						return fmt.Errorf("block %s: phi names non-predecessor %s", b, pb)
+					}
+				}
+			}
+			for ai, a := range in.Args {
+				if a == nil {
+					return fmt.Errorf("block %s: %s arg %d is nil", b, in.Op, ai)
+				}
+				switch v := a.(type) {
+				case *Instr:
+					if !defined[v] {
+						return fmt.Errorf("block %s: %s uses foreign instruction %s", b, in.Op, v.Ref())
+					}
+				case *Param:
+					if v.Idx >= len(f.Params) || f.Params[v.Idx] != v {
+						return fmt.Errorf("block %s: %s uses foreign parameter %s", b, in.Op, v.Ref())
+					}
+				}
+			}
+			for _, t := range in.Targets {
+				if !blockSet[t] {
+					return fmt.Errorf("block %s: branch to foreign block %s", b, t)
+				}
+			}
+			if err := validateInstr(in); err != nil {
+				return fmt.Errorf("block %s: %v", b, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateInstr(in *Instr) error {
+	wantArgs := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("%s: %d args, want %d", in.Op, len(in.Args), n)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAlloca:
+		if in.AllocTy == nil {
+			return fmt.Errorf("alloca without type")
+		}
+		return wantArgs(0)
+	case OpLoad:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("load from non-pointer %s", in.Args[0].Type())
+		}
+	case OpStore:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		if !in.Args[1].Type().IsPtr() {
+			return fmt.Errorf("store to non-pointer %s", in.Args[1].Type())
+		}
+	case OpFieldAddr:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		pt := in.Args[0].Type()
+		if !pt.IsPtr() || pt.Elem.Kind != KindStruct || in.Field >= len(pt.Elem.Fields) {
+			return fmt.Errorf("fieldaddr %d of %s", in.Field, pt)
+		}
+	case OpIndexAddr:
+		return wantArgs(2)
+	case OpBin, OpCmp:
+		return wantArgs(2)
+	case OpCast:
+		if in.Typ == nil {
+			return fmt.Errorf("cast without result type")
+		}
+		return wantArgs(1)
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Sig.Params) {
+			return fmt.Errorf("call @%s: %d args, want %d",
+				in.Callee.Name, len(in.Args), len(in.Callee.Sig.Params))
+		}
+	case OpICall:
+		if in.FSig == nil || in.FSig.Kind != KindFunc {
+			return fmt.Errorf("icall without function signature")
+		}
+		if len(in.Args) == 0 {
+			return fmt.Errorf("icall without target")
+		}
+		if len(in.Args)-1 != len(in.FSig.Params) {
+			return fmt.Errorf("icall: %d args, want %d", len(in.Args)-1, len(in.FSig.Params))
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("ret with %d values", len(in.Args))
+		}
+	case OpBr:
+		if len(in.Targets) != 1 {
+			return fmt.Errorf("br with %d targets", len(in.Targets))
+		}
+	case OpCondBr:
+		if len(in.Targets) != 2 {
+			return fmt.Errorf("condbr with %d targets", len(in.Targets))
+		}
+		return wantArgs(1)
+	case OpMalloc:
+		return wantArgs(1)
+	case OpFree:
+		return wantArgs(1)
+	case OpRealloc:
+		return wantArgs(2)
+	case OpMemcpy, OpMemmove, OpMemset:
+		return wantArgs(3)
+	case OpSyscall:
+		// any arity
+	case OpRuntime:
+		if in.RT == RTNone {
+			return fmt.Errorf("runtime op without RT")
+		}
+	case OpPhi:
+		// checked by validateFunc
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	return nil
+}
+
+// predecessors computes the predecessor lists for every block of f.
+func predecessors(f *Func) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

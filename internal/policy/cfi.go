@@ -1,0 +1,123 @@
+package policy
+
+import "herqules/internal/ipc"
+
+// CFI is the pointer-integrity control-flow-integrity policy (§4.1.2): the
+// verifier keeps an authoritative copy of every writable control-flow
+// pointer, keyed by its address. A Pointer-Check that disagrees with the
+// stored copy — or that refers to a pointer that was never defined or was
+// invalidated — is a violation. Tracking pointer lifetime is what lets
+// HQ-CFI detect use-after-free on control-flow pointers, which no prior CFI
+// design supports (Table 3).
+type CFI struct {
+	// table maps pointer address -> expected pointer value. Each entry is
+	// the verifier-side 16-byte pointer-value pair of §5.4.
+	table map[uint64]uint64
+	// maxEntries tracks the high-water mark for the §5.4 metrics.
+	maxEntries int
+}
+
+// NewCFI creates an empty pointer-integrity context.
+func NewCFI() *CFI {
+	return &CFI{table: make(map[uint64]uint64)}
+}
+
+// Name implements Policy.
+func (c *CFI) Name() string { return "hq-cfi" }
+
+// Entries implements Policy.
+func (c *CFI) Entries() int { return len(c.table) }
+
+// MaxEntries reports the table's high-water mark.
+func (c *CFI) MaxEntries() int { return c.maxEntries }
+
+// Clone implements Policy.
+func (c *CFI) Clone() Policy {
+	n := NewCFI()
+	for k, v := range c.table {
+		n.table[k] = v
+	}
+	n.maxEntries = c.maxEntries
+	return n
+}
+
+// Handle implements Policy, dispatching the §4.1.3/§4.1.5 message set.
+func (c *CFI) Handle(m ipc.Message) *Violation {
+	switch m.Op {
+	case ipc.OpPointerDefine:
+		c.define(m.Arg1, m.Arg2)
+	case ipc.OpPointerCheck:
+		return c.check(m, false)
+	case ipc.OpPointerCheckInvalidate:
+		return c.check(m, true)
+	case ipc.OpPointerInvalidate:
+		delete(c.table, m.Arg1)
+	case ipc.OpPointerBlockCopy:
+		c.blockCopy(m.Arg1, m.Arg2, m.Arg3, false)
+	case ipc.OpPointerBlockMove:
+		c.blockCopy(m.Arg1, m.Arg2, m.Arg3, true)
+	case ipc.OpPointerBlockInvalidate:
+		c.blockInvalidate(m.Arg1, m.Arg2)
+	}
+	return nil
+}
+
+func (c *CFI) define(addr, val uint64) {
+	c.table[addr] = val
+	if len(c.table) > c.maxEntries {
+		c.maxEntries = len(c.table)
+	}
+}
+
+func (c *CFI) check(m ipc.Message, invalidate bool) *Violation {
+	stored, ok := c.table[m.Arg1]
+	if !ok {
+		return &Violation{
+			PID: m.PID, Op: m.Op, Addr: m.Arg1, Value: m.Arg2,
+			Reason: "pointer not defined: corrupt or use-after-free",
+		}
+	}
+	if stored != m.Arg2 {
+		return &Violation{
+			PID: m.PID, Op: m.Op, Addr: m.Arg1, Value: m.Arg2,
+			Reason: "pointer value mismatch: corrupt",
+		}
+	}
+	if invalidate {
+		delete(c.table, m.Arg1)
+	}
+	return nil
+}
+
+// blockCopy implements Pointer-Block-Copy/-Move: all tracked pointers in
+// [src, src+n) are transplanted to the same offsets in [dst, dst+n). The
+// ranges of a copy may intersect (memmove semantics), so matching entries
+// are gathered before the destination range is cleared. A move additionally
+// removes the source entries.
+func (c *CFI) blockCopy(src, dst, n uint64, move bool) {
+	type ent struct{ off, val uint64 }
+	var found []ent
+	for a, v := range c.table {
+		if a >= src && a-src < n {
+			found = append(found, ent{off: a - src, val: v})
+			if move {
+				delete(c.table, a)
+			}
+		}
+	}
+	// Pre-existing destination pointers are invalidated.
+	c.blockInvalidate(dst, n)
+	for _, e := range found {
+		c.define(dst+e.off, e.val)
+	}
+}
+
+func (c *CFI) blockInvalidate(addr, n uint64) {
+	for a := range c.table {
+		if a >= addr && a-addr < n {
+			delete(c.table, a)
+		}
+	}
+}
+
+var _ Policy = (*CFI)(nil)

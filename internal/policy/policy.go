@@ -1,0 +1,43 @@
+// Package policy implements the verifier-side execution policies of the
+// paper: the control-flow-integrity pointer-integrity policy of the case
+// study (§4.1), the memory-safety allocation policy sketched in §4.2, and
+// the toy function-call counter from the §2 overview. A policy consumes
+// AppendWrite messages and reports violations; it holds all of its state
+// outside the monitored process, which is the entire point of HerQules —
+// a memory-safety bug in the program cannot reach this metadata.
+package policy
+
+import (
+	"fmt"
+
+	"herqules/internal/ipc"
+)
+
+// Violation describes a failed policy check.
+type Violation struct {
+	PID    int32
+	Op     ipc.Op
+	Addr   uint64
+	Value  uint64
+	Reason string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("policy violation (pid %d, %s): %s [addr=%#x value=%#x]",
+		v.PID, v.Op, v.Reason, v.Addr, v.Value)
+}
+
+// Policy is one execution policy attached to a monitored process context.
+type Policy interface {
+	// Name identifies the policy in diagnostics.
+	Name() string
+	// Handle processes one message, returning a non-nil Violation when a
+	// check fails. Messages whose Op the policy does not recognize must be
+	// ignored (multiple policies can share one message stream).
+	Handle(m ipc.Message) *Violation
+	// Clone duplicates the policy state for a forked child (§3.4).
+	Clone() Policy
+	// Entries reports the current number of metadata entries, used for
+	// the paper's §5.4 memory-overhead metrics.
+	Entries() int
+}

@@ -1,0 +1,421 @@
+// Package ripe reproduces the RIPE64 buffer-overflow test suite used for
+// the paper's effectiveness evaluation (§5.2, Table 5). Each attack is a
+// real MIR program containing a memory-safety bug: a buffer whose overflow
+// (or an arbitrary write derived from it) corrupts a control-flow target —
+// a function pointer, a longjmp buffer, a vtable pointer, or a return
+// address — after which the program performs the corrupted transfer. The
+// payload "shellcode" signals success through a marker system call, exactly
+// as RIPE verifies exploits via system calls; an exploit therefore succeeds
+// only if attacker-chosen code actually runs *and* the process survives to
+// make the call.
+//
+// The suite enumerates 954 attack instances — the number of exploits that
+// succeed on the paper's unprotected baseline — across four overflow
+// origins (BSS, Data, Heap, Stack) and the attack kinds below. ASLR is
+// disabled (as in §5.2), so code and data addresses are compile-time
+// constants in the attack payloads; only safe-region placement remains
+// hidden, and the disclosure attacks use the compiler built-in the paper
+// describes to reveal it.
+package ripe
+
+import (
+	"fmt"
+
+	"herqules/internal/mir"
+	"herqules/internal/vm"
+)
+
+// Origin is the segment the overflowed buffer lives in (Table 5's rows).
+type Origin int
+
+// Overflow origins.
+const (
+	OriginBSS Origin = iota
+	OriginData
+	OriginHeap
+	OriginStack
+)
+
+var originNames = [...]string{"BSS", "Data", "Heap", "Stack"}
+
+func (o Origin) String() string { return originNames[o] }
+
+// Origins lists all four overflow origins.
+func Origins() []Origin { return []Origin{OriginBSS, OriginData, OriginHeap, OriginStack} }
+
+// Kind is the attack technique/target combination.
+type Kind int
+
+// Attack kinds.
+const (
+	// KindFuncPtrSameClass overwrites a function pointer with a function
+	// of the *same* type class — the return-to-libc-style code reuse that
+	// defeats coarse-grained CFI.
+	KindFuncPtrSameClass Kind = iota
+	// KindFuncPtrDiffClass overwrites a function pointer with shellcode
+	// of a different class.
+	KindFuncPtrDiffClass
+	// KindFuncPtrUnsafeLocal (stack only) targets a stack function
+	// pointer whose address escapes, so the safe-stack pass must leave it
+	// on the unsafe stack.
+	KindFuncPtrUnsafeLocal
+	// KindLongjmp corrupts the code pointer inside a jmp_buf-like
+	// structure before a longjmp-style dispatch.
+	KindLongjmp
+	// KindVTable redirects an object's vtable pointer to an
+	// attacker-built fake vtable.
+	KindVTable
+	// KindRetIndirect corrupts a data pointer and writes the plain-stack
+	// return-slot address through it (layout knowledge, no disclosure).
+	KindRetIndirect
+	// KindRetDirect (stack only) is the classic contiguous stack smash
+	// into the frame's return slot.
+	KindRetDirect
+	// KindRetDisclosure uses the compiler built-in to obtain the *actual*
+	// return-slot address — wherever the design hid it — and writes
+	// through it (the information-hiding defeat of §5.2).
+	KindRetDisclosure
+	// KindRetLinear (stack only) writes contiguously from the buffer up
+	// to the disclosed return slot: it reaches an adjacent safe stack but
+	// faults on a guard page.
+	KindRetLinear
+)
+
+var kindNames = [...]string{
+	"funcptr-same-class", "funcptr-diff-class", "funcptr-unsafe-local",
+	"longjmp", "vtable", "ret-indirect", "ret-direct", "ret-disclosure",
+	"ret-linear",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Attack identifies one exploit instance.
+type Attack struct {
+	Origin  Origin
+	Kind    Kind
+	Variant int
+}
+
+// Name returns a unique identifier.
+func (a Attack) Name() string {
+	return fmt.Sprintf("%s/%s/%d", a.Origin, a.Kind, a.Variant)
+}
+
+// suiteCounts gives the number of variants per (origin, kind); the totals
+// per origin (214, 234, 234, 272; 954 overall) match the baseline row of
+// Table 5.
+var suiteCounts = map[Origin]map[Kind]int{
+	OriginBSS: {
+		KindFuncPtrSameClass: 50, KindFuncPtrDiffClass: 90, KindLongjmp: 20,
+		KindVTable: 20, KindRetIndirect: 24, KindRetDisclosure: 10,
+	},
+	OriginData: {
+		KindFuncPtrSameClass: 50, KindFuncPtrDiffClass: 110, KindLongjmp: 20,
+		KindVTable: 20, KindRetIndirect: 24, KindRetDisclosure: 10,
+	},
+	OriginHeap: {
+		KindFuncPtrSameClass: 50, KindFuncPtrDiffClass: 110, KindLongjmp: 20,
+		KindVTable: 20, KindRetIndirect: 24, KindRetDisclosure: 10,
+	},
+	OriginStack: {
+		KindFuncPtrSameClass: 40, KindFuncPtrUnsafeLocal: 10,
+		KindFuncPtrDiffClass: 110, KindLongjmp: 20, KindVTable: 20,
+		KindRetDirect: 62, KindRetLinear: 10,
+	},
+}
+
+// Suite enumerates all 954 attacks in deterministic order.
+func Suite() []Attack {
+	var out []Attack
+	for _, o := range Origins() {
+		for k := KindFuncPtrSameClass; k <= KindRetLinear; k++ {
+			for v := 0; v < suiteCounts[o][k]; v++ {
+				out = append(out, Attack{Origin: o, Kind: k, Variant: v})
+			}
+		}
+	}
+	return out
+}
+
+// handlerSig is the victim function-pointer class; shellSig is the
+// attacker's different class.
+var (
+	handlerSig = mir.FuncType(mir.I64, mir.I64)
+	shellSig   = mir.FuncType(mir.Void)
+)
+
+const numDecoys = 10
+
+// attackParts holds the common program pieces.
+type attackParts struct {
+	b      *mir.Builder
+	shell  *mir.Func   // different-class payload
+	decoys []*mir.Func // same-class payloads ("system()"-alikes)
+	legit  *mir.Func   // the benign handler initially installed
+	vtType *mir.Type
+	realVT *mir.Global
+	fakeVT *mir.Global
+}
+
+// addrOf returns the compile-time constant address of f (ASLR disabled).
+func addrOf(mod *mir.Module, f *mir.Func) uint64 {
+	for i, g := range mod.Funcs {
+		if g == f {
+			return vm.StaticFuncAddr(i)
+		}
+	}
+	panic("ripe: function not in module")
+}
+
+// buildParts creates payloads and shared globals. All payload functions run
+// the exploit marker; same-class decoys additionally match the victim
+// pointer's type so coarse-grained class checks accept them.
+func buildParts(mod *mir.Module) *attackParts {
+	b := mir.NewBuilder(mod)
+	p := &attackParts{b: b}
+
+	p.shell = b.Func("shellcode", shellSig)
+	b.Syscall(vm.SysMarkExploit)
+	b.Ret(nil)
+
+	for i := 0; i < numDecoys; i++ {
+		d := b.Func(fmt.Sprintf("decoy%d", i), handlerSig, "x")
+		b.Syscall(vm.SysMarkExploit)
+		b.Ret(d.Params[0])
+		p.decoys = append(p.decoys, d)
+	}
+
+	p.legit = b.Func("legit", handlerSig, "x")
+	b.Ret(b.Add(p.legit.Params[0], mir.ConstInt(1)))
+
+	p.vtType = mir.VTableType(handlerSig, 2)
+	p.realVT = b.Global("real_vtable", p.vtType, "data")
+	p.realVT.ReadOnly = true
+	p.realVT.InitFuncs[0] = p.legit
+	p.realVT.InitFuncs[1] = p.legit
+	p.legit.AddressTaken = true
+
+	// The fake vtable is ordinary attacker-writable data containing the
+	// shellcode address.
+	p.fakeVT = b.Global("fake_vtable", mir.ArrayType(mir.I64, 2), "data")
+	p.fakeVT.InitFuncs[0] = p.shell
+	p.fakeVT.InitFuncs[1] = p.shell
+	p.shell.AddressTaken = true
+	return p
+}
+
+// payloadAddr picks the attack's payload address: a same-class decoy or the
+// different-class shellcode.
+func (a Attack) payloadAddr(mod *mir.Module, p *attackParts) uint64 {
+	switch a.Kind {
+	case KindFuncPtrSameClass, KindFuncPtrUnsafeLocal:
+		return addrOf(mod, p.decoys[a.Variant%numDecoys])
+	default:
+		return addrOf(mod, p.shell)
+	}
+}
+
+// Build constructs the attack program. Its main returns 0 on a "clean" run;
+// the exploit marker records success.
+func (a Attack) Build() *mir.Module {
+	mod := mir.NewModule("ripe_" + a.Name())
+	p := buildParts(mod)
+	b := p.b
+
+	switch a.Kind {
+	case KindFuncPtrSameClass, KindFuncPtrDiffClass, KindFuncPtrUnsafeLocal:
+		a.buildFuncPtr(mod, p)
+	case KindLongjmp:
+		a.buildLongjmp(mod, p)
+	case KindVTable:
+		a.buildVTable(mod, p)
+	case KindRetIndirect, KindRetDisclosure:
+		a.buildRetWrite(mod, p)
+	case KindRetDirect:
+		a.buildRetDirect(mod, p)
+	case KindRetLinear:
+		a.buildRetLinear(mod, p)
+	}
+
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Call(mod.Func("vuln"))
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	return mod
+}
+
+// originBuffers returns (buffer address value, adjacent slot address value)
+// for the attack's origin: a 4-word buffer with the victim slot directly
+// after it. The builder must be positioned inside vuln.
+func (a Attack) originBuffers(p *attackParts, slotElem *mir.Type) (buf, slot mir.Value) {
+	b := p.b
+	switch a.Origin {
+	case OriginBSS:
+		g1 := b.Global("buf", mir.ArrayType(mir.I64, 4), "bss")
+		g2 := b.Global("victim", slotElem, "bss")
+		return g1, g2
+	case OriginData:
+		g1 := b.Global("buf", mir.ArrayType(mir.I64, 4), "data")
+		g1.InitWords = []uint64{1, 2, 3, 4}
+		g2 := b.Global("victim", slotElem, "data")
+		return g1, g2
+	case OriginHeap:
+		// First-fit allocation lays consecutive mallocs out adjacently.
+		rawBuf := b.Malloc(mir.ConstInt(32))
+		rawSlot := b.Malloc(mir.ConstInt((slotElem.Size() + 15) &^ 15))
+		return b.Cast(rawBuf, mir.Ptr(mir.ArrayType(mir.I64, 4))),
+			b.Cast(rawSlot, mir.Ptr(slotElem))
+	default: // OriginStack
+		buf := b.Alloca("buf", mir.ArrayType(mir.I64, 4))
+		slot := b.Alloca("victim", slotElem)
+		return buf, slot
+	}
+}
+
+// overflow writes the payload word over buf[0..n): the memory-safety bug.
+func overflow(b *mir.Builder, buf mir.Value, payload mir.Value, n int) {
+	for i := 0; i < n; i++ {
+		b.Store(payload, b.IndexAddr(buf, mir.ConstInt(uint64(i))))
+	}
+}
+
+// buildFuncPtr: initialize an adjacent function pointer, smash it, dispatch.
+func (a Attack) buildFuncPtr(mod *mir.Module, p *attackParts) {
+	b := p.b
+	b.Func("vuln", mir.FuncType(mir.Void))
+	buf, slot := a.originBuffers(p, mir.Ptr(handlerSig))
+
+	if a.Kind == KindFuncPtrUnsafeLocal {
+		// Initialize through an escaping pointer so the safe-stack pass
+		// must keep the slot on the unsafe stack.
+		cur := b.Blk
+		initFn := b.Func("init_slot", mir.FuncType(mir.Void, mir.Ptr(mir.Ptr(handlerSig))), "pp")
+		b.Store(b.FuncAddr(p.legit), initFn.Params[0])
+		b.Ret(nil)
+		b.SetBlock(cur)
+		b.Call(initFn, slot)
+	} else {
+		b.Store(b.FuncAddr(p.legit), slot)
+	}
+
+	payload := mir.ConstInt(a.payloadAddr(mod, p))
+	// 5 words: the 4-word buffer plus the adjacent slot. Higher variants
+	// smash a little further, like RIPE's length variations — except on
+	// the stack, where a longer write would walk off the frame.
+	extra := a.Variant % 3
+	if a.Origin == OriginStack {
+		extra = 0
+	}
+	overflow(b, buf, payload, 5+extra)
+
+	fp := b.Load(slot)
+	b.ICall(fp, handlerSig, mir.ConstInt(7))
+	b.Ret(nil)
+}
+
+// buildLongjmp: a jmp_buf-like struct holding a code pointer, corrupted
+// before the longjmp-style dispatch.
+func (a Attack) buildLongjmp(mod *mir.Module, p *attackParts) {
+	b := p.b
+	jmpBuf := mir.StructType("jmp_buf", mir.I64, mir.Ptr(handlerSig))
+	b.Func("vuln", mir.FuncType(mir.Void))
+	buf, jb := a.originBuffers(p, jmpBuf)
+	// setjmp: record the continuation.
+	b.Store(mir.ConstInt(0xdead), b.FieldAddr(jb, 0))
+	b.Store(b.FuncAddr(p.legit), b.FieldAddr(jb, 1))
+	// Overflow across the buffer into the jmp_buf (field 1 is the second
+	// word after its base: buffer words 0..3, jb words 4..5).
+	overflow(b, buf, mir.ConstInt(addrOf(mod, p.shell)), 6)
+	// longjmp: dispatch through the recorded pointer.
+	fp := b.Load(b.FieldAddr(jb, 1))
+	b.ICall(fp, handlerSig, mir.ConstInt(1))
+	b.Ret(nil)
+}
+
+// buildVTable: corrupt an object's vtable pointer to aim at a fake vtable.
+func (a Attack) buildVTable(mod *mir.Module, p *attackParts) {
+	b := p.b
+	objType := mir.StructType("Victim", mir.Ptr(p.vtType), mir.I64)
+	b.Func("vuln", mir.FuncType(mir.Void))
+	buf, obj := a.originBuffers(p, objType)
+	// Construct: install the real vtable.
+	b.Store(p.realVT, b.FieldAddr(obj, 0))
+	b.Store(mir.ConstInt(5), b.FieldAddr(obj, 1))
+	// Overflow replaces the vptr (word 4 after the buffer) with the fake
+	// vtable's address — plain data as far as the program types go.
+	fakeAddr := b.Cast(p.fakeVT, mir.I64)
+	overflow(b, buf, fakeAddr, 5)
+	// Virtual dispatch.
+	vp := b.Load(b.FieldAddr(obj, 0))
+	m := b.Load(b.IndexAddr(vp, mir.ConstInt(uint64(a.Variant%2))))
+	b.ICall(m, handlerSig, mir.ConstInt(2))
+	b.Ret(nil)
+}
+
+// buildRetWrite: corrupt a data pointer in the origin segment so the
+// program's later write lands on a return slot — the plain-stack slot for
+// KindRetIndirect (layout knowledge), the disclosed actual slot for
+// KindRetDisclosure.
+func (a Attack) buildRetWrite(mod *mir.Module, p *attackParts) {
+	b := p.b
+	b.Func("vuln", mir.FuncType(mir.Void))
+	buf, ptrSlot := a.originBuffers(p, mir.Ptr(mir.I64))
+	scratch := b.Alloca("scratch", mir.I64)
+	b.Store(mir.ConstInt(0), scratch)
+	b.Store(scratch, ptrSlot) // P initially points at harmless scratch
+
+	leakNo := vm.SysFrameRetSlotAddr
+	if a.Kind == KindRetDisclosure {
+		leakNo = vm.SysLeakRetSlotAddr
+	}
+	leak := b.Syscall(leakNo)
+	// The overflow redirects P to the return slot. (The address is a
+	// runtime value; the "overflow" is the aliased store below, which no
+	// pointer-integrity instrumentation sees as a code-pointer write.)
+	b.Store(leak, b.Cast(b.IndexAddr(buf, mir.ConstInt(4)), mir.Ptr(mir.I64)))
+	redirected := b.Load(ptrSlot)
+	// The program's own write gadget now writes attacker data through P.
+	b.Store(mir.ConstInt(addrOf(mod, p.shell)), redirected)
+	b.Ret(nil)
+}
+
+// buildRetDirect: the classic contiguous stack smash.
+func (a Attack) buildRetDirect(mod *mir.Module, p *attackParts) {
+	b := p.b
+	b.Func("vuln", mir.FuncType(mir.Void))
+	buf := b.Alloca("buf", mir.ArrayType(mir.I64, 4))
+	// Words 0..3 fill the buffer; word 4 is the frame's return slot; word
+	// 5 (odd variants) also clobbers the caller's slot.
+	overflow(b, buf, mir.ConstInt(addrOf(mod, p.shell)), 5+a.Variant%2)
+	b.Ret(nil)
+}
+
+// buildRetLinear: contiguous overwrite whose extent is derived from the
+// disclosed return-slot address — it walks off the end of the buffer all the
+// way to the slot, crossing whatever lies between.
+func (a Attack) buildRetLinear(mod *mir.Module, p *attackParts) {
+	b := p.b
+	vuln := b.Func("vuln", mir.FuncType(mir.Void))
+	_ = vuln
+	buf := b.Alloca("buf", mir.ArrayType(mir.I64, 4))
+	leak := b.Syscall(vm.SysLeakRetSlotAddr)
+	bufAddr := b.Cast(buf, mir.I64)
+	count := b.Add(b.Bin(mir.BinShr, b.Sub(leak, bufAddr), mir.ConstInt(3)), mir.ConstInt(1))
+
+	entry := b.Blk
+	head := b.Block("head")
+	body := b.Block("body")
+	done := b.Block("done")
+	b.Br(head)
+	b.SetBlock(head)
+	i := b.Phi(mir.I64, mir.ConstInt(0), entry)
+	b.CondBr(b.Cmp(mir.CmpLt, i, count), body, done)
+	b.SetBlock(body)
+	b.Store(mir.ConstInt(addrOf(mod, p.shell)), b.IndexAddr(buf, i))
+	i1 := b.Add(i, mir.ConstInt(1))
+	i.Args, i.PhiBlocks = append(i.Args, i1), append(i.PhiBlocks, body)
+	b.Br(head)
+	b.SetBlock(done)
+	b.Ret(nil)
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"herqules/internal/mir"
+)
+
+func TestMessageCost(t *testing.T) {
+	if got := MessageCost(8); got != 40 {
+		t.Errorf("MessageCost(8ns) = %d, want 40 at 5 GHz", got)
+	}
+	if got := MessageCost(146); got != 730 {
+		t.Errorf("MessageCost(146ns) = %d, want 730", got)
+	}
+	if got := MessageCost(0.1); got != 1 {
+		t.Errorf("MessageCost floor = %d, want 1", got)
+	}
+}
+
+func TestDefaultModelShape(t *testing.T) {
+	m := Default()
+	if m.Instr == 0 || m.Load == 0 || m.Store == 0 || m.Syscall == 0 {
+		t.Error("zero base costs")
+	}
+	// CCFI's per-op cost must exceed every other design's in-process
+	// check, and Clang's must exceed CPI's — the Table 3 performance
+	// ordering depends on it.
+	if !(m.Runtime[mir.RTMACCheck] > m.Runtime[mir.RTClangCFICheck]) {
+		t.Error("MAC check not more expensive than Clang-CFI check")
+	}
+	if !(m.Runtime[mir.RTClangCFICheck] > m.Runtime[mir.RTSafeStoreGet]) {
+		t.Error("Clang-CFI check not more expensive than a safe-store access")
+	}
+	// Message-site instruction overhead exists for every HQ op.
+	for _, rt := range []mir.RuntimeOp{
+		mir.RTPointerDefine, mir.RTPointerCheck, mir.RTPointerInvalidate,
+		mir.RTSyscallSync, mir.RTRetDefine, mir.RTRetCheckInvalidate,
+	} {
+		if m.Runtime[rt] == 0 {
+			t.Errorf("no site overhead for %v", rt)
+		}
+	}
+}
+
+func TestWithMessagingIsACopy(t *testing.T) {
+	base := Default()
+	msg := base.WithMessaging(100)
+	if msg.MessageSend != 100 {
+		t.Errorf("MessageSend = %d", msg.MessageSend)
+	}
+	if base.MessageSend != 0 {
+		t.Error("WithMessaging mutated the base model")
+	}
+	msg.Runtime[mir.RTPointerCheck] = 999
+	if base.Runtime[mir.RTPointerCheck] == 999 {
+		t.Error("Runtime map shared between copies")
+	}
+}
+
+func TestRuntimeCostNilMap(t *testing.T) {
+	m := &CostModel{}
+	if m.RuntimeCost(mir.RTPointerCheck) != 0 {
+		t.Error("nil Runtime map should cost 0")
+	}
+}

@@ -1,0 +1,129 @@
+package uarch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"herqules/internal/ipc"
+	"herqules/internal/mem"
+)
+
+// MultiCore models the multi-writer configuration of §2.3.2: AMRs are
+// configured through core-local registers, so cross-core writers are not
+// supported — instead each writer core is assigned a unique AMR, and a
+// single reader core iteratively receives messages from all mapped AMRs.
+//
+// Most execution policies, including control-flow integrity, need no
+// cross-core message ordering; when a policy does, each message can carry
+// the value of a global counter (the processor timestamp counter), which
+// CoreSender stamps into Arg3 when ordering is enabled (§4.3).
+type MultiCore struct {
+	devices []*Device
+	// tsc is the shared timestamp counter used for optional ordering.
+	tsc atomic.Uint64
+
+	mu     sync.Mutex
+	closed int // count of closed writers
+}
+
+// NewMultiCore maps one AMR of amrSize bytes per core inside memory,
+// starting at base, with a one-page gap between AMRs.
+func NewMultiCore(memory *mem.Memory, base uint64, cores int, amrSize uint64) (*MultiCore, error) {
+	mc := &MultiCore{}
+	addr := base
+	for i := 0; i < cores; i++ {
+		d, err := NewDevice(memory, addr, amrSize)
+		if err != nil {
+			return nil, err
+		}
+		mc.devices = append(mc.devices, d)
+		addr += amrSize + mem.PageSize
+	}
+	return mc, nil
+}
+
+// Cores reports the number of writer cores.
+func (mc *MultiCore) Cores() int { return len(mc.devices) }
+
+// CoreSender is one core's writer endpoint.
+type CoreSender struct {
+	mc   *MultiCore
+	core int
+	// Ordered stamps each message's Arg3 with the global timestamp
+	// counter, enabling cross-core ordering at the reader (§4.3).
+	Ordered bool
+}
+
+// Sender returns the writer endpoint for a core.
+func (mc *MultiCore) Sender(core int) *CoreSender {
+	return &CoreSender{mc: mc, core: core}
+}
+
+// Send implements ipc.Sender for the core.
+func (s *CoreSender) Send(m ipc.Message) error {
+	if s.Ordered {
+		m.Arg3 = s.mc.tsc.Add(1)
+	}
+	return s.mc.devices[s.core].Append(m)
+}
+
+// Close implements ipc.Sender.
+func (s *CoreSender) Close() error {
+	s.mc.mu.Lock()
+	s.mc.closed++
+	s.mc.mu.Unlock()
+	return s.mc.devices[s.core].Close()
+}
+
+var _ ipc.Sender = (*CoreSender)(nil)
+
+// Reader is the single reader core: it polls every AMR round-robin.
+type Reader struct {
+	mc   *MultiCore
+	next int
+}
+
+// Reader returns the reader endpoint.
+func (mc *MultiCore) Reader() *Reader { return &Reader{mc: mc} }
+
+// TryRecv returns the next available message from any AMR (round-robin),
+// without blocking.
+func (r *Reader) TryRecv() (ipc.Message, bool, error) {
+	n := len(r.mc.devices)
+	for i := 0; i < n; i++ {
+		d := r.mc.devices[(r.next+i)%n]
+		m, ok, err := d.TryRecv()
+		if err != nil {
+			return m, ok, err
+		}
+		if ok {
+			r.next = (r.next + i + 1) % n
+			return m, true, nil
+		}
+	}
+	return ipc.Message{}, false, nil
+}
+
+// Recv blocks until a message is available on any AMR, or every writer has
+// closed and all AMRs are drained.
+func (r *Reader) Recv() (ipc.Message, bool, error) {
+	for {
+		m, ok, err := r.TryRecv()
+		if ok || err != nil {
+			return m, ok, err
+		}
+		r.mc.mu.Lock()
+		done := r.mc.closed == len(r.mc.devices)
+		r.mc.mu.Unlock()
+		if done {
+			// Final drain pass: a writer may have appended between
+			// our scan and its close.
+			if m, ok, err := r.TryRecv(); ok || err != nil {
+				return m, ok, err
+			}
+			return ipc.Message{}, false, nil
+		}
+	}
+}
+
+var _ ipc.Receiver = (*Reader)(nil)

@@ -1,0 +1,239 @@
+// Package verifier implements the HerQules verifier (§3.4): a process (here
+// a component living on the trusted side of the goroutine/ownership boundary)
+// that maintains a policy context for each monitored application, receives
+// AppendWrite messages, evaluates them against the attached policies, and
+// tells the kernel when system calls may resume — or that a program must die.
+package verifier
+
+import (
+	"fmt"
+	"sync"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+)
+
+// Gate is the verifier's view of the kernel (the privileged channel of
+// Figure 1, edges 4a/4b). *kernel.Kernel satisfies it.
+type Gate interface {
+	// NotifySyncReady tells the kernel the verifier has processed all
+	// messages for pid up to a System-Call message without violations.
+	NotifySyncReady(pid int32)
+	// Kill terminates pid for the given reason.
+	Kill(pid int32, reason string)
+}
+
+// PolicyFactory builds a fresh policy set for a newly registered process.
+type PolicyFactory func() []policy.Policy
+
+// procCtx is the verifier-side context for one monitored process.
+type procCtx struct {
+	pid        int32
+	policies   []policy.Policy
+	violations []*policy.Violation
+	messages   uint64
+	lastSeq    uint64
+	seqValid   bool
+}
+
+// Verifier is the policy-enforcement process.
+type Verifier struct {
+	mu      sync.Mutex
+	procs   map[int32]*procCtx
+	factory PolicyFactory
+	gate    Gate
+
+	// KillOnViolation controls whether a violation terminates the
+	// monitored program (the default) or execution continues with the
+	// violation recorded — the paper does the latter when measuring
+	// performance of designs with false positives (§5).
+	KillOnViolation bool
+
+	// CheckSeq enables per-process message-counter verification: a gap in
+	// sequence numbers means messages were dropped or overwritten, which
+	// is itself a fatal integrity violation (§3.1.1).
+	CheckSeq bool
+
+	totalMessages uint64
+}
+
+// New creates a verifier. gate may be nil for standalone policy evaluation.
+func New(factory PolicyFactory, gate Gate) *Verifier {
+	return &Verifier{
+		procs:           make(map[int32]*procCtx),
+		factory:         factory,
+		gate:            gate,
+		KillOnViolation: true,
+	}
+}
+
+// ProcessStarted implements kernel.Listener: allocate a policy context.
+func (v *Verifier) ProcessStarted(pid int32) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.procs[pid] = &procCtx{pid: pid, policies: v.factory()}
+}
+
+// ProcessForked implements kernel.Listener: copy the parent's context.
+func (v *Verifier) ProcessForked(parent, child int32) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	pc, ok := v.procs[parent]
+	if !ok {
+		v.procs[child] = &procCtx{pid: child, policies: v.factory()}
+		return
+	}
+	cc := &procCtx{pid: child}
+	for _, p := range pc.policies {
+		cc.policies = append(cc.policies, p.Clone())
+	}
+	v.procs[child] = cc
+}
+
+// ProcessExited implements kernel.Listener: destroy the context.
+func (v *Verifier) ProcessExited(pid int32) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.procs, pid)
+}
+
+// Deliver processes one message synchronously. It is the single dispatch
+// point used both by Pump (concurrent mode) and by deterministic
+// experiments that evaluate messages inline.
+func (v *Verifier) Deliver(m ipc.Message) {
+	v.mu.Lock()
+	pc, ok := v.procs[m.PID]
+	if !ok {
+		// Message from an unregistered process: ignore. Authenticity is
+		// the kernel's job (PID register, §3.1.1); an unknown PID means
+		// the process never enabled HerQules.
+		v.mu.Unlock()
+		return
+	}
+	v.totalMessages++
+	pc.messages++
+	if v.CheckSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
+		viol := &policy.Violation{PID: m.PID, Op: m.Op,
+			Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
+		pc.violations = append(pc.violations, viol)
+		gate := v.gate
+		v.mu.Unlock()
+		if gate != nil {
+			// Integrity violations are always fatal (§3.1.1).
+			gate.Kill(m.PID, viol.Reason)
+		}
+		return
+	}
+	pc.lastSeq, pc.seqValid = m.Seq, true
+
+	var violated *policy.Violation
+	for _, p := range pc.policies {
+		if viol := p.Handle(m); viol != nil {
+			violated = viol
+			pc.violations = append(pc.violations, viol)
+		}
+	}
+	syscallSync := m.Op == ipc.OpSyscall
+	hasViolations := len(pc.violations) > 0
+	gate := v.gate
+	kill := violated != nil && v.KillOnViolation
+	v.mu.Unlock()
+
+	if gate == nil {
+		return
+	}
+	if kill {
+		gate.Kill(m.PID, violated.Reason)
+		return
+	}
+	if syscallSync {
+		// A System-Call message indicates all outstanding messages have
+		// been processed; resume the syscall unless a prior violation is
+		// pending and fatal (§2.2).
+		if !hasViolations || !v.KillOnViolation {
+			gate.NotifySyncReady(m.PID)
+		}
+	}
+}
+
+// Pump consumes messages from r until the channel closes, delivering each.
+// Run it on its own goroutine for concurrent (paper-accurate) operation. A
+// receive-side integrity error kills the affected process when identifiable,
+// and stops the pump.
+func (v *Verifier) Pump(r ipc.Receiver) {
+	for {
+		m, ok, err := r.Recv()
+		if err != nil {
+			if v.gate != nil && m.PID != 0 {
+				v.gate.Kill(m.PID, "message integrity violated: "+err.Error())
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		v.Deliver(m)
+	}
+}
+
+// Violations returns the violations recorded for pid.
+func (v *Verifier) Violations(pid int32) []*policy.Violation {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if pc, ok := v.procs[pid]; ok {
+		return append([]*policy.Violation(nil), pc.violations...)
+	}
+	return nil
+}
+
+// Messages returns the number of messages processed for pid.
+func (v *Verifier) Messages(pid int32) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if pc, ok := v.procs[pid]; ok {
+		return pc.messages
+	}
+	return 0
+}
+
+// TotalMessages returns the number of messages processed for all processes.
+func (v *Verifier) TotalMessages() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.totalMessages
+}
+
+// Entries returns the current and maximum metadata entries across the
+// policies of pid (the §5.4 memory-overhead metric). Max is only available
+// for policies that track it.
+func (v *Verifier) Entries(pid int32) (cur, max int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	pc, ok := v.procs[pid]
+	if !ok {
+		return 0, 0
+	}
+	for _, p := range pc.policies {
+		cur += p.Entries()
+		type maxer interface{ MaxEntries() int }
+		if mp, ok := p.(maxer); ok {
+			max += mp.MaxEntries()
+		}
+	}
+	return cur, max
+}
+
+// Policy returns the first attached policy of pid matching name, for
+// examples and tests that read policy state (e.g. counter values).
+func (v *Verifier) Policy(pid int32, name string) policy.Policy {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if pc, ok := v.procs[pid]; ok {
+		for _, p := range pc.policies {
+			if p.Name() == name {
+				return p
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package verifier
+
+import (
+	"sync"
+	"testing"
+
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/policy"
+)
+
+func cfiFactory() []policy.Policy {
+	return []policy.Policy{policy.NewCFI(), policy.NewCounter()}
+}
+
+// fakeGate records kernel interactions.
+type fakeGate struct {
+	mu    sync.Mutex
+	syncs []int32
+	kills map[int32]string
+}
+
+func newFakeGate() *fakeGate { return &fakeGate{kills: make(map[int32]string)} }
+
+func (g *fakeGate) NotifySyncReady(pid int32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.syncs = append(g.syncs, pid)
+}
+
+func (g *fakeGate) Kill(pid int32, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.kills[pid]; !dup {
+		g.kills[pid] = reason
+	}
+}
+
+func TestDeliverDispatchesToPolicies(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	if len(g.kills) != 0 {
+		t.Fatalf("valid check killed: %v", g.kills)
+	}
+	if v.Messages(1) != 2 {
+		t.Errorf("Messages = %d, want 2", v.Messages(1))
+	}
+	cur, max := v.Entries(1)
+	if cur != 1 || max != 1 {
+		t.Errorf("Entries = %d/%d, want 1/1", cur, max)
+	}
+}
+
+func TestViolationKillsByDefault(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0xbad})
+	if g.kills[1] == "" {
+		t.Fatal("violation did not kill")
+	}
+	if len(v.Violations(1)) != 1 {
+		t.Errorf("violations = %v", v.Violations(1))
+	}
+}
+
+func TestViolationContinuesWhenConfigured(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.KillOnViolation = false
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	if len(g.kills) != 0 {
+		t.Error("killed despite KillOnViolation=false")
+	}
+	if len(v.Violations(1)) != 1 {
+		t.Error("violation not recorded")
+	}
+	// Syscall sync still flows in continue mode.
+	v.Deliver(ipc.Message{Op: ipc.OpSyscall, PID: 1})
+	if len(g.syncs) != 1 {
+		t.Error("sync withheld in continue mode")
+	}
+}
+
+func TestSyscallSyncNotifiesKernel(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpSyscall, PID: 1, Arg1: 42})
+	if len(g.syncs) != 1 || g.syncs[0] != 1 {
+		t.Errorf("syncs = %v", g.syncs)
+	}
+}
+
+func TestSyncWithheldAfterViolation(t *testing.T) {
+	// A forged sync message sent after evidence of a violation must not
+	// release the syscall (§2.2): the violation has already been recorded.
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0xbad})
+	v.Deliver(ipc.Message{Op: ipc.OpSyscall, PID: 1})
+	if len(g.syncs) != 0 {
+		t.Error("sync released after violation")
+	}
+	if g.kills[1] == "" {
+		t.Error("violating process not killed")
+	}
+}
+
+func TestUnknownPIDIgnored(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: 99, Arg1: 1, Arg2: 2})
+	if v.TotalMessages() != 0 {
+		t.Error("message from unregistered pid processed")
+	}
+}
+
+func TestForkClonesPolicyState(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	v.ProcessForked(1, 2)
+	// Child sees the parent's pointer table.
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 2, Arg1: 0x10, Arg2: 0x20})
+	if len(g.kills) != 0 {
+		t.Fatalf("child check against cloned state failed: %v", g.kills)
+	}
+	// Child state is independent.
+	v.Deliver(ipc.Message{Op: ipc.OpPointerInvalidate, PID: 2, Arg1: 0x10})
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0x20})
+	if g.kills[1] != "" {
+		t.Error("parent state disturbed by child invalidate")
+	}
+}
+
+func TestForkOfUnknownParentStartsFresh(t *testing.T) {
+	v := New(cfiFactory, newFakeGate())
+	v.ProcessForked(77, 78)
+	if v.Policy(78, "hq-cfi") == nil {
+		t.Error("child of unknown parent has no policies")
+	}
+}
+
+func TestProcessExitedDestroysContext(t *testing.T) {
+	v := New(cfiFactory, newFakeGate())
+	v.ProcessStarted(1)
+	v.ProcessExited(1)
+	if v.Policy(1, "hq-cfi") != nil {
+		t.Error("context survived exit")
+	}
+}
+
+func TestSeqGapIsFatalIntegrityViolation(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.CheckSeq = true
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Seq: 1})
+	v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Seq: 2})
+	v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Seq: 5}) // gap
+	if g.kills[1] == "" {
+		t.Fatal("sequence gap not fatal")
+	}
+}
+
+func TestPumpDrainsChannel(t *testing.T) {
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	ch := ipc.NewSharedRing(64)
+	done := make(chan struct{})
+	go func() {
+		v.Pump(ch.Receiver)
+		close(done)
+	}()
+	for i := 0; i < 20; i++ {
+		ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 3})
+	}
+	ch.Close()
+	<-done
+	cnt := v.Policy(1, "hq-counter").(*policy.Counter)
+	if cnt.Count(3) != 20 {
+		t.Errorf("counter = %d, want 20", cnt.Count(3))
+	}
+}
+
+func TestEndToEndWithRealKernel(t *testing.T) {
+	// Wire verifier + kernel the way the framework does, and drive the
+	// full Figure 1 interaction: register, messages, syscall sync, attack,
+	// kill.
+	v := New(cfiFactory, nil)
+	k := kernel.New(v)
+	v2 := v
+	v2.mu.Lock()
+	v2.gate = k
+	v2.mu.Unlock()
+
+	pid := k.Register()
+	// Program defines a pointer and performs a syscall.
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: pid, Arg1: 0x100, Arg2: 0x200})
+	v.Deliver(ipc.Message{Op: ipc.OpSyscall, PID: pid})
+	if err := k.SyscallEnter(pid, 1); err != nil {
+		t.Fatalf("clean syscall gated: %v", err)
+	}
+	// Attacker corrupts the pointer; the check message betrays it.
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: pid, Arg1: 0x100, Arg2: 0xbad})
+	if killed, _ := k.Killed(pid); !killed {
+		t.Fatal("corruption did not kill the process")
+	}
+	if err := k.SyscallEnter(pid, 2); err == nil {
+		t.Error("syscall after kill succeeded")
+	}
+}

@@ -1,0 +1,132 @@
+// Package vm executes MIR programs inside a simulated process: a paged
+// address space with code/data/BSS/heap/stack segments, in-memory call
+// frames whose return-address slots can really be corrupted, a heap whose
+// overflows really clobber neighbours, and runtime hooks implementing the
+// messaging runtime of HerQules as well as the in-process mechanisms of the
+// baseline CFI designs (Clang/LLVM CFI type checks, CCFI MACs, CPI's safe
+// store, safe stacks with and without guard pages).
+//
+// The VM is where attacks meet defences: an exploit is an ordinary MIR
+// program with a memory-safety bug, a corrupted control transfer is really
+// taken (returns dispatch through the in-memory slot, indirect calls through
+// the register value), and a defence wins by making the transfer fault, a
+// check trap, or the verifier kill the process before the payload's system
+// call executes.
+package vm
+
+import (
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/sim"
+)
+
+// RetSlotPlacement selects where call frames keep their return-address slot
+// (§6.3.4): inline in the frame (corruptible by contiguous overflow), or on
+// a separate safe stack hidden at a randomized address, with or without a
+// guard page between the regular and safe stacks.
+type RetSlotPlacement int
+
+// Return-slot placements.
+const (
+	// PlaceRegular keeps the return slot at the top of each stack frame,
+	// like plain x86. Used by Baseline, HQ-CFI-RetPtr and CCFI.
+	PlaceRegular RetSlotPlacement = iota
+	// PlaceSafeGuarded uses a safe stack separated from the regular stack
+	// by an unmapped guard page, as Clang's safe-stack runtime does. Used
+	// by Clang/LLVM CFI and HQ-CFI-SfeStk.
+	PlaceSafeGuarded
+	// PlaceSafeAdjacent uses a safe stack directly adjacent to the regular
+	// stack with no guard page, like CPI's original runtime — reachable by
+	// a linear overwrite from the stack (§5.2).
+	PlaceSafeAdjacent
+)
+
+func (p RetSlotPlacement) String() string {
+	switch p {
+	case PlaceRegular:
+		return "regular"
+	case PlaceSafeGuarded:
+		return "safe+guard"
+	case PlaceSafeAdjacent:
+		return "safe-adjacent"
+	default:
+		return "placement(?)"
+	}
+}
+
+// Config parameterizes a Process.
+type Config struct {
+	// Placement selects the return-slot strategy (set by the design's
+	// instrumentation pass).
+	Placement RetSlotPlacement
+
+	// ContinueOnViolation makes in-process checks (Clang-CFI, CCFI)
+	// record violations and continue instead of trapping, matching the
+	// paper's §5 methodology ("we continue execution after a policy
+	// violation, except when evaluating effectiveness").
+	ContinueOnViolation bool
+
+	// X87Fallback models CCFI's reserved-XMM-register workaround: the
+	// floating-point intrinsic runtime falls back to x87 extended
+	// precision with double rounding, perturbing results (§5.1).
+	X87Fallback bool
+
+	// ElideReadOnlyGates skips kernel gating (and the preceding
+	// synchronization message, elided by the compiler) for system calls
+	// with no external side effects — the §5.3.3 future-work optimization.
+	ElideReadOnlyGates bool
+
+	// EmitGlobalDefines makes the loader send Pointer-Define messages for
+	// global control-flow pointers immediately after startup, modelling
+	// the initializer function HQ inserts (§4.1.4).
+	EmitGlobalDefines bool
+
+	// MACGlobals makes the loader compute CCFI MACs for statically
+	// initialized global code pointers (CCFI's startup registration).
+	MACGlobals bool
+
+	// SafeStoreGlobals makes the loader seed CPI's safe store with
+	// statically initialized global code pointers (CPI's startup
+	// registration of relocated pointers).
+	SafeStoreGlobals bool
+
+	// Emit transmits one AppendWrite message; nil discards messages (the
+	// program is not monitored). The hook either writes to an ipc.Sender
+	// (concurrent mode) or delivers inline to a verifier (deterministic
+	// mode).
+	Emit func(ipc.Message) error
+
+	// Killed reports whether the kernel has killed the process; checked
+	// after messages and at system calls. nil means never.
+	Killed func() (bool, string)
+
+	// Kernel gates system calls when non-nil (bounded asynchronous
+	// validation); PID identifies this process to kernel and verifier.
+	Kernel *kernel.Kernel
+	PID    int32
+
+	// Cost is the cycle model; nil charges nothing.
+	Cost *sim.CostModel
+
+	// MaxInstructions bounds execution (hang detection). 0 means the
+	// default of 200 million.
+	MaxInstructions uint64
+
+	// HeapSize and StackSize size the segments; 0 selects defaults.
+	HeapSize  uint64
+	StackSize uint64
+
+	// Seed randomizes the hidden safe-region placement (information
+	// hiding). The same seed reproduces the same layout.
+	Seed uint64
+}
+
+// Emit sends a message through the configured hook, applying the process
+// PID.
+func (c *Config) emit(m ipc.Message) error {
+	if c.Emit == nil {
+		return nil
+	}
+	m.PID = c.PID
+	return c.Emit(m)
+}

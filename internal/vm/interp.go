@@ -1,0 +1,477 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"herqules/internal/mem"
+	"herqules/internal/mir"
+)
+
+// Internal unwinding sentinels.
+var (
+	errHalt   = errors.New("vm: halt")   // exit syscall
+	errKilled = errors.New("vm: killed") // kernel killed the process
+)
+
+// frame is one activation record. Its storage lives in guest memory
+// ([base, base+frameSize) on the regular stack); vals are the SSA register
+// file.
+type frame struct {
+	fn          *mir.Func
+	meta        *funcMeta
+	args        []uint64
+	vals        []uint64
+	base        uint64
+	inFrameSlot uint64 // where the return slot would live on a plain stack
+	retSlot     uint64 // where the return slot actually lives
+	retVal      uint64 // the encoded return address pushed at call time
+	safeBase    uint64 // base of this frame's safe area (0 on a plain stack)
+}
+
+// Run executes the named entry function with integer arguments and returns
+// the process outcome. A Process may only be Run once.
+func (p *Process) Run(entry string, args ...uint64) *Result {
+	fn := p.Mod.Func(entry)
+	if fn == nil {
+		p.res.Err = fmt.Errorf("vm: no entry function %q", entry)
+		return p.res
+	}
+	ret, err := p.call(fn, args, exitToken)
+	switch {
+	case err == nil:
+		p.res.ExitCode = ret
+	case errors.Is(err, errHalt):
+		// exit syscall already recorded the code.
+	case errors.Is(err, errKilled):
+		// Killed fields already recorded.
+	default:
+		p.res.Err = err
+	}
+	if p.res.Stats.Messages > 0 && p.checkKilled() {
+		// A violation delivered on the final messages (e.g. epilogue
+		// checks) still kills the program before it can exit cleanly.
+		p.res.Err = nil
+	}
+	return p.res
+}
+
+// call pushes a frame for fn and executes it. retVal is the encoded return
+// address stored in the frame's return slot.
+func (p *Process) call(fn *mir.Func, args []uint64, retVal uint64) (uint64, error) {
+	if fn.Intrinsic {
+		return p.intrinsic(fn, args)
+	}
+	if len(fn.Blocks) == 0 {
+		return 0, fmt.Errorf("vm: call of bodyless function @%s", fn.Name)
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > p.res.Stats.MaxDepth {
+		p.res.Stats.MaxDepth = p.depth
+	}
+	if p.depth > 4096 {
+		return 0, &mem.Fault{Addr: p.sp, Kind: mem.FaultUnmapped, Need: mem.Write}
+	}
+	meta := p.funcMeta[fn]
+	if p.sp < stackLow+meta.frameSize {
+		return 0, &mem.Fault{Addr: p.sp, Kind: mem.FaultUnmapped, Need: mem.Write}
+	}
+	p.sp -= meta.frameSize
+	fr := &frame{
+		fn:          fn,
+		meta:        meta,
+		args:        args,
+		vals:        make([]uint64, fn.NumValues),
+		base:        p.sp,
+		inFrameSlot: p.sp + meta.frameSize - 8,
+	}
+	defer func() { p.sp += meta.frameSize }()
+
+	// Place the return slot per the active design (§6.3.4). The frame's
+	// safe area holds the return slot followed by any safe-slot locals.
+	if p.safeBase != 0 {
+		fr.safeBase = p.safeTop
+		fr.retSlot = fr.safeBase
+		safeFrame := 8 + meta.safeSize
+		p.safeTop += safeFrame
+		defer func() { p.safeTop -= safeFrame }()
+		if err := p.Mem.WriteWord(fr.inFrameSlot, 0); err != nil {
+			return 0, err
+		}
+	} else {
+		fr.retSlot = fr.inFrameSlot
+	}
+	if err := p.Mem.WriteWord(fr.retSlot, retVal); err != nil {
+		return 0, err
+	}
+	fr.retVal = retVal
+
+	p.res.Stats.Cycles += p.cost.CallOverhead
+	return p.exec(fr)
+}
+
+// exec runs the body of fr's function.
+func (p *Process) exec(fr *frame) (uint64, error) {
+	blk := fr.fn.Entry()
+blocks:
+	for {
+		for _, in := range blk.Instrs {
+			p.res.Stats.Instructions++
+			if p.res.Stats.Instructions > p.cfg.MaxInstructions {
+				return 0, ErrLimit
+			}
+			p.res.Stats.Cycles += p.cost.Instr
+
+			switch in.Op {
+			case mir.OpPhi:
+				// Assigned during the jump into this block.
+
+			case mir.OpAlloca:
+				if off, ok := fr.meta.safeOffs[in]; ok && fr.safeBase != 0 {
+					fr.vals[in.ID] = fr.safeBase + 8 + off
+				} else {
+					fr.vals[in.ID] = fr.base + fr.meta.allocaOffs[in]
+				}
+
+			case mir.OpLoad:
+				addr := p.eval(in.Args[0], fr)
+				v, err := p.loadSized(addr, in.Type().Size())
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in.ID] = v
+				p.res.Stats.Loads++
+				p.res.Stats.Cycles += p.cost.Load
+
+			case mir.OpStore:
+				val := p.eval(in.Args[0], fr)
+				addr := p.eval(in.Args[1], fr)
+				if err := p.storeSized(addr, val, in.Args[0].Type().Size()); err != nil {
+					return 0, err
+				}
+				p.res.Stats.Stores++
+				p.res.Stats.Cycles += p.cost.Store
+
+			case mir.OpFieldAddr:
+				base := p.eval(in.Args[0], fr)
+				st := in.Args[0].Type().Elem
+				fr.vals[in.ID] = base + st.FieldOffset(in.Field)
+
+			case mir.OpIndexAddr:
+				base := p.eval(in.Args[0], fr)
+				idx := p.eval(in.Args[1], fr)
+				fr.vals[in.ID] = base + idx*in.Type().Elem.Size()
+
+			case mir.OpBin:
+				x, y := p.eval(in.Args[0], fr), p.eval(in.Args[1], fr)
+				v, err := binOp(in.Bin, x, y)
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in.ID] = v
+
+			case mir.OpCmp:
+				x, y := p.eval(in.Args[0], fr), p.eval(in.Args[1], fr)
+				fr.vals[in.ID] = cmpOp(in.Cmp, x, y)
+
+			case mir.OpCast:
+				fr.vals[in.ID] = p.eval(in.Args[0], fr)
+
+			case mir.OpCall:
+				args := p.evalArgs(in.Args, fr)
+				ret, err := p.call(in.Callee, args, p.retAddrFor(fr, in))
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in.ID] = ret
+				p.res.Stats.Calls++
+
+			case mir.OpICall:
+				target := p.eval(in.Args[0], fr)
+				callee := p.funcAt[target]
+				if callee == nil {
+					return 0, &mem.Fault{Addr: target, Kind: mem.FaultPerm, Need: mem.Exec}
+				}
+				args := p.adaptArgs(p.evalArgs(in.Args[1:], fr), len(callee.Sig.Params))
+				ret, err := p.call(callee, args, p.retAddrFor(fr, in))
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in.ID] = ret
+				p.res.Stats.ICalls++
+
+			case mir.OpRet:
+				return p.doRet(fr, in)
+
+			case mir.OpBr:
+				blk = p.jump(fr, blk, in.Targets[0])
+				continue blocks
+
+			case mir.OpCondBr:
+				cond := p.eval(in.Args[0], fr)
+				t := in.Targets[1]
+				if cond != 0 {
+					t = in.Targets[0]
+				}
+				blk = p.jump(fr, blk, t)
+				continue blocks
+
+			case mir.OpMalloc:
+				size := p.eval(in.Args[0], fr)
+				addr, err := p.Heap.Malloc(size)
+				if err != nil {
+					return 0, fmt.Errorf("vm: %w", err)
+				}
+				fr.vals[in.ID] = addr
+
+			case mir.OpFree:
+				addr := p.eval(in.Args[0], fr)
+				if err := p.Heap.Free(addr); err != nil {
+					return 0, fmt.Errorf("vm: %w", err)
+				}
+
+			case mir.OpRealloc:
+				addr := p.eval(in.Args[0], fr)
+				size := p.eval(in.Args[1], fr)
+				nw, err := p.Heap.Realloc(addr, size)
+				if err != nil {
+					return 0, fmt.Errorf("vm: %w", err)
+				}
+				fr.vals[in.ID] = nw
+
+			case mir.OpMemcpy, mir.OpMemmove:
+				dst := p.eval(in.Args[0], fr)
+				src := p.eval(in.Args[1], fr)
+				n := p.eval(in.Args[2], fr)
+				if err := p.Mem.Memmove(dst, src, n); err != nil {
+					return 0, err
+				}
+				p.res.Stats.BlockBytes += n
+				p.res.Stats.Cycles += n * p.cost.BlockOpByte
+
+			case mir.OpMemset:
+				dst := p.eval(in.Args[0], fr)
+				v := p.eval(in.Args[1], fr)
+				n := p.eval(in.Args[2], fr)
+				if err := p.Mem.Memset(dst, byte(v), n); err != nil {
+					return 0, err
+				}
+				p.res.Stats.BlockBytes += n
+				p.res.Stats.Cycles += n * p.cost.BlockOpByte
+
+			case mir.OpSyscall:
+				v, err := p.syscall(in, fr)
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in.ID] = v
+
+			case mir.OpRuntime:
+				if err := p.runtimeOp(in, fr); err != nil {
+					return 0, err
+				}
+
+			default:
+				return 0, fmt.Errorf("vm: unimplemented opcode %s", in.Op)
+			}
+		}
+		return 0, fmt.Errorf("vm: block %s fell through", blk)
+	}
+}
+
+// doRet dispatches a return through the in-memory return slot: the stored
+// word is loaded and *used* as the transfer target, so corruption of the
+// slot genuinely redirects control (the x86 ret semantics attacks rely on).
+func (p *Process) doRet(fr *frame, in *mir.Instr) (uint64, error) {
+	var ret uint64
+	if len(in.Args) == 1 {
+		ret = p.eval(in.Args[0], fr)
+	}
+	stored, err := p.Mem.ReadWord(fr.retSlot)
+	if err != nil {
+		return 0, err
+	}
+	if stored == fr.retVal {
+		return ret, nil // normal return to the saved site
+	}
+	// The slot was corrupted: transfer to whatever it names.
+	p.res.Hijacked = true
+	if target := p.funcAt[stored]; target != nil {
+		// Execute the attacker-chosen function ("shellcode"); the
+		// program cannot meaningfully continue afterwards.
+		_, err := p.call(target, p.adaptArgs(nil, len(target.Sig.Params)), exitToken)
+		if err != nil && (errors.Is(err, errHalt) || errors.Is(err, errKilled)) {
+			return 0, err
+		}
+		return 0, fmt.Errorf("%w: hijacked to @%s", ErrStackCorrupt, target.Name)
+	}
+	return 0, fmt.Errorf("%w: slot=%#x", ErrStackCorrupt, stored)
+}
+
+// retAddrFor encodes the return address for a call at instruction in: the
+// caller's code address plus the instruction's offset.
+func (p *Process) retAddrFor(fr *frame, in *mir.Instr) uint64 {
+	return fr.meta.addr + 16 + uint64(in.ID)%(funcStride-16)
+}
+
+// jump transfers to block to, assigning its phis with respect to edge
+// from→to. All phi inputs are read before any phi output is written
+// (parallel-assignment semantics).
+func (p *Process) jump(fr *frame, from, to *mir.Block) *mir.Block {
+	var tmp [8]uint64
+	vals := tmp[:0]
+	for _, in := range to.Instrs {
+		if in.Op != mir.OpPhi {
+			break
+		}
+		idx := -1
+		for i, pb := range in.PhiBlocks {
+			if pb == from {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			vals = append(vals, 0) // validated IR should not reach this
+		} else {
+			vals = append(vals, p.eval(in.Args[idx], fr))
+		}
+	}
+	i := 0
+	for _, in := range to.Instrs {
+		if in.Op != mir.OpPhi {
+			break
+		}
+		fr.vals[in.ID] = vals[i]
+		i++
+	}
+	return to
+}
+
+// eval resolves a value in the context of fr.
+func (p *Process) eval(v mir.Value, fr *frame) uint64 {
+	switch v := v.(type) {
+	case *mir.Const:
+		return v.Val
+	case *mir.FuncRef:
+		return p.FuncAddr(v.Fn)
+	case *mir.Global:
+		return p.globalAddr[v]
+	case *mir.Param:
+		return fr.args[v.Idx]
+	case *mir.Instr:
+		return fr.vals[v.ID]
+	default:
+		panic(fmt.Sprintf("vm: unknown value %T", v))
+	}
+}
+
+func (p *Process) evalArgs(args []mir.Value, fr *frame) []uint64 {
+	out := make([]uint64, len(args))
+	for i, a := range args {
+		out[i] = p.eval(a, fr)
+	}
+	return out
+}
+
+// adaptArgs fits an argument vector to a callee arity — a hijacked or
+// signature-confused transfer passes whatever happens to be in registers.
+func (p *Process) adaptArgs(args []uint64, n int) []uint64 {
+	if len(args) == n {
+		return args
+	}
+	out := make([]uint64, n)
+	copy(out, args)
+	return out
+}
+
+func (p *Process) loadSized(addr uint64, size uint64) (uint64, error) {
+	switch size {
+	case 1:
+		b, err := p.Mem.LoadByte(addr)
+		return uint64(b), err
+	case 2, 4:
+		var buf [8]byte
+		if err := p.Mem.Read(addr, buf[:size]); err != nil {
+			return 0, err
+		}
+		var v uint64
+		for i := uint64(0); i < size; i++ {
+			v |= uint64(buf[i]) << (8 * i)
+		}
+		return v, nil
+	default:
+		return p.Mem.ReadWord(addr)
+	}
+}
+
+func (p *Process) storeSized(addr, val, size uint64) error {
+	switch size {
+	case 1:
+		return p.Mem.StoreByte(addr, byte(val))
+	case 2, 4:
+		var buf [8]byte
+		for i := uint64(0); i < size; i++ {
+			buf[i] = byte(val >> (8 * i))
+		}
+		return p.Mem.Write(addr, buf[:size])
+	default:
+		return p.Mem.WriteWord(addr, val)
+	}
+}
+
+func binOp(k mir.BinKind, x, y uint64) (uint64, error) {
+	switch k {
+	case mir.BinAdd:
+		return x + y, nil
+	case mir.BinSub:
+		return x - y, nil
+	case mir.BinMul:
+		return x * y, nil
+	case mir.BinDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("vm: integer division by zero")
+		}
+		return x / y, nil
+	case mir.BinRem:
+		if y == 0 {
+			return 0, fmt.Errorf("vm: integer remainder by zero")
+		}
+		return x % y, nil
+	case mir.BinAnd:
+		return x & y, nil
+	case mir.BinOr:
+		return x | y, nil
+	case mir.BinXor:
+		return x ^ y, nil
+	case mir.BinShl:
+		return x << (y & 63), nil
+	case mir.BinShr:
+		return x >> (y & 63), nil
+	default:
+		return 0, fmt.Errorf("vm: unknown binop %d", k)
+	}
+}
+
+func cmpOp(k mir.CmpKind, x, y uint64) uint64 {
+	var b bool
+	switch k {
+	case mir.CmpEq:
+		b = x == y
+	case mir.CmpNe:
+		b = x != y
+	case mir.CmpLt:
+		b = x < y
+	case mir.CmpLe:
+		b = x <= y
+	case mir.CmpGt:
+		b = x > y
+	case mir.CmpGe:
+		b = x >= y
+	}
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package vm
+
+import (
+	"testing"
+
+	"herqules/internal/ipc"
+	"herqules/internal/mir"
+)
+
+// collectOps runs mod and returns the emitted message op sequence.
+func collectOps(t *testing.T, mod *mir.Module, cfg Config) ([]ipc.Message, *Result) {
+	t.Helper()
+	var msgs []ipc.Message
+	cfg.Emit = func(m ipc.Message) error { msgs = append(msgs, m); return nil }
+	p, err := NewProcess(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run("main")
+	return msgs, res
+}
+
+func TestBlockMessageRuntimeOps(t *testing.T) {
+	mod := mir.NewModule("blocks")
+	b := mir.NewBuilder(mod)
+	b.Func("main", mir.FuncType(mir.I64))
+	src := b.Malloc(mir.ConstInt(48))
+	dst := b.Malloc(mir.ConstInt(48))
+	b.Runtime(mir.RTBlockCopy, src, dst, mir.ConstInt(48))
+	// Size 0 resolves through the allocator (malloc_usable_size).
+	b.Runtime(mir.RTBlockInvalidate, src, mir.ConstInt(0))
+	nw := b.Realloc(dst, mir.ConstInt(96))
+	b.Runtime(mir.RTBlockMove, dst, nw, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+
+	msgs, res := collectOps(t, mod, Config{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %v", msgs)
+	}
+	if msgs[0].Op != ipc.OpPointerBlockCopy || msgs[0].Arg3 != 48 {
+		t.Errorf("block copy = %v", msgs[0])
+	}
+	if msgs[1].Op != ipc.OpPointerBlockInvalidate || msgs[1].Arg2 != 48 {
+		t.Errorf("invalidate with resolved size = %v", msgs[1])
+	}
+	if msgs[2].Op != ipc.OpPointerBlockMove || msgs[2].Arg3 != 96 {
+		t.Errorf("move with destination-resolved size = %v", msgs[2])
+	}
+}
+
+func TestAllocRuntimeOps(t *testing.T) {
+	mod := mir.NewModule("allocops")
+	b := mir.NewBuilder(mod)
+	b.Func("main", mir.FuncType(mir.I64))
+	p := b.Malloc(mir.ConstInt(32))
+	b.Runtime(mir.RTAllocCreate, p, mir.ConstInt(32))
+	b.Runtime(mir.RTAllocCheck, p)
+	b.Runtime(mir.RTAllocCheckBase, p, b.Cast(b.IndexAddr(b.Cast(p, mir.Ptr(mir.I64)), mir.ConstInt(2)), mir.I64))
+	q := b.Realloc(p, mir.ConstInt(64))
+	b.Runtime(mir.RTAllocExtend, p, q, mir.ConstInt(0))
+	b.Runtime(mir.RTAllocDestroy, q)
+	b.Runtime(mir.RTAllocDestroyAll, q, mir.ConstInt(64))
+	b.Runtime(mir.RTCounterInc, mir.ConstInt(3))
+	b.Free(q)
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+
+	msgs, res := collectOps(t, mod, Config{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := []ipc.Op{
+		ipc.OpAllocCreate, ipc.OpAllocCheck, ipc.OpAllocCheckBase,
+		ipc.OpAllocExtend, ipc.OpAllocDestroy, ipc.OpAllocDestroyAll,
+		ipc.OpCounterInc,
+	}
+	if len(msgs) != len(want) {
+		t.Fatalf("messages = %v", msgs)
+	}
+	for i, op := range want {
+		if msgs[i].Op != op {
+			t.Errorf("msg %d = %v, want %v", i, msgs[i].Op, op)
+		}
+	}
+	// The extend resolved its size from the new allocation.
+	if msgs[3].Arg3 != 64 {
+		t.Errorf("extend size = %d, want 64", msgs[3].Arg3)
+	}
+}
+
+func TestMACRetRuntimeOps(t *testing.T) {
+	// Prologue MAC, corrupt the slot, epilogue MAC must trap.
+	mod := mir.NewModule("macret")
+	b := mir.NewBuilder(mod)
+	b.Func("vuln", mir.FuncType(mir.Void))
+	b.Runtime(mir.RTMACRetStore)
+	leak := b.Syscall(SysLeakRetSlotAddr)
+	b.Store(mir.ConstInt(0xbad), b.Cast(leak, mir.Ptr(mir.I64)))
+	b.Runtime(mir.RTMACRetCheck)
+	b.Ret(nil)
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Call(mod.Func("vuln"))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+
+	_, res := collectOps(t, mod, Config{})
+	if res.Err == nil {
+		t.Error("corrupted return slot passed the MAC epilogue")
+	}
+
+	// Continue mode records instead.
+	_, res2 := collectOps(t, mod, Config{ContinueOnViolation: true})
+	if res2.Violations != 1 {
+		t.Errorf("violations = %d, want 1", res2.Violations)
+	}
+}
+
+func TestEmitErrorPropagates(t *testing.T) {
+	mod := mir.NewModule("emitfail")
+	b := mir.NewBuilder(mod)
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Runtime(mir.RTPointerDefine, mir.ConstInt(1), mir.ConstInt(2))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	cfg := Config{Emit: func(ipc.Message) error { return ipc.ErrClosed }}
+	p, err := NewProcess(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run("main")
+	if res.Err == nil {
+		t.Error("send failure did not surface")
+	}
+}
+
+func TestHijackToGarbageCrashes(t *testing.T) {
+	// A corrupted return slot that decodes to no function is a plain
+	// crash, not a hijack the attacker controls.
+	mod := mir.NewModule("garbage")
+	b := mir.NewBuilder(mod)
+	b.Func("vuln", mir.FuncType(mir.Void))
+	leak := b.Syscall(SysLeakRetSlotAddr)
+	b.Store(mir.ConstInt(0x1234), b.Cast(leak, mir.Ptr(mir.I64)))
+	b.Ret(nil)
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Call(mod.Func("vuln"))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+
+	_, res := collectOps(t, mod, Config{})
+	if res.Err == nil {
+		t.Error("garbage return address did not crash")
+	}
+	if !res.Hijacked {
+		t.Error("corrupted return not flagged")
+	}
+	if res.ExploitMarker {
+		t.Error("garbage transfer cannot run a payload")
+	}
+}

@@ -1,0 +1,408 @@
+package workload
+
+import (
+	"fmt"
+
+	"herqules/internal/mir"
+)
+
+// forLoop builds `for i := 0; i < count; i++ { body(i) }` at the builder's
+// current position, leaving the builder in the loop's exit block.
+func forLoop(b *mir.Builder, count mir.Value, name string, body func(i *mir.Instr)) {
+	entry := b.Blk
+	header := b.Block(name + ".head")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+	b.Br(header)
+	b.SetBlock(header)
+	i := b.Phi(mir.I64, mir.ConstInt(0), entry)
+	b.CondBr(b.Cmp(mir.CmpLt, i, count), bodyB, exit)
+	b.SetBlock(bodyB)
+	body(i)
+	i1 := b.Add(i, mir.ConstInt(1))
+	i.Args = append(i.Args, i1)
+	i.PhiBlocks = append(i.PhiBlocks, b.Blk)
+	b.Br(header)
+	b.SetBlock(exit)
+}
+
+// every builds `if i % n == 0 { body() }`, rejoining afterwards.
+func every(b *mir.Builder, i mir.Value, n int, name string, body func()) {
+	if n <= 0 {
+		return
+	}
+	then := b.Block(name + ".then")
+	cont := b.Block(name + ".cont")
+	rem := b.Bin(mir.BinRem, i, mir.ConstInt(uint64(n)))
+	b.CondBr(b.Cmp(mir.CmpEq, rem, mir.ConstInt(0)), then, cont)
+	b.SetBlock(then)
+	body()
+	b.Br(cont)
+	b.SetBlock(cont)
+}
+
+// specParts holds the shared program skeleton referenced by the work body.
+type specParts struct {
+	handlers  []*mir.Func
+	helper    *mir.Func
+	recur     *mir.Func
+	copybuf   *mir.Func
+	libmSqrt  *mir.Func
+	libmI2F   *mir.Func
+	libmF2I   *mir.Func
+	fpSlot    *mir.Global // Ptr(handlerSig), rotated handler
+	fpSlotRaw *mir.Global // I64, decayed storage (CastAtStore)
+	dataArr   *mir.Global
+	vtGlobal  *mir.Global
+	objGlobal *mir.Global // escaping object: non-devirtualizable dispatch
+	objType   *mir.Type
+	vtType    *mir.Type
+	holder    *mir.Type // struct with a function-pointer field (block ops)
+}
+
+// buildSkeleton creates handlers, helpers and globals shared by all
+// benchmarks.
+func buildSkeleton(b *mir.Builder) *specParts {
+	s := &specParts{}
+
+	for k := 0; k < 4; k++ {
+		h := b.Func(fmt.Sprintf("handler%d", k), handlerSig, "x")
+		v := b.Add(h.Params[0], mir.ConstInt(uint64(10+k)))
+		v = b.Bin(mir.BinXor, v, mir.ConstInt(uint64(0x9e37+k)))
+		b.Ret(v)
+		s.handlers = append(s.handlers, h)
+	}
+
+	// helper: carries a stack buffer and writes memory, so it qualifies
+	// for return-pointer protection (§4.1.6).
+	s.helper = b.Func("helper", handlerSig, "x")
+	buf := b.Alloca("buf", mir.ArrayType(mir.I64, 8))
+	idx := b.Bin(mir.BinAnd, s.helper.Params[0], mir.ConstInt(7))
+	b.Store(s.helper.Params[0], b.IndexAddr(buf, idx))
+	v := b.Load(b.IndexAddr(buf, idx))
+	b.Ret(b.Add(b.Mul(v, mir.ConstInt(3)), mir.ConstInt(1)))
+
+	// recur: self-recursive with a frame.
+	s.recur = b.Func("recur", handlerSig, "n")
+	pad := b.Alloca("pad", mir.ArrayType(mir.I64, 4))
+	b.Store(s.recur.Params[0], b.IndexAddr(pad, mir.ConstInt(0)))
+	base := b.Block("base")
+	rec := b.Block("rec")
+	b.CondBr(b.Cmp(mir.CmpEq, s.recur.Params[0], mir.ConstInt(0)), base, rec)
+	b.SetBlock(base)
+	b.Ret(mir.ConstInt(1))
+	b.SetBlock(rec)
+	r := b.Call(s.recur, b.Sub(s.recur.Params[0], mir.ConstInt(1)))
+	b.Ret(b.Add(r, s.recur.Params[0]))
+
+	// copybuf: the generic byte-copy helper whose block operation strict
+	// subtype checking cannot see through (needs the allowlist).
+	s.copybuf = b.Func("copybuf",
+		mir.FuncType(mir.Void, mir.Ptr(mir.I8), mir.Ptr(mir.I8), mir.I64),
+		"dst", "src", "n")
+	b.Memcpy(s.copybuf.Params[0], s.copybuf.Params[1], s.copybuf.Params[2])
+	b.Ret(nil)
+
+	// libm intrinsics.
+	s.libmSqrt = mir.NewFunc("libm.sqrt", mir.FuncType(mir.I64, mir.I64), "x")
+	s.libmSqrt.Intrinsic = true
+	b.Mod.AddFunc(s.libmSqrt)
+	s.libmI2F = mir.NewFunc("libm.i2f", mir.FuncType(mir.I64, mir.I64), "x")
+	s.libmI2F.Intrinsic = true
+	b.Mod.AddFunc(s.libmI2F)
+	s.libmF2I = mir.NewFunc("libm.f2i", mir.FuncType(mir.I64, mir.I64), "x")
+	s.libmF2I.Intrinsic = true
+	b.Mod.AddFunc(s.libmF2I)
+
+	s.fpSlot = b.Global("fp_slot", mir.Ptr(handlerSig), "data")
+	s.fpSlotRaw = b.Global("fp_slot_raw", mir.I64, "data")
+	s.dataArr = b.Global("data_arr", mir.ArrayType(mir.I64, 128), "bss")
+
+	s.vtType = mir.VTableType(handlerSig, 2)
+	s.vtGlobal = b.Global("Obj_vtable", s.vtType, "data")
+	s.vtGlobal.ReadOnly = true
+	s.vtGlobal.InitFuncs[0] = s.handlers[0]
+	s.vtGlobal.InitFuncs[1] = s.handlers[1]
+	s.handlers[0].AddressTaken = true
+	s.handlers[1].AddressTaken = true
+
+	s.objType = mir.StructType("Obj", mir.Ptr(s.vtType), mir.I64)
+	s.objGlobal = b.Global("the_obj", s.objType, "data")
+
+	s.holder = mir.StructType("Holder", mir.I64, mir.Ptr(handlerSig))
+	return s
+}
+
+// buildSpec generates a SPEC-like benchmark from its profile.
+func buildSpec(p *Profile, scale Scale) *mir.Module {
+	mod := mir.NewModule(p.Name)
+	b := mir.NewBuilder(mod)
+	s := buildSkeleton(b)
+	iterMul, computeMul := scaleFactors(scale)
+
+	work := buildWork(b, s, p, computeMul)
+
+	// A persistent function-pointer table sized per benchmark (§5.4
+	// metadata footprint). Declared only when used so pure-numeric
+	// benchmarks keep zero verifier entries.
+	var ptrTable *mir.Global
+	if p.PtrTable > 0 {
+		ptrTable = b.Global("ptr_table", mir.ArrayType(mir.Ptr(handlerSig), p.PtrTable), "bss")
+	}
+
+	// main: initialization, the measurement loop, shutdown.
+	b.Func("main", mir.FuncType(mir.I64))
+	sum := b.Alloca("sum", mir.I64)
+	b.Store(mir.ConstInt(0), sum)
+	// Initialize the working slots only when the benchmark uses them.
+	usesFPSlot := p.ICalls > 0 || p.FPWrites > 0 || p.CastAtCall
+	if usesFPSlot {
+		b.Store(b.FuncAddr(s.handlers[0]), s.fpSlot)
+	}
+	if p.CastAtStore {
+		b.Store(b.Cast(b.FuncAddr(s.handlers[1]), mir.I64), s.fpSlotRaw)
+	}
+	if p.VCalls > 0 || p.LocalVObj {
+		b.Store(s.vtGlobal, b.FieldAddr(s.objGlobal, 0))
+		b.Store(mir.ConstInt(7), b.FieldAddr(s.objGlobal, 1))
+	}
+	if ptrTable != nil {
+		forLoop(b, mir.ConstInt(uint64(p.PtrTable)), "tblinit", func(i *mir.Instr) {
+			b.Store(b.FuncAddr(s.handlers[0]), b.IndexAddr(ptrTable, i))
+		})
+	}
+
+	iters := p.Iters * iterMul
+	forLoop(b, mir.ConstInt(uint64(iters)), "main", func(i *mir.Instr) {
+		r := b.Call(work, i)
+		acc := b.Add(b.Load(sum), r)
+		b.Store(b.Bin(mir.BinXor, acc, b.Bin(mir.BinShr, acc, mir.ConstInt(7))), sum)
+		every(b, i, p.SyscallEvery, "sys", func() {
+			b.Syscall(sysNop)
+		})
+	})
+
+	if p.UAFBug {
+		buildUAFShutdown(b, s)
+	}
+	b.Syscall(sysWrite, b.Load(sum))
+	b.Syscall(sysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+
+	mod.Finalize()
+	return mod
+}
+
+// buildWork generates the per-iteration body as its own function.
+func buildWork(b *mir.Builder, s *specParts, p *Profile, computeMul int) *mir.Func {
+	work := b.Func("work", handlerSig, "i")
+	i := work.Params[0]
+	var v mir.Value = i
+
+	// Arithmetic kernel.
+	for k := 0; k < p.ComputeOps*computeMul; k++ {
+		switch k % 4 {
+		case 0:
+			v = b.Add(v, mir.ConstInt(uint64(k+1)))
+		case 1:
+			v = b.Bin(mir.BinXor, v, mir.ConstInt(0x5bd1e995))
+		case 2:
+			v = b.Mul(v, mir.ConstInt(3))
+		case 3:
+			v = b.Bin(mir.BinShr, v, mir.ConstInt(1))
+		}
+	}
+
+	// Memory kernel over the global array.
+	for k := 0; k < p.MemOps*computeMul; k++ {
+		idx := b.Bin(mir.BinAnd, b.Add(v, mir.ConstInt(uint64(k))), mir.ConstInt(127))
+		slot := b.IndexAddr(s.dataArr, idx)
+		cur := b.Load(slot)
+		v = b.Add(v, cur)
+		b.Store(b.Bin(mir.BinXor, cur, v), slot)
+	}
+
+	// Handler rotation: function-pointer stores (Pointer-Define traffic).
+	for k := 0; k < p.FPWrites; k++ {
+		h := s.handlers[k%len(s.handlers)]
+		b.Store(b.FuncAddr(h), s.fpSlot)
+	}
+
+	// Indirect calls through the slot (Pointer-Check traffic).
+	for k := 0; k < p.ICalls; k++ {
+		fp := b.Load(s.fpSlot)
+		v = b.ICall(fp, handlerSig, v)
+	}
+
+	// Virtual dispatch through the escaping object (not devirtualizable).
+	for k := 0; k < p.VCalls; k++ {
+		vp := b.Load(b.FieldAddr(s.objGlobal, 0))
+		m := b.Load(b.IndexAddr(vp, mir.ConstInt(uint64(k%2))))
+		v = b.ICall(m, handlerSig, v)
+	}
+
+	// A local object whose dispatch devirtualizes (§4.1.4 C++ passes).
+	if p.LocalVObj {
+		o := b.Alloca("o", s.objType)
+		vslot := b.FieldAddr(o, 0)
+		b.Store(s.vtGlobal, vslot)
+		vp := b.Load(vslot)
+		m := b.Load(b.IndexAddr(vp, mir.ConstInt(0)))
+		v = b.ICall(m, handlerSig, v)
+	}
+
+	// The povray pattern: pointer stored under one type, called under
+	// another (§5.1) — Clang-CFI and CCFI false-positive here.
+	if p.CastAtCall {
+		objPtrPtr := b.Cast(s.fpSlot, mir.Ptr(mir.Ptr(objSig)))
+		fp2 := b.Load(objPtrPtr)
+		o := b.Alloca("cobj", objSig.Params[0].Elem)
+		// The handler receives the object's *address*, so its result is
+		// layout-dependent; discard it (real programs do not fold stack
+		// addresses into their output) and advance the checksum by a
+		// constant instead.
+		b.ICall(fp2, objSig, o)
+		v = b.Add(v, mir.ConstInt(13))
+	}
+
+	// Decayed storage: pointer stored through an integer slot (CCFI
+	// false-positives on the tag; CPI misses the store and crashes on the
+	// poisoned load).
+	if p.CastAtStore {
+		b.Store(b.Cast(b.FuncAddr(s.handlers[2]), mir.I64), s.fpSlotRaw)
+		fp3 := b.Load(b.Cast(s.fpSlotRaw, mir.Ptr(mir.Ptr(handlerSig))))
+		v = b.ICall(fp3, handlerSig, v)
+	}
+
+	// Floating-point intrinsic kernel. The raw result bits feed the
+	// checksum, so the low-mantissa perturbation of CCFI's x87 fallback
+	// is observable in the output (§5.1's "reduced numerical precision").
+	for k := 0; k < p.LibmOps; k++ {
+		f := b.Call(s.libmI2F, b.Bin(mir.BinAnd, v, mir.ConstInt(0xffff)))
+		f = b.Call(s.libmSqrt, f)
+		v = b.Bin(mir.BinXor, v, b.Bin(mir.BinShr, f, mir.ConstInt(2)))
+	}
+
+	// Direct call chain (return-pointer protection traffic).
+	for k := 0; k < p.Calls; k++ {
+		v = b.Call(s.helper, v)
+	}
+	if p.Recursion > 0 {
+		v = b.Add(v, b.Call(s.recur, mir.ConstInt(uint64(p.Recursion))))
+	}
+
+	// Block memory operations.
+	if p.BlockEvery > 0 {
+		every(b, i, p.BlockEvery, "blk", func() {
+			if p.DecayedBlockOp {
+				// Move a function pointer through the generic copy
+				// helper: invisible to strict subtype checking.
+				src := b.Alloca("hsrc", s.holder)
+				dst := b.Alloca("hdst", s.holder)
+				b.Store(b.FuncAddr(s.handlers[3]), b.FieldAddr(src, 1))
+				b.Call(s.copybuf,
+					b.Cast(dst, mir.Ptr(mir.I8)),
+					b.Cast(src, mir.Ptr(mir.I8)),
+					mir.ConstInt(s.holder.Size()))
+				fp := b.Load(b.FieldAddr(dst, 1))
+				b.ICall(fp, handlerSig, mir.ConstInt(1))
+			} else {
+				n := uint64(p.BlockBytes)
+				if n == 0 {
+					n = 64
+				}
+				tmp := b.Alloca("tmp", mir.ArrayType(mir.I8, int(n)))
+				tmp2 := b.Alloca("tmp2", mir.ArrayType(mir.I8, int(n)))
+				b.Memcpy(b.Cast(tmp2, mir.Ptr(mir.I8)), b.Cast(tmp, mir.Ptr(mir.I8)), mir.ConstInt(n))
+			}
+		})
+	}
+
+	b.Ret(v)
+	return work
+}
+
+// buildUAFShutdown appends the omnetpp-style static-destruction-order
+// use-after-free (§5.2): one "destructor" frees an object holding a
+// control-flow pointer, a later one still dispatches through it. The stale
+// heap memory still holds the pointer bytes, so the program works by
+// accident — but HQ-CFI's lifetime tracking flags the dangling check.
+func buildUAFShutdown(b *mir.Builder, s *specParts) {
+	obj := b.Malloc(mir.ConstInt(16))
+	slot := b.Cast(obj, mir.Ptr(mir.Ptr(handlerSig)))
+	b.Store(b.FuncAddr(s.handlers[3]), slot)
+	// Destructor A (runs first in this link order): releases the object.
+	b.Free(obj)
+	// Destructor B: uses it afterwards — undefined behaviour that has
+	// survived 11+ years in OMNeT++.
+	fp := b.Load(slot)
+	b.ICall(fp, handlerSig, mir.ConstInt(1))
+}
+
+// buildNginx generates the NGINX-like server benchmark: a request loop where
+// each request costs several system calls (accept/read/write), some parsing
+// arithmetic, and a route dispatch through a function-pointer table.
+func buildNginx(p *Profile, scale Scale) *mir.Module {
+	mod := mir.NewModule(p.Name)
+	b := mir.NewBuilder(mod)
+	s := buildSkeleton(b)
+	iterMul, computeMul := scaleFactors(scale)
+
+	// route handlers: reuse the skeleton handlers via a routing table.
+	routeTable := b.Global("routes", mir.ArrayType(mir.Ptr(handlerSig), 4), "data")
+	for k := 0; k < 4; k++ {
+		routeTable.InitFuncs[k] = s.handlers[k]
+		s.handlers[k].AddressTaken = true
+	}
+
+	// conn models nginx's per-connection structure: its handler fields are
+	// rewritten as the request progresses through processing phases.
+	conn := b.Global("conn", mir.StructType("conn", mir.I64, mir.Ptr(handlerSig), mir.Ptr(handlerSig)), "data")
+
+	b.Func("main", mir.FuncType(mir.I64))
+	served := b.Alloca("served", mir.I64)
+	b.Store(mir.ConstInt(0), served)
+	sum := b.Alloca("sum", mir.I64)
+	b.Store(mir.ConstInt(0), sum)
+
+	requests := p.Iters * iterMul
+	forLoop(b, mir.ConstInt(uint64(requests)), "serve", func(i *mir.Instr) {
+		b.Syscall(sysSend) // accept
+		b.Syscall(sysSend) // read
+		// Parse the request.
+		var v mir.Value = i
+		for k := 0; k < p.ComputeOps*computeMul; k++ {
+			if k%2 == 0 {
+				v = b.Add(v, mir.ConstInt(uint64(k)))
+			} else {
+				v = b.Bin(mir.BinXor, v, mir.ConstInt(0x01000193))
+			}
+		}
+		// Header/body processing through frame-carrying helpers.
+		for k := 0; k < p.Calls; k++ {
+			v = b.Call(s.helper, v)
+		}
+		// Phase handlers installed on the connection object, then
+		// dispatched — the event-driven callback pattern nginx uses.
+		idx := b.Bin(mir.BinAnd, v, mir.ConstInt(3))
+		b.Store(b.FuncAddr(s.handlers[1]), b.FieldAddr(conn, 1))
+		b.Store(b.FuncAddr(s.handlers[2]), b.FieldAddr(conn, 2))
+		rh := b.Load(b.FieldAddr(conn, 1))
+		v = b.ICall(rh, handlerSig, v)
+		wh := b.Load(b.FieldAddr(conn, 2))
+		v = b.ICall(wh, handlerSig, v)
+		// Route dispatch: indirect call through the table.
+		fp := b.Load(b.IndexAddr(routeTable, idx))
+		r := b.ICall(fp, handlerSig, v)
+		b.Store(b.Add(b.Load(sum), r), sum)
+		b.Syscall(sysSend) // write response
+		b.Store(b.Add(b.Load(served), mir.ConstInt(1)), served)
+	})
+
+	b.Syscall(sysWrite, b.Load(served))
+	b.Syscall(sysWrite, b.Load(sum))
+	b.Syscall(sysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	return mod
+}

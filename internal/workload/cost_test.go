@@ -1,0 +1,14 @@
+package workload
+
+import (
+	"herqules/internal/sim"
+	"herqules/internal/uarch"
+)
+
+// simCostModel aliases the shared cycle model for test readability.
+type simCostModel = sim.CostModel
+
+// newSimCost builds the MODEL-primitive cost model used by overhead tests.
+func newSimCost() *sim.CostModel {
+	return sim.Default().WithMessaging(sim.MessageCost(uarch.SendNanosModel))
+}

@@ -1,0 +1,154 @@
+// Package workload provides the benchmark programs for the evaluation: 47
+// synthetic SPEC-like benchmarks (CPU2006 and CPU2017) and an NGINX-like
+// request server, built directly in MIR.
+//
+// The paper's binaries cannot be reproduced without its C/C++ toolchain, so
+// each benchmark here is a generated program whose *structure* — indirect
+// call density, function-pointer traffic, direct-call rate, floating-point
+// intrinsics, block memory operations, system-call rate, type-casting
+// behaviour — is chosen to reproduce the per-benchmark phenomena the paper
+// reports: which designs false-positive on it (§5.1), which crash on it,
+// which real bugs it contains (§5.2's omnetpp use-after-free), and roughly
+// how much overhead each CFI design pays on it (§5.3). See DESIGN.md's
+// substitution table.
+package workload
+
+import (
+	"fmt"
+
+	"herqules/internal/mir"
+	"herqules/internal/vm"
+)
+
+// Scale selects an input size, mirroring SPEC's train/ref datasets. The ref
+// input runs longer and is more compute-dense, so per-message overhead has
+// less impact (§5.3.1 observes a -9% MODEL difference between train and
+// ref).
+type Scale int
+
+// Input scales.
+const (
+	// ScaleTest is a tiny input for unit tests.
+	ScaleTest Scale = iota
+	// ScaleTrain is the smaller input used for simulator runs (Figure 4).
+	ScaleTrain
+	// ScaleRef is the reference input used everywhere else.
+	ScaleRef
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleTrain:
+		return "train"
+	case ScaleRef:
+		return "ref"
+	default:
+		return "scale(?)"
+	}
+}
+
+// Profile describes one benchmark's structure and feature flags.
+type Profile struct {
+	Name  string
+	Suite string // "CPU2006", "CPU2017" or "NGINX"
+	CPP   bool   // rendered with a '+' suffix in the figures
+
+	// Per-iteration structure knobs.
+	ComputeOps   int  // arithmetic instructions
+	MemOps       int  // load/store pairs over a data array
+	ICalls       int  // indirect calls through a reloaded function pointer
+	FPWrites     int  // function-pointer stores (handler rotation)
+	Calls        int  // direct calls to a frame-carrying helper
+	Recursion    int  // recursive call depth (0 = none)
+	LibmOps      int  // floating-point intrinsic calls
+	VCalls       int  // virtual dispatches through an escaping object
+	LocalVObj    bool // also perform a devirtualizable local virtual call
+	BlockBytes   int  // memcpy'd bytes per block operation
+	BlockEvery   int  // iterations between block operations (0 = none)
+	SyscallEvery int  // iterations between syscalls (0 = only at exit)
+
+	// PtrTable sizes a global table of function pointers populated at
+	// startup, modelling the pointer-laden data structures (dispatch
+	// tables, object graphs) whose entries dominate the verifier's
+	// metadata footprint (§5.4). Zero means the benchmark has no
+	// persistent control-flow pointers beyond its working slots — the
+	// paper found 14 such benchmarks.
+	PtrTable int
+
+	// Behavioural features (each manifests mechanically in the generated
+	// program; see the builder).
+	CastAtCall     bool // call a pointer through a mismatched type
+	CastAtStore    bool // store a pointer through a decayed (integer) type
+	DecayedBlockOp bool // move pointers through a generic byte-copy helper
+	UAFBug         bool // static-destruction-order use-after-free (omnetpp)
+
+	// Modelled (non-mechanical) incompatibilities, recorded by the
+	// experiment harness rather than executed: prototype-quality crashes
+	// the paper attributes to CCFI's reserved registers and to bugs in
+	// the decade-old LLVM both CCFI and CPI are based on (§5.1).
+	CCFIIncompatible bool
+	OldCompilerBug   bool
+
+	// Iters is the train-scale outer iteration count.
+	Iters int
+}
+
+// DisplayName renders the figure label ('+' marks C++).
+func (p *Profile) DisplayName() string {
+	if p.CPP {
+		return p.Name + "+"
+	}
+	return p.Name
+}
+
+// Allowlist returns the block-op instrumentation allowlist this benchmark
+// needs under strict subtype checking (§4.1.4): benchmarks that pass decayed
+// function pointers through generic copy helpers need those helpers
+// instrumented unconditionally.
+func (p *Profile) Allowlist() []string {
+	if p.DecayedBlockOp {
+		return []string{"copybuf"}
+	}
+	return nil
+}
+
+// Build generates the benchmark program at the given scale.
+func (p *Profile) Build(scale Scale) *mir.Module {
+	if p.Suite == "NGINX" {
+		return buildNginx(p, scale)
+	}
+	return buildSpec(p, scale)
+}
+
+// scaleFactors returns (iteration multiplier, compute-density multiplier).
+func scaleFactors(s Scale) (int, int) {
+	switch s {
+	case ScaleTest:
+		return 1, 1
+	case ScaleTrain:
+		return 4, 1
+	default: // ScaleRef: longer and more compute-dense, diluting messages
+		return 10, 3
+	}
+}
+
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s/%s", p.Suite, p.DisplayName())
+}
+
+// handlerSig is the signature of benchmark handler functions.
+var handlerSig = mir.FuncType(mir.I64, mir.I64)
+
+// objSig is the deliberately mismatched signature used by CastAtCall
+// benchmarks (the povray pattern: called as a different pointer type).
+var objSig = mir.FuncType(mir.I64, mir.Ptr(mir.StructType("Object_Struct", mir.I64)))
+
+// Syscall numbers used by generated programs.
+const (
+	sysWrite = vm.SysWrite
+	sysNop   = vm.SysNop  // read-only (stat-like)
+	sysSend  = vm.SysSend // effectful (network send)
+	sysExit  = vm.SysExit
+)

@@ -1,0 +1,114 @@
+package herqules
+
+import "herqules/internal/mir"
+
+// The intermediate representation used to author programs for the framework
+// (the stand-in for the paper's LLVM IR; see DESIGN.md). These aliases
+// re-export the full construction API so user programs — like those in
+// examples/ — can be built without importing internal packages.
+
+// IR core types.
+type (
+	// Module is a translation unit of functions and globals.
+	Module = mir.Module
+	// Builder constructs MIR with a fluent API.
+	Builder = mir.Builder
+	// Type is an MIR type.
+	Type = mir.Type
+	// Func is an MIR function.
+	Func = mir.Func
+	// Block is a basic block.
+	Block = mir.Block
+	// Instr is an instruction (also a Value when it has a result).
+	Instr = mir.Instr
+	// Value is anything usable as an operand.
+	Value = mir.Value
+	// Global is a module-level variable.
+	Global = mir.Global
+)
+
+// Primitive types.
+var (
+	// VoidType is the unit type.
+	VoidType = mir.Void
+	// I8Type is an 8-bit integer.
+	I8Type = mir.I8
+	// I64Type is a 64-bit integer.
+	I64Type = mir.I64
+)
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module { return mir.NewModule(name) }
+
+// NewBuilder returns a construction builder over mod.
+func NewBuilder(mod *Module) *Builder { return mir.NewBuilder(mod) }
+
+// PtrType returns the pointer type to elem.
+func PtrType(elem *Type) *Type { return mir.Ptr(elem) }
+
+// FuncTypeOf returns the function type ret(params...).
+func FuncTypeOf(ret *Type, params ...*Type) *Type { return mir.FuncType(ret, params...) }
+
+// StructTypeOf returns a nominal struct type.
+func StructTypeOf(name string, fields ...*Type) *Type { return mir.StructType(name, fields...) }
+
+// ArrayTypeOf returns an n-element array type.
+func ArrayTypeOf(elem *Type, n int) *Type { return mir.ArrayType(elem, n) }
+
+// VTableTypeOf returns an n-slot virtual-method-table type for methods of
+// type sig.
+func VTableTypeOf(sig *Type, n int) *Type { return mir.VTableType(sig, n) }
+
+// ConstInt returns an i64 constant.
+func ConstInt(v uint64) Value { return mir.ConstInt(v) }
+
+// CmpKind selects a comparison predicate for Builder.Cmp.
+type CmpKind = mir.CmpKind
+
+// Comparison predicates.
+const (
+	CmpEq = mir.CmpEq
+	CmpNe = mir.CmpNe
+	CmpLt = mir.CmpLt
+	CmpLe = mir.CmpLe
+	CmpGt = mir.CmpGt
+	CmpGe = mir.CmpGe
+)
+
+// BinKind selects a binary operation for Builder.Bin.
+type BinKind = mir.BinKind
+
+// Binary operations.
+const (
+	BinAdd = mir.BinAdd
+	BinSub = mir.BinSub
+	BinMul = mir.BinMul
+	BinDiv = mir.BinDiv
+	BinRem = mir.BinRem
+	BinAnd = mir.BinAnd
+	BinOr  = mir.BinOr
+	BinXor = mir.BinXor
+	BinShl = mir.BinShl
+	BinShr = mir.BinShr
+)
+
+// RuntimeOp identifies a runtime-library operation insertable with
+// Builder.Runtime (normally the instrumentation passes insert these; the
+// quickstart example emits counter events by hand).
+type RuntimeOp = mir.RuntimeOp
+
+// RTCounterInc is the §2 toy policy's counter-increment event. Arg 0 is the
+// event class.
+const RTCounterInc = mir.RTCounterInc
+
+// StaticFuncAddr returns the code address the loader assigns to the i-th
+// function of a module — the layout knowledge an attacker has when ASLR is
+// disabled, used by exploit-demonstration programs.
+func StaticFuncAddr(i int) uint64 { return vmStaticFuncAddr(i) }
+
+// Validate checks structural well-formedness of a module.
+func Validate(mod *Module) error { return mir.Validate(mod) }
+
+// ParseModule parses the textual MIR form produced by (*Module).String —
+// a lossless round trip, so programs can be stored and edited as text.
+func ParseModule(src string) (*Module, error) { return mir.ParseModule(src) }
