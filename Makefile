@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench throughput
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: vet, build, and the full test suite under the race
+# detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+throughput:
+	$(GO) run ./cmd/hqbench -exp throughput

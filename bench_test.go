@@ -14,12 +14,16 @@ import (
 	"strings"
 	"testing"
 
+	"fmt"
+
 	"herqules/internal/compiler"
 	"herqules/internal/core"
 	"herqules/internal/experiments"
 	"herqules/internal/ipc"
+	"herqules/internal/policy"
 	"herqules/internal/ripe"
 	"herqules/internal/sim"
+	"herqules/internal/verifier"
 	"herqules/internal/workload"
 )
 
@@ -283,5 +287,86 @@ func sizeName(n int) string {
 		return "1k"
 	default:
 		return "64"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Verifier drain throughput — scalar pump vs sharded batch pipeline
+// ---------------------------------------------------------------------------
+
+// verifierBenchPolicies is the per-process policy mix the drain benches
+// evaluate: the CFI pointer policy plus the counter (the HQ-CFI hot path).
+func verifierBenchPolicies() []policy.Policy {
+	return []policy.Policy{policy.NewCFI(), policy.NewCounter()}
+}
+
+// verifierBenchStream interleaves define/check/invalidate triples from procs
+// processes at scheduler-quantum granularity, with per-process consecutive
+// sequence numbers so CheckSeq runs in every configuration.
+func verifierBenchStream(procs, messages int) []ipc.Message {
+	const quantum = 16
+	msgs := make([]ipc.Message, 0, messages)
+	seqs := make([]uint64, procs+1)
+	for q := 0; len(msgs) < messages; q++ {
+		pid := int32(1 + q%procs)
+		for t := 0; t < quantum && len(msgs) < messages; t++ {
+			i := q*quantum + t
+			addr := uint64(0x1000 + 8*((i/procs)%4096))
+			for _, op := range [...]ipc.Op{ipc.OpPointerDefine, ipc.OpPointerCheck, ipc.OpPointerInvalidate} {
+				seqs[pid]++
+				msgs = append(msgs, ipc.Message{Op: op, PID: pid, Arg1: addr, Arg2: addr + 1, Seq: seqs[pid]})
+				if len(msgs) == messages {
+					break
+				}
+			}
+		}
+	}
+	return msgs
+}
+
+// benchVerifierDrain replays an identical pre-recorded stream through the
+// requested pump and reports sustained messages/sec.
+func benchVerifierDrain(b *testing.B, procs, shards int, scalar bool) {
+	b.Helper()
+	const messages = 1 << 18
+	stream := verifierBenchStream(procs, messages)
+	r := ipc.NewReplay(stream)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		v := verifier.NewSharded(verifierBenchPolicies, nil, shards)
+		v.CheckSeq = true
+		for pid := 1; pid <= procs; pid++ {
+			v.ProcessStarted(int32(pid))
+		}
+		r.Rewind()
+		b.StartTimer()
+		if scalar {
+			v.PumpScalar(r)
+		} else {
+			v.Pump(r)
+		}
+	}
+	b.ReportMetric(float64(messages)*float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkVerifierThroughput_* measure the sharded batch pipeline at the
+// default shard count (GOMAXPROCS), mirroring `hqbench -exp throughput`.
+func BenchmarkVerifierThroughput_1Procs(b *testing.B)  { benchVerifierDrain(b, 1, 0, false) }
+func BenchmarkVerifierThroughput_4Procs(b *testing.B)  { benchVerifierDrain(b, 4, 0, false) }
+func BenchmarkVerifierThroughput_16Procs(b *testing.B) { benchVerifierDrain(b, 16, 0, false) }
+
+// BenchmarkVerifierDrain pits the scalar pump (one Recv + one Deliver per
+// message, the pre-sharding design) against the batch pipeline on the same
+// multi-process stream; the msgs/sec ratio is the batching speedup.
+func BenchmarkVerifierDrain(b *testing.B) {
+	for _, procs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("scalar-%dprocs", procs), func(b *testing.B) {
+			benchVerifierDrain(b, procs, 1, true)
+		})
+		b.Run(fmt.Sprintf("batch-%dprocs", procs), func(b *testing.B) {
+			benchVerifierDrain(b, procs, 0, false)
+		})
 	}
 }

@@ -12,7 +12,9 @@
 //	hqbench -exp fig5           # CFI design comparison
 //	hqbench -exp table6         # lines of code per component
 //	hqbench -exp metrics        # §5.4 message/memory statistics
+//	hqbench -exp throughput     # verifier drain rate: scalar vs sharded-batch
 //	hqbench -scale test|train|ref (default ref)
+//	hqbench -msgs N             # messages per throughput measurement
 package main
 
 import (
@@ -26,8 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
+	msgs := flag.Int("msgs", 1<<20, "messages per throughput measurement")
 	flag.Parse()
 
 	var scale workload.Scale
@@ -93,6 +96,12 @@ func main() {
 		ran = true
 		header(fmt.Sprintf("§5.4 metrics under HQ-CFI-SfeStk-MODEL (%s input)", scale))
 		fmt.Print(experiments.CollectMetrics(scale).Format())
+	}
+	if want("throughput") {
+		ran = true
+		header("Verifier throughput: scalar pump vs sharded batch pipeline")
+		fmt.Print(experiments.FormatThroughput(
+			experiments.Throughput(*msgs, []int{1, 4, 16}, 0, 0)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -192,15 +192,67 @@ func (r *receiver) TryRecv() (ipc.Message, bool, error) {
 	return r.verify(m)
 }
 
+// RecvBatch implements ipc.BatchReceiver: the whole pending window of the
+// circular buffer is copied out under one lock round, then counter-verified
+// outside the lock, so the AFU is never stalled by per-message verifier work.
+func (r *receiver) RecvBatch(out []ipc.Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	d := r.dev
+	d.mu.Lock()
+	for d.tail == d.head && !d.closed {
+		d.cond.Wait()
+	}
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return 0, false, nil
+	}
+	n := int(d.head - d.tail)
+	if n > len(out) {
+		n = len(out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = d.buf[(d.tail+uint64(i))%uint64(len(d.buf))]
+	}
+	d.tail += uint64(n)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if out[i].Seq != r.lastSeq+1 {
+			return i, false, &ipc.ProcessError{PID: out[i].PID, Err: ipc.ErrIntegrity}
+		}
+		r.lastSeq = out[i].Seq
+	}
+	return n, true, nil
+}
+
+// Pending implements ipc.Pender: messages the AFU has written but the
+// verifier has not yet read.
+func (r *receiver) Pending() int {
+	r.dev.mu.Lock()
+	defer r.dev.mu.Unlock()
+	return int(r.dev.head - r.dev.tail)
+}
+
 func (r *receiver) verify(m ipc.Message) (ipc.Message, bool, error) {
 	if m.Seq != r.lastSeq+1 {
 		// A non-consecutive counter means the AFU dropped messages; the
-		// monitored program must be terminated (§3.1.1).
-		return m, false, ipc.ErrIntegrity
+		// monitored program must be terminated (§3.1.1). The PID field is
+		// AFU-stamped (kernel-managed register), so the error can be
+		// attributed to the responsible process.
+		return m, false, &ipc.ProcessError{PID: m.PID, Err: ipc.ErrIntegrity}
 	}
 	r.lastSeq = m.Seq
 	return m, true, nil
 }
+
+var (
+	_ ipc.Receiver      = (*receiver)(nil)
+	_ ipc.TryReceiver   = (*receiver)(nil)
+	_ ipc.BatchReceiver = (*receiver)(nil)
+	_ ipc.Pender        = (*receiver)(nil)
+)
 
 // New creates an AppendWrite-FPGA channel with the given buffer capacity in
 // messages (DefaultSlots when <= 0). The returned Device is exposed for the

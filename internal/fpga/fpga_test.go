@@ -153,3 +153,75 @@ func TestConcurrentProducerConsumer(t *testing.T) {
 		t.Errorf("received %d + dropped %d != sent %d", count, dev.Dropped(), n)
 	}
 }
+
+func TestRecvBatchDrainsBuffer(t *testing.T) {
+	ch, dev := New(1024)
+	dev.SetPID(9)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc, Arg1: uint64(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	ch.Close()
+	buf := make([]ipc.Message, 33)
+	got := 0
+	for {
+		k, ok, err := ch.Receiver.(ipc.BatchReceiver).RecvBatch(buf)
+		if err != nil {
+			t.Fatalf("RecvBatch: %v", err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < k; i++ {
+			if buf[i].Arg1 != uint64(got+i) || buf[i].PID != 9 {
+				t.Fatalf("message %d: %v", got+i, buf[i])
+			}
+		}
+		got += k
+	}
+	if got != n {
+		t.Fatalf("drained %d messages, want %d", got, n)
+	}
+}
+
+func TestRecvBatchAttributesDropToProcess(t *testing.T) {
+	// Overrun a tiny buffer so the counter gap surfaces mid-batch: the
+	// messages before the gap are delivered, and the error names the PID
+	// the AFU stamped (kernel-managed register, so trustworthy).
+	ch, _ := New(4)
+	if reg, ok := ch.Sender.(interface{ SetPID(int32) }); ok {
+		reg.SetPID(42)
+	}
+	for i := 0; i < 5; i++ { // fifth message dropped (seq 5 consumed)
+		ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc})
+	}
+	buf := make([]ipc.Message, 4)
+	k, _, err := ch.Receiver.(ipc.BatchReceiver).RecvBatch(buf)
+	if k != 4 || err != nil {
+		t.Fatalf("pre-gap burst: k=%d err=%v", k, err)
+	}
+	ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc}) // seq 6 exposes the gap
+	k, _, err = ch.Receiver.(ipc.BatchReceiver).RecvBatch(buf)
+	if k != 0 {
+		t.Errorf("post-gap burst delivered %d messages", k)
+	}
+	if !errors.Is(err, ipc.ErrIntegrity) {
+		t.Fatalf("err=%v, want ErrIntegrity", err)
+	}
+	var pe *ipc.ProcessError
+	if !errors.As(err, &pe) || pe.PID != 42 {
+		t.Errorf("drop not attributed to pid 42: %v", err)
+	}
+}
+
+func TestReceiverPending(t *testing.T) {
+	ch, _ := New(64)
+	for i := 0; i < 7; i++ {
+		ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc})
+	}
+	if p, ok := ipc.PendingOf(ch.Receiver); !ok || p != 7 {
+		t.Errorf("Pending = %d ok=%t, want 7", p, ok)
+	}
+}

@@ -46,6 +46,94 @@ type TryReceiver interface {
 	TryRecv() (m Message, ok bool, err error)
 }
 
+// BatchReceiver is implemented by backends that can hand the verifier a whole
+// burst of pending messages in one call, amortizing per-message costs
+// (atomics, locks, system calls) across the burst. Every channel in this
+// package and the fpga/uarch packages implements it; RecvBatchFrom adapts the
+// ones that do not.
+type BatchReceiver interface {
+	// RecvBatch fills buf with up to len(buf) pending messages. It blocks
+	// until at least one message is available or the channel is closed and
+	// drained (n == 0, ok == false). When err is non-nil the first n
+	// messages of buf are still valid: they were received before the
+	// integrity failure and must be processed so per-process state is
+	// current when the verifier acts on the error.
+	RecvBatch(buf []Message) (n int, ok bool, err error)
+}
+
+// Pender is implemented by receivers that can report how many messages are
+// sent but not yet received, making backpressure observable uniformly across
+// backends (the verifier's per-shard queue depth uses the same interface).
+type Pender interface {
+	// Pending reports the number of sent-but-unread messages.
+	Pending() int
+}
+
+// PendingOf reports r's queue depth when r implements Pender; ok is false
+// when the backend cannot observe it.
+func PendingOf(r interface{}) (n int, ok bool) {
+	if p, okP := r.(Pender); okP {
+		return p.Pending(), true
+	}
+	return 0, false
+}
+
+// ProcessError attributes a receive-side integrity error to the monitored
+// process that caused it. Backends that authenticate the PID field (the FPGA
+// AFU's kernel-managed PID register, §3.1.1) wrap ErrIntegrity in a
+// ProcessError; backends that cannot attribute the failure — a corrupted
+// byte stream may carry a stale PID — return the bare error, and the
+// verifier then terminates no one.
+type ProcessError struct {
+	// PID is the process the receiver holds responsible.
+	PID int32
+	// Err is the underlying error (typically ErrIntegrity).
+	Err error
+}
+
+func (e *ProcessError) Error() string {
+	return fmt.Sprintf("pid %d: %v", e.PID, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (e *ProcessError) Unwrap() error { return e.Err }
+
+// RecvBatchFrom drains up to len(buf) messages from r in one call. It uses
+// the backend's native RecvBatch when implemented; otherwise it blocks for
+// one message and opportunistically drains more via TryRecv. Semantics match
+// BatchReceiver.RecvBatch.
+func RecvBatchFrom(r Receiver, buf []Message) (int, bool, error) {
+	if len(buf) == 0 {
+		return 0, true, nil
+	}
+	if br, ok := r.(BatchReceiver); ok {
+		return br.RecvBatch(buf)
+	}
+	m, ok, err := r.Recv()
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	buf[0] = m
+	n := 1
+	if tr, okT := r.(TryReceiver); okT {
+		for n < len(buf) {
+			m, ok, err := tr.TryRecv()
+			if err != nil {
+				return n, false, err
+			}
+			if !ok {
+				break
+			}
+			buf[n] = m
+			n++
+		}
+	}
+	return n, true, nil
+}
+
 // Properties describes the security and cost characteristics of an IPC
 // primitive, mirroring the columns of the paper's Table 2.
 type Properties struct {

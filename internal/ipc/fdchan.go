@@ -1,9 +1,9 @@
 package ipc
 
 import (
-	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -13,10 +13,11 @@ import (
 // hundreds of nanoseconds on the monitored program's critical path — the
 // weakness Table 2 attributes to message queues, pipes and sockets.
 type fdSender struct {
-	mu  sync.Mutex
-	w   *os.File
-	seq uint64
-	buf [MessageSize]byte
+	mu      sync.Mutex
+	w       *os.File
+	seq     uint64
+	buf     [MessageSize]byte
+	pending *atomic.Int64 // shared with the paired fdReceiver
 }
 
 func (s *fdSender) Send(m Message) error {
@@ -31,6 +32,7 @@ func (s *fdSender) Send(m Message) error {
 	if _, err := s.w.Write(s.buf[:]); err != nil {
 		return err
 	}
+	s.pending.Add(1)
 	return nil
 }
 
@@ -45,23 +47,97 @@ func (s *fdSender) Close() error {
 	return err
 }
 
-// fdReceiver reads framed messages from a file descriptor.
+// fdReceiver reads framed messages from a file descriptor. Reads pull
+// whatever burst the kernel has buffered in one read(2); a trailing partial
+// frame is carried in buf until the next call, so the receive syscall cost is
+// amortized across the burst instead of paid per message.
 type fdReceiver struct {
-	r   *os.File
-	buf [MessageSize]byte
+	r       *os.File
+	buf     []byte // staging buffer; buf[:n] holds undecoded bytes
+	n       int
+	pending *atomic.Int64 // shared with the paired fdSender
 }
 
 func (r *fdReceiver) Recv() (Message, bool, error) {
-	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
-		r.r.Close()
-		return Message{}, false, nil // closed and drained
+	var one [1]Message
+	n, ok, err := r.RecvBatch(one[:])
+	if n == 1 {
+		return one[0], true, err
 	}
-	m, err := DecodeMessage(r.buf[:])
-	if err != nil {
-		return Message{}, false, err
-	}
-	return m, true, nil
+	return Message{}, ok && n > 0, err
 }
+
+// RecvBatch implements BatchReceiver: one read(2) per burst, then frame
+// decoding in process. A decode failure cannot be attributed to a process —
+// a corrupted stream may carry a stale PID — so the error is returned bare.
+func (r *fdReceiver) RecvBatch(out []Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	want := len(out) * MessageSize
+	if want < r.n {
+		want = r.n // never truncate bytes carried from a larger burst
+	}
+	if cap(r.buf) < want {
+		grown := make([]byte, want)
+		copy(grown, r.buf[:r.n])
+		r.buf = grown
+	}
+	r.buf = r.buf[:want]
+	// Block until at least one complete frame is buffered; frames carried
+	// from a previous burst are served without touching the kernel.
+	for r.n < MessageSize {
+		nr, err := r.r.Read(r.buf[r.n:])
+		if nr > 0 {
+			r.n += nr
+		}
+		if err != nil {
+			if r.n >= MessageSize {
+				break
+			}
+			r.r.Close()
+			return 0, false, nil // closed and drained
+		}
+	}
+	cnt := r.n / MessageSize
+	if cnt > len(out) {
+		cnt = len(out)
+	}
+	for i := 0; i < cnt; i++ {
+		m, err := DecodeMessage(r.buf[i*MessageSize:])
+		if err != nil {
+			r.consume(i * MessageSize)
+			r.pending.Add(int64(-i))
+			return i, false, err
+		}
+		out[i] = m
+	}
+	r.consume(cnt * MessageSize)
+	r.pending.Add(int64(-cnt))
+	return cnt, true, nil
+}
+
+// consume discards the first k decoded bytes, sliding a partial trailing
+// frame to the front of the staging buffer.
+func (r *fdReceiver) consume(k int) {
+	copy(r.buf, r.buf[k:r.n])
+	r.n -= k
+}
+
+// Pending reports messages written but not yet received. The kernel's own
+// buffer is not directly observable, so the endpoints share a counter.
+func (r *fdReceiver) Pending() int {
+	if n := r.pending.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+var (
+	_ Receiver      = (*fdReceiver)(nil)
+	_ BatchReceiver = (*fdReceiver)(nil)
+	_ Pender        = (*fdReceiver)(nil)
+)
 
 // NewPipe builds a channel over an anonymous kernel pipe (the "Named Pipe"
 // row of Table 2). If pipe creation is unavailable the constructor falls
@@ -78,7 +154,12 @@ func NewPipe() *Channel {
 	if err != nil {
 		return newFallbackQueue(props)
 	}
-	return &Channel{Sender: &fdSender{w: pw}, Receiver: &fdReceiver{r: pr}, Props: props}
+	pending := new(atomic.Int64)
+	return &Channel{
+		Sender:   &fdSender{w: pw, pending: pending},
+		Receiver: &fdReceiver{r: pr, pending: pending},
+		Props:    props,
+	}
 }
 
 // NewSocket builds a channel over a Unix-domain stream socketpair (the
@@ -123,7 +204,12 @@ func newSocketpairChannel(typ int, props Properties) *Channel {
 	syscall.SetNonblock(fds[1], true)
 	w := os.NewFile(uintptr(fds[0]), props.Name+"-send")
 	r := os.NewFile(uintptr(fds[1]), props.Name+"-recv")
-	return &Channel{Sender: &fdSender{w: w}, Receiver: &fdReceiver{r: r}, Props: props}
+	pending := new(atomic.Int64)
+	return &Channel{
+		Sender:   &fdSender{w: w, pending: pending},
+		Receiver: &fdReceiver{r: r, pending: pending},
+		Props:    props,
+	}
 }
 
 // fallbackQueue is an in-process bounded queue used when the host denies the
@@ -189,3 +275,33 @@ func (q *fallbackQueue) TryRecv() (Message, bool, error) {
 	q.queue = q.queue[1:]
 	return m, true, nil
 }
+
+// RecvBatch implements BatchReceiver: one lock round per burst.
+func (q *fallbackQueue) RecvBatch(out []Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.queue) == 0 {
+		return 0, false, nil
+	}
+	n := copy(out, q.queue)
+	q.queue = q.queue[n:]
+	return n, true, nil
+}
+
+// Pending implements Pender.
+func (q *fallbackQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+var (
+	_ BatchReceiver = (*fallbackQueue)(nil)
+	_ Pender        = (*fallbackQueue)(nil)
+)

@@ -87,6 +87,37 @@ func (c *lwcChannel) TryRecv() (Message, bool, error) {
 	return m, true, nil
 }
 
+// RecvBatch implements BatchReceiver. The sender already paid the context
+// switches; the verifier side drains whole bursts under one lock round.
+func (c *lwcChannel) RecvBatch(out []Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.queue) == 0 {
+		return 0, false, nil
+	}
+	n := copy(out, c.queue)
+	c.queue = c.queue[n:]
+	return n, true, nil
+}
+
+// Pending implements Pender.
+func (c *lwcChannel) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+var (
+	_ BatchReceiver = (*lwcChannel)(nil)
+	_ Pender        = (*lwcChannel)(nil)
+)
+
 // spinWait busy-waits for roughly d, modelling work that occupies the CPU
 // (a context switch does not yield useful cycles to the program).
 func spinWait(d time.Duration) {

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -126,4 +127,63 @@ func (r *Reader) Recv() (ipc.Message, bool, error) {
 	}
 }
 
-var _ ipc.Receiver = (*Reader)(nil)
+// RecvBatch implements ipc.BatchReceiver: one sweep over the AMRs fills out
+// with every pending message (up to len(out)), taking each device lock once
+// per sweep instead of once per message. Per-AMR (and therefore per-writer)
+// message order is preserved; cross-core order is policy-irrelevant or
+// recovered from the timestamp in Arg3 (§4.3).
+func (r *Reader) RecvBatch(out []ipc.Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	for {
+		total := 0
+		n := len(r.mc.devices)
+		advance := 0
+		for i := 0; i < n && total < len(out); i++ {
+			d := r.mc.devices[(r.next+i)%n]
+			k, _, err := d.TryRecvBatch(out[total:])
+			total += k
+			if err != nil {
+				return total, false, err
+			}
+			advance = i + 1
+		}
+		if total > 0 {
+			// Resume the next sweep after the last drained AMR so a
+			// chatty core cannot starve the others.
+			r.next = (r.next + advance) % n
+			return total, true, nil
+		}
+		r.mc.mu.Lock()
+		done := r.mc.closed == len(r.mc.devices)
+		r.mc.mu.Unlock()
+		if done {
+			for i := 0; i < n && total < len(out); i++ {
+				k, _, err := r.mc.devices[i].TryRecvBatch(out[total:])
+				total += k
+				if err != nil {
+					return total, false, err
+				}
+			}
+			return total, total > 0, nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// Pending implements ipc.Pender: total appended-but-unread messages across
+// every AMR.
+func (r *Reader) Pending() int {
+	total := 0
+	for _, d := range r.mc.devices {
+		total += d.Pending()
+	}
+	return total
+}
+
+var (
+	_ ipc.Receiver      = (*Reader)(nil)
+	_ ipc.BatchReceiver = (*Reader)(nil)
+	_ ipc.Pender        = (*Reader)(nil)
+)

@@ -165,3 +165,49 @@ func TestMultiCoreReaderRoundRobinFairness(t *testing.T) {
 		t.Errorf("reader not alternating: %d then %d", first.Arg1, second.Arg1)
 	}
 }
+
+func TestMultiCoreRecvBatchDrainsAllAMRs(t *testing.T) {
+	const cores, per = 3, 40
+	mc := newMC(t, cores, 64)
+	for c := 0; c < cores; c++ {
+		s := mc.Sender(c)
+		for i := 0; i < per; i++ {
+			if err := s.Send(ipc.Message{Op: ipc.OpCounterInc, Arg1: uint64(c), Arg2: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+	}
+	r := mc.Reader()
+	if p, ok := ipc.PendingOf(r); !ok || p != cores*per {
+		t.Fatalf("Pending = %d ok=%t, want %d", p, ok, cores*per)
+	}
+	buf := make([]ipc.Message, 32)
+	seen := make(map[uint64][]uint64) // core -> sequence of Arg2
+	total := 0
+	for {
+		k, ok, err := r.RecvBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok && k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			seen[buf[i].Arg1] = append(seen[buf[i].Arg1], buf[i].Arg2)
+		}
+		total += k
+	}
+	if total != cores*per {
+		t.Fatalf("drained %d, want %d", total, cores*per)
+	}
+	// Per-core (per-AMR) order must be preserved even though bursts
+	// interleave cores.
+	for c, seq := range seen {
+		for i, v := range seq {
+			if v != uint64(i) {
+				t.Fatalf("core %d: position %d has %d (reordered)", c, i, v)
+			}
+		}
+	}
+}

@@ -153,6 +153,58 @@ func (d *Device) TryRecv() (ipc.Message, bool, error) {
 	return d.recvLocked()
 }
 
+// RecvBatch reads up to len(out) messages in one lock round, blocking until
+// at least one is appended or the device is closed and drained. Draining the
+// AMR in bursts is what unblocks a writer waiting in the full-AMR fault
+// handler promptly.
+func (d *Device) RecvBatch(out []ipc.Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.readAddr == d.core.AppendAddr && !d.closed {
+		d.cond.Wait()
+	}
+	if d.readAddr == d.core.AppendAddr {
+		return 0, false, nil
+	}
+	return d.recvBatchLocked(out)
+}
+
+// TryRecvBatch reads up to len(out) messages without blocking.
+func (d *Device) TryRecvBatch(out []ipc.Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recvBatchLocked(out)
+}
+
+func (d *Device) recvBatchLocked(out []ipc.Message) (int, bool, error) {
+	n := 0
+	for n < len(out) && d.readAddr != d.core.AppendAddr {
+		m, ok, err := d.recvLocked()
+		if err != nil {
+			return n, false, err
+		}
+		if !ok {
+			break
+		}
+		out[n] = m
+		n++
+	}
+	return n, n > 0, nil
+}
+
+// Pending reports the number of appended-but-unread messages.
+func (d *Device) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int((d.core.AppendAddr - d.readAddr) / ipc.MessageSize)
+}
+
 func (d *Device) recvLocked() (ipc.Message, bool, error) {
 	if d.readAddr == d.core.AppendAddr {
 		return ipc.Message{}, false, nil
@@ -191,8 +243,17 @@ func (s deviceSender) Close() error             { return s.d.Close() }
 // deviceReceiver adapts Device to ipc.Receiver.
 type deviceReceiver struct{ d *Device }
 
-func (r deviceReceiver) Recv() (ipc.Message, bool, error)    { return r.d.Recv() }
-func (r deviceReceiver) TryRecv() (ipc.Message, bool, error) { return r.d.TryRecv() }
+func (r deviceReceiver) Recv() (ipc.Message, bool, error)         { return r.d.Recv() }
+func (r deviceReceiver) TryRecv() (ipc.Message, bool, error)      { return r.d.TryRecv() }
+func (r deviceReceiver) RecvBatch(out []ipc.Message) (int, bool, error) {
+	return r.d.RecvBatch(out)
+}
+func (r deviceReceiver) Pending() int { return r.d.Pending() }
+
+var (
+	_ ipc.BatchReceiver = deviceReceiver{}
+	_ ipc.Pender        = deviceReceiver{}
+)
 
 // New creates an AppendWrite-µarch channel with hardware semantics: an AMR
 // of the given size mapped at base within memory. Used by the simulator

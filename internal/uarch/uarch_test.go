@@ -150,3 +150,41 @@ func TestCostOrderingAcrossAppendWriteVariants(t *testing.T) {
 		t.Error("AppendWrite cost ordering violated")
 	}
 }
+
+func TestDeviceRecvBatch(t *testing.T) {
+	m := mem.New()
+	ch, dev, err := New(m, 0x7000_0000, 64*ipc.MessageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := ch.Sender.Send(ipc.Message{Op: ipc.OpCounterInc, Arg1: uint64(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if got := dev.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	ch.Close()
+	buf := make([]ipc.Message, 16)
+	got := 0
+	for {
+		k, ok, err := ch.Receiver.(ipc.BatchReceiver).RecvBatch(buf)
+		if err != nil {
+			t.Fatalf("RecvBatch: %v", err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < k; i++ {
+			if buf[i].Arg1 != uint64(got+i) {
+				t.Fatalf("out of order at %d: %v", got+i, buf[i])
+			}
+		}
+		got += k
+	}
+	if got != n {
+		t.Fatalf("drained %d, want %d", got, n)
+	}
+}

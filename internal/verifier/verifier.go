@@ -3,11 +3,28 @@
 // that maintains a policy context for each monitored application, receives
 // AppendWrite messages, evaluates them against the attached policies, and
 // tells the kernel when system calls may resume — or that a program must die.
+//
+// The verifier must keep up with message rates in the hundreds of millions
+// per second so syscall-sync waits stay bounded (§3.4, §5.3). Two mechanisms
+// provide the headroom:
+//
+//   - Sharding: per-process contexts live in N independent shards keyed by
+//     PID hash, each with its own lock. Messages from different monitored
+//     processes validate concurrently; messages from one process always land
+//     in the same shard, preserving per-process ordering and the §3.1.1
+//     counter semantics.
+//   - Batch draining: Pump pulls whole bursts from the channel via
+//     ipc.BatchReceiver and evaluates each shard's share under one lock
+//     round (DeliverBatch), amortizing atomics, syscalls and map lookups
+//     across the burst instead of paying them per message.
 package verifier
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"herqules/internal/ipc"
 	"herqules/internal/policy"
@@ -36,10 +53,25 @@ type procCtx struct {
 	seqValid   bool
 }
 
+// shard owns the contexts of the processes hashed to it.
+type shard struct {
+	mu    sync.Mutex
+	procs map[int32]*procCtx
+}
+
+// Pipeline tuning defaults; Verifier fields of the same name override them.
+const (
+	// DefaultBatchSize is the per-RecvBatch burst size used by Pump.
+	DefaultBatchSize = 256
+	// DefaultQueueDepth is the per-shard queue bound, in batches. A full
+	// queue applies backpressure to the drain loop rather than buffering
+	// unboundedly.
+	DefaultQueueDepth = 64
+)
+
 // Verifier is the policy-enforcement process.
 type Verifier struct {
-	mu      sync.Mutex
-	procs   map[int32]*procCtx
+	shards  []shard
 	factory PolicyFactory
 	gate    Gate
 
@@ -54,119 +86,294 @@ type Verifier struct {
 	// is itself a fatal integrity violation (§3.1.1).
 	CheckSeq bool
 
-	totalMessages uint64
+	// BatchSize overrides DefaultBatchSize for Pump (0 keeps the default).
+	BatchSize int
+	// QueueDepth overrides DefaultQueueDepth for Pump (0 keeps the
+	// default).
+	QueueDepth int
+
+	totalMessages atomic.Uint64
 }
 
-// New creates a verifier. gate may be nil for standalone policy evaluation.
+// New creates a verifier with one shard per GOMAXPROCS. gate may be nil for
+// standalone policy evaluation.
 func New(factory PolicyFactory, gate Gate) *Verifier {
-	return &Verifier{
-		procs:           make(map[int32]*procCtx),
+	return NewSharded(factory, gate, 0)
+}
+
+// NewSharded creates a verifier with an explicit shard count (<= 0 selects
+// GOMAXPROCS). One shard degenerates to the original single-lock design.
+func NewSharded(factory PolicyFactory, gate Gate, shards int) *Verifier {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	v := &Verifier{
+		shards:          make([]shard, shards),
 		factory:         factory,
 		gate:            gate,
 		KillOnViolation: true,
 	}
+	for i := range v.shards {
+		v.shards[i].procs = make(map[int32]*procCtx)
+	}
+	return v
+}
+
+// Shards reports the shard count.
+func (v *Verifier) Shards() int { return len(v.shards) }
+
+// shardFor returns the shard owning pid. The multiplicative hash spreads
+// consecutive PIDs (the common case) across shards.
+func (v *Verifier) shardFor(pid int32) *shard {
+	return &v.shards[v.shardIndex(pid)]
+}
+
+func (v *Verifier) shardIndex(pid int32) int {
+	h := uint32(pid) * 2654435761 // Knuth multiplicative hash
+	return int(h % uint32(len(v.shards)))
 }
 
 // ProcessStarted implements kernel.Listener: allocate a policy context.
 func (v *Verifier) ProcessStarted(pid int32) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.procs[pid] = &procCtx{pid: pid, policies: v.factory()}
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procs[pid] = &procCtx{pid: pid, policies: v.factory()}
 }
 
-// ProcessForked implements kernel.Listener: copy the parent's context.
+// ProcessForked implements kernel.Listener: copy the parent's context. The
+// parent and child may hash to different shards; the parent's shard lock is
+// released before the child's is taken, so no two shard locks are ever held
+// at once (no lock-order deadlock).
 func (v *Verifier) ProcessForked(parent, child int32) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	pc, ok := v.procs[parent]
-	if !ok {
-		v.procs[child] = &procCtx{pid: child, policies: v.factory()}
-		return
+	ps := v.shardFor(parent)
+	ps.mu.Lock()
+	var policies []policy.Policy
+	if pc, ok := ps.procs[parent]; ok {
+		policies = make([]policy.Policy, 0, len(pc.policies))
+		for _, p := range pc.policies {
+			policies = append(policies, p.Clone())
+		}
 	}
-	cc := &procCtx{pid: child}
-	for _, p := range pc.policies {
-		cc.policies = append(cc.policies, p.Clone())
+	ps.mu.Unlock()
+	if policies == nil {
+		policies = v.factory()
 	}
-	v.procs[child] = cc
+	cs := v.shardFor(child)
+	cs.mu.Lock()
+	cs.procs[child] = &procCtx{pid: child, policies: policies}
+	cs.mu.Unlock()
 }
 
 // ProcessExited implements kernel.Listener: destroy the context.
 func (v *Verifier) ProcessExited(pid int32) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	delete(v.procs, pid)
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.procs, pid)
 }
 
-// Deliver processes one message synchronously. It is the single dispatch
-// point used both by Pump (concurrent mode) and by deterministic
-// experiments that evaluate messages inline.
+// gateAction is a deferred kernel interaction: policy evaluation happens
+// under the shard lock, kernel calls after it is released (the kernel may
+// block or call back into process teardown).
+type gateAction struct {
+	pid    int32
+	kill   bool
+	reason string
+}
+
+// Deliver processes one message synchronously. It is the compatibility
+// wrapper over the batch path, used by deterministic experiments that
+// evaluate messages inline at send time.
 func (v *Verifier) Deliver(m ipc.Message) {
-	v.mu.Lock()
-	pc, ok := v.procs[m.PID]
-	if !ok {
-		// Message from an unregistered process: ignore. Authenticity is
-		// the kernel's job (PID register, §3.1.1); an unknown PID means
-		// the process never enabled HerQules.
-		v.mu.Unlock()
-		return
-	}
-	v.totalMessages++
-	pc.messages++
-	if v.CheckSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
-		viol := &policy.Violation{PID: m.PID, Op: m.Op,
-			Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
-		pc.violations = append(pc.violations, viol)
-		gate := v.gate
-		v.mu.Unlock()
-		if gate != nil {
-			// Integrity violations are always fatal (§3.1.1).
-			gate.Kill(m.PID, viol.Reason)
-		}
-		return
-	}
-	pc.lastSeq, pc.seqValid = m.Seq, true
+	batch := [1]ipc.Message{m}
+	v.deliverShardBatch(v.shardIndex(m.PID), batch[:])
+}
 
-	var violated *policy.Violation
-	for _, p := range pc.policies {
-		if viol := p.Handle(m); viol != nil {
-			violated = viol
+// DeliverBatch processes a burst of messages, taking each involved shard's
+// lock once per run of same-shard messages instead of once per message.
+// Message order within the batch is preserved, which keeps per-process
+// ordering intact for any partition of one process's stream into batches.
+func (v *Verifier) DeliverBatch(ms []ipc.Message) {
+	for start := 0; start < len(ms); {
+		si := v.shardIndex(ms[start].PID)
+		end := start + 1
+		for end < len(ms) && v.shardIndex(ms[end].PID) == si {
+			end++
+		}
+		v.deliverShardBatch(si, ms[start:end])
+		start = end
+	}
+}
+
+// deliverShardBatch evaluates a run of messages that all hash to shard si:
+// one lock round for the whole run, with the procCtx lookup cached across
+// consecutive messages from the same process (the dominant pattern).
+func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
+	s := &v.shards[si]
+	var actsBuf [4]gateAction
+	acts := actsBuf[:0]
+	var delivered uint64
+	checkSeq, killOnViolation := v.CheckSeq, v.KillOnViolation
+
+	s.mu.Lock()
+	var pc *procCtx
+	var pcPID int32
+	var pcValid bool
+	for i := range ms {
+		m := &ms[i]
+		if !pcValid || m.PID != pcPID {
+			pc = s.procs[m.PID]
+			pcPID, pcValid = m.PID, true
+		}
+		if pc == nil {
+			// Message from an unregistered process: ignore. Authenticity
+			// is the kernel's job (PID register, §3.1.1); an unknown PID
+			// means the process never enabled HerQules.
+			continue
+		}
+		delivered++
+		pc.messages++
+		if checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
+			viol := &policy.Violation{PID: m.PID, Op: m.Op,
+				Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
 			pc.violations = append(pc.violations, viol)
+			// Integrity violations are always fatal (§3.1.1).
+			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: viol.Reason})
+			continue
+		}
+		pc.lastSeq, pc.seqValid = m.Seq, true
+
+		var violated *policy.Violation
+		for _, p := range pc.policies {
+			if viol := p.Handle(*m); viol != nil {
+				violated = viol
+				pc.violations = append(pc.violations, viol)
+			}
+		}
+		if violated != nil && killOnViolation {
+			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: violated.Reason})
+			continue
+		}
+		if m.Op == ipc.OpSyscall {
+			// A System-Call message indicates all outstanding messages
+			// have been processed; resume the syscall unless a prior
+			// violation is pending and fatal (§2.2).
+			if len(pc.violations) == 0 || !killOnViolation {
+				acts = append(acts, gateAction{pid: m.PID})
+			}
 		}
 	}
-	syscallSync := m.Op == ipc.OpSyscall
-	hasViolations := len(pc.violations) > 0
-	gate := v.gate
-	kill := violated != nil && v.KillOnViolation
-	v.mu.Unlock()
+	s.mu.Unlock()
 
-	if gate == nil {
+	if delivered > 0 {
+		v.totalMessages.Add(delivered)
+	}
+	if v.gate == nil {
 		return
 	}
-	if kill {
-		gate.Kill(m.PID, violated.Reason)
-		return
-	}
-	if syscallSync {
-		// A System-Call message indicates all outstanding messages have
-		// been processed; resume the syscall unless a prior violation is
-		// pending and fatal (§2.2).
-		if !hasViolations || !v.KillOnViolation {
-			gate.NotifySyncReady(m.PID)
+	for _, a := range acts {
+		if a.kill {
+			v.gate.Kill(a.pid, a.reason)
+		} else {
+			v.gate.NotifySyncReady(a.pid)
 		}
 	}
 }
 
-// Pump consumes messages from r until the channel closes, delivering each.
-// Run it on its own goroutine for concurrent (paper-accurate) operation. A
-// receive-side integrity error kills the affected process when identifiable,
-// and stops the pump.
+// Pump consumes messages from r until the channel closes, draining bursts
+// with ipc.RecvBatchFrom and fanning each burst out to per-shard worker
+// goroutines over bounded queues. Messages for one process always flow
+// through the same shard queue in receive order, so per-process ordering
+// (and CheckSeq) is preserved while different processes validate
+// concurrently. Pump returns only after every received message has been
+// delivered. A receive-side integrity error kills the affected process when
+// the receiver attributes the error to one (ipc.ProcessError), and stops the
+// pump.
 func (v *Verifier) Pump(r ipc.Receiver) {
+	batchSize := v.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	depth := v.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	nshards := len(v.shards)
+
+	queues := make([]chan []ipc.Message, nshards)
+	// Batch buffers cycle through a free list once the owning worker has
+	// delivered them, so steady-state pumping allocates nothing.
+	free := make(chan []ipc.Message, nshards*(depth+1))
+	var wg sync.WaitGroup
+	for i := range queues {
+		queues[i] = make(chan []ipc.Message, depth)
+		wg.Add(1)
+		go func(si int, q chan []ipc.Message) {
+			defer wg.Done()
+			for batch := range q {
+				v.deliverShardBatch(si, batch)
+				select {
+				case free <- batch:
+				default:
+				}
+			}
+		}(i, queues[i])
+	}
+	grab := func() []ipc.Message {
+		select {
+		case b := <-free:
+			return b[:0]
+		default:
+			return make([]ipc.Message, 0, batchSize)
+		}
+	}
+
+	buf := make([]ipc.Message, batchSize)
+	routed := make([][]ipc.Message, nshards)
+	for {
+		n, ok, err := ipc.RecvBatchFrom(r, buf)
+		if n > 0 {
+			// Partition the burst by shard, preserving order. buf is
+			// reused for the next burst, so messages are copied into
+			// recycled per-shard batch buffers.
+			for i := 0; i < n; i++ {
+				si := v.shardIndex(buf[i].PID)
+				if routed[si] == nil {
+					routed[si] = grab()
+				}
+				routed[si] = append(routed[si], buf[i])
+			}
+			for si, ms := range routed {
+				if ms != nil {
+					queues[si] <- ms
+					routed[si] = nil
+				}
+			}
+		}
+		if err != nil {
+			v.killAttributed(err)
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+}
+
+// PumpScalar is the pre-sharding drain loop — one Recv and one Deliver per
+// message — kept as the baseline the throughput benchmarks compare the
+// batched pipeline against, and for receivers where per-message latency
+// matters more than throughput.
+func (v *Verifier) PumpScalar(r ipc.Receiver) {
 	for {
 		m, ok, err := r.Recv()
 		if err != nil {
-			if v.gate != nil && m.PID != 0 {
-				v.gate.Kill(m.PID, "message integrity violated: "+err.Error())
-			}
+			v.killAttributed(err)
 			return
 		}
 		if !ok {
@@ -176,11 +383,26 @@ func (v *Verifier) Pump(r ipc.Receiver) {
 	}
 }
 
+// killAttributed terminates the process a receive-side error is attributed
+// to. Unattributed errors (a corrupted byte stream may carry a stale PID in
+// a partially-read message) kill no one: terminating a process on evidence
+// that cannot be tied to it would itself be a policy failure.
+func (v *Verifier) killAttributed(err error) {
+	if v.gate == nil {
+		return
+	}
+	var pe *ipc.ProcessError
+	if errors.As(err, &pe) && pe.PID != 0 {
+		v.gate.Kill(pe.PID, "message integrity violated: "+pe.Err.Error())
+	}
+}
+
 // Violations returns the violations recorded for pid.
 func (v *Verifier) Violations(pid int32) []*policy.Violation {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if pc, ok := v.procs[pid]; ok {
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pc, ok := s.procs[pid]; ok {
 		return append([]*policy.Violation(nil), pc.violations...)
 	}
 	return nil
@@ -188,9 +410,10 @@ func (v *Verifier) Violations(pid int32) []*policy.Violation {
 
 // Messages returns the number of messages processed for pid.
 func (v *Verifier) Messages(pid int32) uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if pc, ok := v.procs[pid]; ok {
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pc, ok := s.procs[pid]; ok {
 		return pc.messages
 	}
 	return 0
@@ -198,18 +421,17 @@ func (v *Verifier) Messages(pid int32) uint64 {
 
 // TotalMessages returns the number of messages processed for all processes.
 func (v *Verifier) TotalMessages() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.totalMessages
+	return v.totalMessages.Load()
 }
 
 // Entries returns the current and maximum metadata entries across the
 // policies of pid (the §5.4 memory-overhead metric). Max is only available
 // for policies that track it.
 func (v *Verifier) Entries(pid int32) (cur, max int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	pc, ok := v.procs[pid]
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pc, ok := s.procs[pid]
 	if !ok {
 		return 0, 0
 	}
@@ -226,9 +448,10 @@ func (v *Verifier) Entries(pid int32) (cur, max int) {
 // Policy returns the first attached policy of pid matching name, for
 // examples and tests that read policy state (e.g. counter values).
 func (v *Verifier) Policy(pid int32, name string) policy.Policy {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if pc, ok := v.procs[pid]; ok {
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pc, ok := s.procs[pid]; ok {
 		for _, p := range pc.policies {
 			if p.Name() == name {
 				return p
