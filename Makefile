@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench throughput
+.PHONY: all build test race vet check bench throughput stats
 
 all: check
 
@@ -16,12 +16,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the CI gate: vet, build, and the full test suite under the race
-# detector.
+# check is the CI gate: vet, build, the full test suite under the race
+# detector, and a smoke run of the telemetry experiment end-to-end.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/hqbench -exp stats -msgs 50000 -procs 4 >/dev/null
+
+stats:
+	$(GO) run ./cmd/hqbench -exp stats
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

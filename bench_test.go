@@ -23,6 +23,7 @@ import (
 	"herqules/internal/policy"
 	"herqules/internal/ripe"
 	"herqules/internal/sim"
+	"herqules/internal/telemetry"
 	"herqules/internal/verifier"
 	"herqules/internal/workload"
 )
@@ -325,18 +326,22 @@ func verifierBenchStream(procs, messages int) []ipc.Message {
 }
 
 // benchVerifierDrain replays an identical pre-recorded stream through the
-// requested pump and reports sustained messages/sec.
+// requested pump and reports sustained messages/sec. Telemetry is enabled,
+// as in production, so these numbers include the instrumentation cost the
+// telemetry layer must keep under its overhead budget.
 func benchVerifierDrain(b *testing.B, procs, shards int, scalar bool) {
 	b.Helper()
 	const messages = 1 << 18
 	stream := verifierBenchStream(procs, messages)
 	r := ipc.NewReplay(stream)
+	tm := telemetry.New(0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		v := verifier.NewSharded(verifierBenchPolicies, nil, shards)
 		v.CheckSeq = true
+		v.EnableTelemetry(tm)
 		for pid := 1; pid <= procs; pid++ {
 			v.ProcessStarted(int32(pid))
 		}

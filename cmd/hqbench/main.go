@@ -13,8 +13,10 @@
 //	hqbench -exp table6         # lines of code per component
 //	hqbench -exp metrics        # §5.4 message/memory statistics
 //	hqbench -exp throughput     # verifier drain rate: scalar vs sharded-batch
+//	hqbench -exp stats          # component-level telemetry snapshot
 //	hqbench -scale test|train|ref (default ref)
-//	hqbench -msgs N             # messages per throughput measurement
+//	hqbench -msgs N             # messages per throughput/stats measurement
+//	hqbench -procs N            # concurrent monitored processes for stats
 package main
 
 import (
@@ -28,9 +30,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
-	msgs := flag.Int("msgs", 1<<20, "messages per throughput measurement")
+	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
+	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats experiment")
 	flag.Parse()
 
 	var scale workload.Scale
@@ -102,6 +105,11 @@ func main() {
 		header("Verifier throughput: scalar pump vs sharded batch pipeline")
 		fmt.Print(experiments.FormatThroughput(
 			experiments.Throughput(*msgs, []int{1, 4, 16}, 0, 0)))
+	}
+	if want("stats") {
+		ran = true
+		header("Component telemetry: kernel gate, verifier shards, IPC channels")
+		fmt.Print(experiments.FormatStats(experiments.Stats(*procs, *msgs)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

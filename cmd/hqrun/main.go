@@ -6,10 +6,14 @@
 //
 //	hqrun [-design baseline|hq-sfestk|hq-retptr|clang-cfi|ccfi|cpi]
 //	      [-channel inline|fpga|model|shm|mq]
-//	      [-entry main] [-monitor] [-print] program.mir
+//	      [-entry main] [-monitor] [-print]
+//	      [-metrics] [-trace events.jsonl] program.mir
 //
 // With -monitor the verifier records violations without killing; -print
-// dumps the instrumented program before running it.
+// dumps the instrumented program before running it. -metrics prints a
+// component-level telemetry snapshot (kernel gate, verifier, IPC channel) to
+// stderr after the run; -trace additionally records the bounded event trace
+// (kills, epoch expiries, exits) and writes it as JSONL to the given file.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	hq "herqules"
+	"herqules/internal/telemetry"
 )
 
 var designs = map[string]hq.Design{
@@ -36,6 +41,8 @@ func main() {
 	entry := flag.String("entry", "main", "entry function")
 	monitor := flag.Bool("monitor", false, "record violations without killing")
 	print := flag.Bool("print", false, "print the instrumented program before running")
+	metrics := flag.Bool("metrics", false, "print a telemetry snapshot to stderr after the run")
+	traceOut := flag.String("trace", "", "write the JSONL event trace to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -64,6 +71,14 @@ func main() {
 	}
 
 	opts := hq.RunOptions{Entry: *entry, KillOnViolation: !*monitor}
+	var tm *telemetry.Metrics
+	if *metrics || *traceOut != "" {
+		tm = telemetry.New(0)
+		if *traceOut != "" {
+			tm.EnableTrace(1 << 16)
+		}
+		opts.Metrics = tm
+	}
 	switch *channel {
 	case "inline":
 	case "fpga":
@@ -84,6 +99,21 @@ func main() {
 	out, err := hq.Run(ins, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tm != nil {
+		if *metrics {
+			fmt.Fprintf(os.Stderr, "--- telemetry ---\n%s", tm.Snapshot().Format())
+		}
+		if *traceOut != "" {
+			f, ferr := os.Create(*traceOut)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			if werr := tm.Trace().WriteJSONL(f); werr != nil {
+				log.Fatal(werr)
+			}
+			f.Close()
+		}
 	}
 
 	for _, v := range out.Output {

@@ -27,6 +27,7 @@ import (
 	"herqules/internal/kernel"
 	"herqules/internal/policy"
 	"herqules/internal/sim"
+	"herqules/internal/telemetry"
 	"herqules/internal/verifier"
 	"herqules/internal/vm"
 )
@@ -62,6 +63,12 @@ type Options struct {
 
 	// Seed randomizes information-hiding layout.
 	Seed uint64
+
+	// Metrics, when non-nil, wires the telemetry layer through the whole
+	// stack: kernel gate (syscall stall histogram, kills), verifier
+	// (per-shard counters, batch distributions) and — in concurrent mode —
+	// the IPC channel (send/recv totals, pending high-water).
+	Metrics *telemetry.Metrics
 }
 
 // Outcome is the result of a monitored run.
@@ -98,6 +105,13 @@ func Run(ins *compiler.Instrumented, opts Options) (*Outcome, error) {
 	v := verifier.New(factory, k)
 	v.KillOnViolation = opts.KillOnViolation
 	k.SetListener(v)
+	if opts.Metrics != nil {
+		k.EnableTelemetry(opts.Metrics)
+		v.EnableTelemetry(opts.Metrics)
+		if opts.Channel != nil {
+			opts.Channel.EnableTelemetry(opts.Metrics)
+		}
+	}
 	pid := k.Register()
 
 	cfg := ins.VMConfig()

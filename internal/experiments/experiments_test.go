@@ -262,3 +262,45 @@ func TestGeoMeanAndMedian(t *testing.T) {
 		t.Errorf("Median even = %v", m)
 	}
 }
+
+func TestStatsSmoke(t *testing.T) {
+	r := Stats(2, 4096)
+	if r.Procs != 2 {
+		t.Errorf("Procs = %d", r.Procs)
+	}
+	snap := r.Snap
+	if snap.Counters["verifier.messages"].Total == 0 {
+		t.Error("no messages delivered")
+	}
+	if snap.Counters["ipc.sends"].Total == 0 {
+		t.Error("no ipc sends counted")
+	}
+	// The deliberate violation on proc 0 must surface as exactly one kill
+	// and at least one post-kill drop.
+	if v := snap.Counters["verifier.kills"].Total; v != 1 {
+		t.Errorf("verifier.kills = %d, want 1", v)
+	}
+	if snap.Counters["verifier.violations"].Total != 1 {
+		t.Errorf("violations = %d, want 1", snap.Counters["verifier.violations"].Total)
+	}
+	if snap.Histograms["kernel.syscall_stall_ns"].Count == 0 {
+		t.Error("no syscall stalls observed")
+	}
+	if snap.Histograms["verifier.batch_size"].Count == 0 {
+		t.Error("no batch sizes observed")
+	}
+	out := FormatStats(r)
+	for _, want := range []string{
+		"msgs/sec",
+		"kernel.syscall_stall_ns",
+		"verifier.messages",
+		"verifier.batch_size",
+		"ipc.sends",
+		"ipc.recvs",
+		"telemetry hot-path budget",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatStats output missing %q", want)
+		}
+	}
+}

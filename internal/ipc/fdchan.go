@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+
+	"herqules/internal/telemetry"
 )
 
 // fdSender writes framed messages to a kernel-backed file descriptor. Every
@@ -56,6 +58,10 @@ type fdReceiver struct {
 	buf     []byte // staging buffer; buf[:n] holds undecoded bytes
 	n       int
 	pending *atomic.Int64 // shared with the paired fdSender
+
+	// carries counts bursts that ended in a partial frame carried to the
+	// next call (set by Channel.EnableTelemetry, nil otherwise).
+	carries *telemetry.Counter
 }
 
 func (r *fdReceiver) Recv() (Message, bool, error) {
@@ -114,6 +120,9 @@ func (r *fdReceiver) RecvBatch(out []Message) (int, bool, error) {
 	}
 	r.consume(cnt * MessageSize)
 	r.pending.Add(int64(-cnt))
+	if r.carries != nil && r.n%MessageSize != 0 {
+		r.carries.Inc()
+	}
 	return cnt, true, nil
 }
 

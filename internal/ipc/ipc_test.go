@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"herqules/internal/telemetry"
 )
 
 func TestMessageEncodeDecodeRoundTrip(t *testing.T) {
@@ -438,5 +440,115 @@ func TestReplayServesRecordedStream(t *testing.T) {
 	r.Rewind()
 	if m, ok, _ := r.Recv(); !ok || m.Arg1 != 0 {
 		t.Errorf("rewind failed: ok=%t m=%v", ok, m)
+	}
+}
+
+func TestNewSharedRingClampsCapacity(t *testing.T) {
+	// Regression: a negative capacity converted to uint64 is enormous, and
+	// the power-of-two round-up loop shifted past it to zero and spun
+	// forever. All out-of-range requests must clamp and terminate.
+	for _, tc := range []struct {
+		in   int
+		want int
+	}{
+		{-1, MinRingCapacity},
+		{0, MinRingCapacity},
+		{1, MinRingCapacity},
+		{7, MinRingCapacity},
+		{9, 16},
+		{1 << 30, MaxRingCapacity},
+	} {
+		ch := NewSharedRing(tc.in)
+		r := ch.Sender.(*SharedRing)
+		if len(r.slots) != tc.want {
+			t.Errorf("NewSharedRing(%d): %d slots, want %d", tc.in, len(r.slots), tc.want)
+		}
+		// The clamped ring must actually work.
+		ch.Sender.Send(Message{Op: OpCounterInc, Arg1: 1})
+		if m, ok, err := ch.Receiver.Recv(); !ok || err != nil || m.Arg1 != 1 {
+			t.Errorf("NewSharedRing(%d): roundtrip failed: %v %t %v", tc.in, m, ok, err)
+		}
+		ch.Close()
+	}
+}
+
+func TestChannelTelemetryCounts(t *testing.T) {
+	m := telemetry.New(1)
+	ch := NewSharedRing(64)
+	ch.EnableTelemetry(m)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := ch.Sender.Send(Message{Op: OpCounterInc, Arg1: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]Message, 4)
+	got := 0
+	for got < n {
+		k, ok, err := RecvBatchFrom(ch.Receiver, buf)
+		if err != nil || !ok {
+			t.Fatalf("RecvBatch: k=%d ok=%t err=%v", k, ok, err)
+		}
+		got += k
+	}
+	ch.Close()
+	if err := ch.Sender.Send(Message{Op: OpCounterInc}); err == nil {
+		t.Error("send after close succeeded")
+	}
+	snap := m.Snapshot()
+	if v := snap.Counters["ipc.sends"].Total; v != n {
+		t.Errorf("ipc.sends = %d, want %d", v, n)
+	}
+	if v := snap.Counters["ipc.recvs"].Total; v != n {
+		t.Errorf("ipc.recvs = %d, want %d", v, n)
+	}
+	if v := snap.Counters["ipc.send_errors"].Total; v != 1 {
+		t.Errorf("ipc.send_errors = %d, want 1", v)
+	}
+	if v := snap.Counters["ipc.recv_batches"].Total; v == 0 {
+		t.Error("no receive batches recorded")
+	}
+	h := snap.Histograms["ipc.recv_batch_size"]
+	if h.Count == 0 || h.Sum != n {
+		t.Errorf("batch-size histogram count=%d sum=%d, want sum %d", h.Count, h.Sum, n)
+	}
+	if snap.Peaks["ipc.pending_peak"] == 0 {
+		t.Error("pending high-water never observed")
+	}
+}
+
+func TestTelemetryCountsPartialFrameCarries(t *testing.T) {
+	// The fd framing layer's partial-frame carry is internal state the
+	// wrapper cannot see; EnableTelemetry must instrument it directly.
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Skip("pipes unavailable")
+	}
+	m := telemetry.New(1)
+	ch := &Channel{
+		Sender:   &fdSender{w: pw, pending: new(atomic.Int64)},
+		Receiver: &fdReceiver{r: pr, pending: new(atomic.Int64)},
+	}
+	ch.EnableTelemetry(m)
+	var frame [2 * MessageSize]byte
+	Message{Op: OpCounterInc, Arg1: 1, Seq: 1}.Encode(frame[:])
+	Message{Op: OpCounterInc, Arg1: 2, Seq: 2}.Encode(frame[MessageSize:])
+	half := MessageSize + MessageSize/2
+	if _, err := pw.Write(frame[:half]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Message, 4)
+	if k, ok, err := RecvBatchFrom(ch.Receiver, buf); err != nil || !ok || k != 1 {
+		t.Fatalf("first burst: k=%d ok=%t err=%v", k, ok, err)
+	}
+	if _, err := pw.Write(frame[half:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if k, ok, err := RecvBatchFrom(ch.Receiver, buf); err != nil || !ok || k != 1 {
+		t.Fatalf("second burst: k=%d ok=%t err=%v", k, ok, err)
+	}
+	if v := m.Snapshot().Counters["ipc.partial_frame_carries"].Total; v != 1 {
+		t.Errorf("partial_frame_carries = %d, want 1", v)
 	}
 }

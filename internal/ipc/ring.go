@@ -30,12 +30,27 @@ var (
 	_ Pender        = (*SharedRing)(nil)
 )
 
-// NewSharedRing creates a shared-memory ring with capacity rounded up to a
-// power of two (minimum 8 slots) and returns it as a Channel: the same object
-// serves as both endpoints, exactly like a memory region mapped into two
-// processes.
+// Shared-ring capacity bounds: requests are clamped into [MinRingCapacity,
+// MaxRingCapacity] before rounding up to a power of two. The clamp is
+// correctness, not just hygiene: a negative capacity converted to uint64 is
+// huge, and the round-up loop would shift n to zero and spin forever.
+const (
+	MinRingCapacity = 8
+	MaxRingCapacity = 1 << 20
+)
+
+// NewSharedRing creates a shared-memory ring with capacity clamped to
+// [MinRingCapacity, MaxRingCapacity] and rounded up to a power of two, and
+// returns it as a Channel: the same object serves as both endpoints, exactly
+// like a memory region mapped into two processes.
 func NewSharedRing(capacity int) *Channel {
-	n := uint64(8)
+	if capacity < MinRingCapacity {
+		capacity = MinRingCapacity
+	}
+	if capacity > MaxRingCapacity {
+		capacity = MaxRingCapacity
+	}
+	n := uint64(MinRingCapacity)
 	for n < uint64(capacity) {
 		n <<= 1
 	}

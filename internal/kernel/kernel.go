@@ -10,9 +10,12 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"herqules/internal/telemetry"
 )
 
 // DefaultEpoch is the default synchronization timeout: if no System-Call
@@ -20,6 +23,12 @@ import (
 // kernel treats the silence as a policy violation and terminates the
 // monitored program (§2.2).
 const DefaultEpoch = 2 * time.Second
+
+// ErrProcessExited is returned (wrapped) by SyscallEnter when the process's
+// kernel context was torn down by Exit while the call was pending or before
+// it was made. It is distinct from a kill: the process left voluntarily, no
+// policy was violated.
+var ErrProcessExited = errors.New("process exited")
 
 // Listener is the kernel→verifier privileged notification channel (edges 1b
 // and 4a of Figure 1): the verifier learns about process lifecycle events
@@ -35,12 +44,25 @@ type Listener interface {
 	ProcessExited(pid int32)
 }
 
+// KillListener is an optional extension of Listener: when the attached
+// listener implements it, the kernel reports every kill — explicit Kill
+// calls and epoch-expiry kills alike — over the privileged channel, so the
+// verifier can stop evaluating (and stop accumulating violations for) a
+// process that is already dead. Without this notification a gate-killed
+// process keeps a live verifier context until ProcessExited, and every
+// still-in-flight message grows its violation log.
+type KillListener interface {
+	// ProcessKilled is invoked after pid has been marked killed.
+	ProcessKilled(pid int32, reason string)
+}
+
 // proc is the kernel-side context for one monitored process: the boolean
 // synchronization variable of §3.3 plus bookkeeping.
 type proc struct {
 	pid        int32
 	syncReady  bool // set by verifier on System-Call message, reset on resume
 	killed     bool
+	exited     bool // context torn down by Exit; waiters must not epoch-kill
 	killReason string
 	cond       *sync.Cond
 
@@ -65,6 +87,39 @@ type Kernel struct {
 	// Epoch is the synchronization timeout (§2.2). Zero means
 	// DefaultEpoch.
 	Epoch time.Duration
+
+	tm *kernelMetrics
+}
+
+// kernelMetrics caches the kernel's telemetry instruments, resolved once at
+// wiring time so the hot path pays only a nil check plus atomic adds.
+type kernelMetrics struct {
+	m        *telemetry.Metrics
+	syscalls *telemetry.Counter
+	stalls   *telemetry.Counter
+	expiries *telemetry.Counter
+	kills    *telemetry.Counter
+	forks    *telemetry.Counter
+	exits    *telemetry.Counter
+	stallNs  *telemetry.Histogram
+}
+
+// EnableTelemetry attaches the metrics registry: the kernel gate records a
+// stall-time histogram per gated system call plus lifecycle and kill
+// counters. Must be called before concurrent use.
+func (k *Kernel) EnableTelemetry(m *telemetry.Metrics) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.tm = &kernelMetrics{
+		m:        m,
+		syscalls: m.Counter("kernel.syscalls"),
+		stalls:   m.Counter("kernel.sync_stalls"),
+		expiries: m.Counter("kernel.epoch_expiries"),
+		kills:    m.Counter("kernel.kills"),
+		forks:    m.Counter("kernel.forks"),
+		exits:    m.Counter("kernel.exits"),
+		stallNs:  m.Histogram("kernel.syscall_stall_ns"),
+	}
 }
 
 // New creates a kernel module instance. listener may be nil (no verifier
@@ -119,19 +174,36 @@ func (k *Kernel) Fork(parent int32) (int32, error) {
 	cp.cond = sync.NewCond(&k.mu)
 	k.procs[child] = cp
 	l := k.listener
+	tm := k.tm
 	k.mu.Unlock()
+	if tm != nil {
+		tm.forks.Inc()
+	}
 	if l != nil {
 		l.ProcessForked(parent, child)
 	}
 	return child, nil
 }
 
-// Exit tears down the context for pid and notifies the verifier.
+// Exit tears down the context for pid and notifies the verifier. Goroutines
+// blocked in SyscallEnter for pid are woken and fail with ErrProcessExited:
+// without the broadcast a waiter would sleep out the full epoch and then
+// record a bogus "synchronization epoch expired" kill for a process that
+// merely exited.
 func (k *Kernel) Exit(pid int32) {
 	k.mu.Lock()
+	if p, ok := k.procs[pid]; ok {
+		p.exited = true
+		p.cond.Broadcast()
+	}
 	delete(k.procs, pid)
 	l := k.listener
+	tm := k.tm
 	k.mu.Unlock()
+	if tm != nil {
+		tm.exits.Inc()
+		tm.m.Event("kernel.exit", pid, 0)
+	}
 	if l != nil {
 		l.ProcessExited(pid)
 	}
@@ -144,17 +216,29 @@ func (k *Kernel) Exit(pid int32) {
 // (§2.2). It returns an error when the process has been killed.
 func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 	k.mu.Lock()
-	defer k.mu.Unlock()
+	tm := k.tm
 	p, ok := k.procs[pid]
 	if !ok {
-		return fmt.Errorf("kernel: syscall from unregistered pid %d", pid)
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: syscall from unregistered pid %d: %w", pid, ErrProcessExited)
 	}
 	p.stats.Syscalls++
-	if p.killed {
-		return fmt.Errorf("kernel: pid %d killed: %s", pid, p.killReason)
+	if tm != nil {
+		tm.syscalls.Inc()
 	}
+	if p.killed {
+		reason := p.killReason
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: pid %d killed: %s", pid, reason)
+	}
+	var expired bool
 	if !p.syncReady {
 		p.stats.SyncStalls++
+		var stallStart time.Time
+		if tm != nil {
+			tm.stalls.Inc()
+			stallStart = time.Now()
+		}
 		epoch := k.Epoch
 		if epoch == 0 {
 			epoch = DefaultEpoch
@@ -165,24 +249,48 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 			p.cond.Broadcast()
 			k.mu.Unlock()
 		})
-		for !p.syncReady && !p.killed {
+		for !p.syncReady && !p.killed && !p.exited {
 			if time.Now().After(deadline) {
 				// No synchronization message within the epoch:
 				// treat as a policy violation (§2.2).
 				p.killed = true
 				p.killReason = "synchronization epoch expired"
 				p.stats.KilledByAll = p.killReason
+				expired = true
 				break
 			}
 			p.cond.Wait()
 		}
 		timer.Stop()
+		if tm != nil {
+			tm.stallNs.Observe(uint64(time.Since(stallStart)))
+		}
+	}
+	if p.exited && !p.killed {
+		// The process exited while this call was pending: fail the call
+		// without treating the silence as a policy violation.
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: pid %d: %w", pid, ErrProcessExited)
 	}
 	if p.killed {
-		return fmt.Errorf("kernel: pid %d killed: %s", pid, p.killReason)
+		reason := p.killReason
+		l := k.listener
+		k.mu.Unlock()
+		if expired {
+			if tm != nil {
+				tm.expiries.Inc()
+				tm.kills.Inc()
+				tm.m.Event("kernel.epoch_expired", pid, uint64(syscallNo))
+			}
+			if kl, ok := l.(KillListener); ok {
+				kl.ProcessKilled(pid, reason)
+			}
+		}
+		return fmt.Errorf("kernel: pid %d killed: %s", pid, reason)
 	}
 	// Reset the synchronization variable upon resumption (§3.3).
 	p.syncReady = false
+	k.mu.Unlock()
 	return nil
 }
 
@@ -199,15 +307,29 @@ func (k *Kernel) NotifySyncReady(pid int32) {
 }
 
 // Kill marks pid killed; any pending or future system call fails. The
-// verifier invokes this on policy violation (default behaviour, §3.4).
+// verifier invokes this on policy violation (default behaviour, §3.4). When
+// the listener implements KillListener it is notified, so the verifier stops
+// evaluating messages for the dead process.
 func (k *Kernel) Kill(pid int32, reason string) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	if p, ok := k.procs[pid]; ok && !p.killed {
-		p.killed = true
-		p.killReason = reason
-		p.stats.KilledByAll = reason
-		p.cond.Broadcast()
+	p, ok := k.procs[pid]
+	if !ok || p.killed {
+		k.mu.Unlock()
+		return
+	}
+	p.killed = true
+	p.killReason = reason
+	p.stats.KilledByAll = reason
+	p.cond.Broadcast()
+	l := k.listener
+	tm := k.tm
+	k.mu.Unlock()
+	if tm != nil {
+		tm.kills.Inc()
+		tm.m.Event("kernel.kill", pid, 0)
+	}
+	if kl, ok := l.(KillListener); ok {
+		kl.ProcessKilled(pid, reason)
 	}
 }
 

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -185,6 +186,139 @@ func TestExitNotifiesAndRemoves(t *testing.T) {
 	if err := k.SyscallEnter(pid, 1); err == nil {
 		t.Error("syscall from exited process succeeded")
 	}
+}
+
+func TestExitReleasesBlockedSyscall(t *testing.T) {
+	// Regression: Exit used to delete the proc entry without waking
+	// cond-waiters, so a goroutine blocked in SyscallEnter for a
+	// concurrently-exiting process slept out the full epoch and then
+	// recorded a bogus "synchronization epoch expired" kill. The waiter
+	// must instead return promptly with ErrProcessExited.
+	k := New(nil)
+	k.Epoch = 30 * time.Second // long enough that only the broadcast can release us
+	pid := k.Register()
+	released := make(chan error, 1)
+	go func() { released <- k.SyscallEnter(pid, 1) }()
+	time.Sleep(10 * time.Millisecond) // let the syscall block
+	start := time.Now()
+	k.Exit(pid)
+	select {
+	case err := <-released:
+		if !errors.Is(err, ErrProcessExited) {
+			t.Errorf("SyscallEnter after exit = %v, want ErrProcessExited", err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("waiter released after %v, want promptly", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Exit did not wake the blocked syscall")
+	}
+	if killed, reason := k.Killed(pid); killed {
+		t.Errorf("exit recorded a kill: %q", reason)
+	}
+}
+
+func TestExitBeatsEpochExpiry(t *testing.T) {
+	// Even with a short epoch, an exit that lands first must win: the
+	// waiter reports ErrProcessExited, not an epoch-expiry kill.
+	k := New(nil)
+	k.Epoch = 250 * time.Millisecond
+	pid := k.Register()
+	released := make(chan error, 1)
+	go func() { released <- k.SyscallEnter(pid, 1) }()
+	time.Sleep(5 * time.Millisecond)
+	k.Exit(pid)
+	err := <-released
+	if !errors.Is(err, ErrProcessExited) {
+		t.Errorf("err = %v, want ErrProcessExited", err)
+	}
+}
+
+func TestExitKillRaceAgainstStalledSyscall(t *testing.T) {
+	// Race Exit and Kill against stalled SyscallEnter waiters across many
+	// processes; run under -race. Every waiter must return an error (the
+	// process exited or was killed) and nothing may deadlock.
+	k := New(nil)
+	k.Epoch = 10 * time.Second
+	const procs = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		pid := k.Register()
+		wg.Add(1)
+		go func(pid int32) {
+			defer wg.Done()
+			errs <- k.SyscallEnter(pid, 1)
+		}(pid)
+		wg.Add(1)
+		go func(pid int32, i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i%4) * time.Millisecond)
+			if i%2 == 0 {
+				k.Exit(pid)
+			} else {
+				k.Kill(pid, "raced kill")
+				k.Exit(pid)
+			}
+		}(pid, i)
+	}
+	wg.Wait()
+	close(errs)
+	n := 0
+	for err := range errs {
+		n++
+		if err == nil {
+			t.Error("stalled syscall succeeded despite exit/kill")
+		}
+	}
+	if n != procs {
+		t.Errorf("collected %d results, want %d", n, procs)
+	}
+}
+
+func TestKillNotifiesKillListener(t *testing.T) {
+	l := &recordingKillListener{}
+	k := New(l)
+	pid := k.Register()
+	k.Kill(pid, "policy violation")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.killed) != 1 || l.killed[0] != pid {
+		t.Errorf("ProcessKilled notifications = %v", l.killed)
+	}
+	if l.reasons[0] != "policy violation" {
+		t.Errorf("reason = %q", l.reasons[0])
+	}
+}
+
+func TestEpochExpiryNotifiesKillListener(t *testing.T) {
+	l := &recordingKillListener{}
+	k := New(l)
+	k.Epoch = 15 * time.Millisecond
+	pid := k.Register()
+	if err := k.SyscallEnter(pid, 1); err == nil {
+		t.Fatal("syscall survived with no sync message")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.killed) != 1 || l.killed[0] != pid {
+		t.Errorf("epoch expiry did not reach the kill listener: %v", l.killed)
+	}
+}
+
+// recordingKillListener extends recordingListener with the optional
+// KillListener notification.
+type recordingKillListener struct {
+	recordingListener
+	killed  []int32
+	reasons []string
+}
+
+func (l *recordingKillListener) ProcessKilled(pid int32, reason string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.killed = append(l.killed, pid)
+	l.reasons = append(l.reasons, reason)
 }
 
 func TestUnregisteredSyscallFails(t *testing.T) {

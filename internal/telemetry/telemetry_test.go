@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterStriping(t *testing.T) {
+	m := New(4)
+	c := m.Counter("c")
+	if c.Lanes() != 4 {
+		t.Fatalf("lanes = %d, want 4", c.Lanes())
+	}
+	c.Add(1)
+	c.AddAt(1, 10)
+	c.AddAt(2, 100)
+	c.AddAt(6, 1000) // wraps to lane 2
+	if c.Value() != 1111 {
+		t.Errorf("Value = %d, want 1111", c.Value())
+	}
+	s := m.Snapshot()
+	cs := s.Counters["c"]
+	if cs.Total != 1111 {
+		t.Errorf("snapshot total = %d", cs.Total)
+	}
+	if cs.Lanes[2] != 1100 {
+		t.Errorf("lane 2 = %d, want 1100", cs.Lanes[2])
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	m := New(2)
+	if m.Counter("x") != m.Counter("x") {
+		t.Error("same name returned distinct counters")
+	}
+	if m.Histogram("h") != m.Histogram("h") {
+		t.Error("same name returned distinct histograms")
+	}
+	if m.Peak("p") != m.Peak("p") {
+		t.Error("same name returned distinct peaks")
+	}
+}
+
+func TestPeakKeepsMaximum(t *testing.T) {
+	m := New(1)
+	p := m.Peak("hw")
+	p.Observe(5)
+	p.Observe(3)
+	p.Observe(9)
+	p.Observe(7)
+	if p.Value() != 9 {
+		t.Errorf("peak = %d, want 9", p.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	m := New(1)
+	h := m.Histogram("lat")
+	// 1000 samples uniform on [0, 1000): quantile estimates must land
+	// within one power-of-two bucket of the true value.
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(i))
+	}
+	s := m.Snapshot().Histograms["lat"]
+	if s.Count != 1000 || s.Max != 999 {
+		t.Fatalf("count=%d max=%d", s.Count, s.Max)
+	}
+	if mean := s.Mean(); math.Abs(mean-499.5) > 0.5 {
+		t.Errorf("mean = %f", mean)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %f, want within bucket of ~500", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 512 || p99 > 999 {
+		t.Errorf("p99 = %f, want within bucket of ~990", p99)
+	}
+	if q := s.Quantile(1.0); q != 999 {
+		t.Errorf("p100 = %f, want exactly max", q)
+	}
+}
+
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	m := New(1)
+	h := m.Histogram("z")
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(0)
+	s := m.Snapshot().Histograms["z"]
+	if s.Count != 1 || s.Buckets[0] != 1 {
+		t.Errorf("zero observation landed wrong: %+v", s)
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Errorf("p50 of all-zero = %f", s.Quantile(0.5))
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	m := New(2)
+	c := m.Counter("msgs")
+	h := m.Histogram("batch")
+	c.Add(10)
+	h.Observe(4)
+	before := m.Snapshot()
+	c.AddAt(1, 5)
+	h.Observe(8)
+	h.Observe(8)
+	diff := m.Snapshot().Diff(before)
+	if diff.Counters["msgs"].Total != 5 {
+		t.Errorf("diff counter = %d, want 5", diff.Counters["msgs"].Total)
+	}
+	if diff.Counters["msgs"].Lanes[1] != 5 {
+		t.Errorf("diff lane 1 = %d", diff.Counters["msgs"].Lanes[1])
+	}
+	hs := diff.Histograms["batch"]
+	if hs.Count != 2 || hs.Sum != 16 {
+		t.Errorf("diff histogram = %+v", hs)
+	}
+	// An instrument created after the first snapshot diffs from zero.
+	m.Counter("late").Add(3)
+	diff2 := m.Snapshot().Diff(before)
+	if diff2.Counters["late"].Total != 3 {
+		t.Errorf("late counter diff = %d", diff2.Counters["late"].Total)
+	}
+}
+
+func TestFormatMentionsEveryInstrument(t *testing.T) {
+	m := New(2)
+	m.Counter("alpha").Add(7)
+	m.Histogram("beta").Observe(3)
+	m.Peak("gamma").Observe(11)
+	out := m.Snapshot().Format()
+	for _, want := range []string{"alpha", "beta", "gamma", "p50", "p99", "high-water"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRingBoundedAndOrdered(t *testing.T) {
+	m := New(1)
+	if m.Trace() != nil {
+		t.Fatal("trace enabled by default")
+	}
+	m.Event("ignored", 0, 0) // no-op while disabled
+	tr := m.EnableTrace(16)
+	for i := 0; i < 40; i++ {
+		m.Event("e", int32(i), uint64(i))
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("ring len = %d, want 16", tr.Len())
+	}
+	if tr.Dropped() != 24 {
+		t.Errorf("dropped = %d, want 24", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := int32(24 + i); e.PID != want {
+			t.Fatalf("event %d pid = %d, want %d (oldest-first after wrap)", i, e.PID, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 16 {
+		t.Errorf("JSONL lines = %d, want 16", lines)
+	}
+}
+
+// TestConcurrentInstruments exercises every write path from many goroutines;
+// run under -race this is the package's memory-safety proof.
+func TestConcurrentInstruments(t *testing.T) {
+	m := New(4)
+	c := m.Counter("c")
+	h := m.Histogram("h")
+	p := m.Peak("p")
+	m.EnableTrace(64)
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddAt(w, 1)
+				h.ObserveAt(w, uint64(i))
+				p.Observe(uint64(i))
+				if i%500 == 0 {
+					m.Event("tick", int32(w), uint64(i))
+					_ = m.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if got := s.Counters["c"].Total; got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := s.Histograms["h"].Count; got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if s.Peaks["p"] != per-1 {
+		t.Errorf("peak = %d, want %d", s.Peaks["p"], per-1)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry of the bounded event trace: a named occurrence (a kill,
+// an epoch expiry, a process exit) stamped with nanoseconds since the trace
+// was enabled.
+type Event struct {
+	Nanos int64  `json:"ns"`
+	Name  string `json:"event"`
+	PID   int32  `json:"pid,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// Trace is a bounded ring of events. Emitting overwrites the oldest entry
+// once the ring is full, so a long run keeps the most recent window — the
+// part that explains why a process died — at a fixed memory cost.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events emitted; next%len(buf) is the write slot
+	start time.Time
+}
+
+// EnableTrace attaches a bounded event-trace ring of the given capacity
+// (minimum 16) to the registry and returns it. Until this is called,
+// Metrics.Event is one atomic pointer load and a branch.
+func (m *Metrics) EnableTrace(capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	t := &Trace{buf: make([]Event, 0, capacity), start: time.Now()}
+	m.trace.Store(t)
+	return t
+}
+
+// Trace returns the attached trace ring, or nil when tracing is disabled.
+func (m *Metrics) Trace() *Trace { return m.trace.Load() }
+
+// Event records a trace event when tracing is enabled, and is a near-free
+// no-op otherwise. Intended for cold paths (kills, expiries, lifecycle
+// transitions), not per-message instrumentation.
+func (m *Metrics) Event(name string, pid int32, value uint64) {
+	if t := m.trace.Load(); t != nil {
+		t.emit(Event{Name: name, PID: pid, Value: value})
+	}
+}
+
+func (t *Trace) emit(e Event) {
+	t.mu.Lock()
+	e.Nanos = time.Since(t.start).Nanoseconds()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next%uint64(len(t.buf))] = e
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len reports the number of events currently held (capped at capacity).
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped reports how many events were overwritten because the ring was full.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - uint64(len(t.buf))
+}
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) && t.next > uint64(len(t.buf)) {
+		at := int(t.next % uint64(len(t.buf)))
+		out = append(out, t.buf[at:]...)
+		out = append(out, t.buf[:at]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events oldest-first, one JSON object per
+// line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -25,9 +25,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"herqules/internal/ipc"
 	"herqules/internal/policy"
+	"herqules/internal/telemetry"
 )
 
 // Gate is the verifier's view of the kernel (the privileged channel of
@@ -51,6 +53,12 @@ type procCtx struct {
 	messages   uint64
 	lastSeq    uint64
 	seqValid   bool
+	// dead marks a context whose process has been (or is being) killed:
+	// subsequent messages are dropped instead of evaluated, which both
+	// bounds the context's memory (the violations slice stops growing)
+	// and prevents one counter gap from spawning a kill action per
+	// remaining in-flight message.
+	dead bool
 }
 
 // shard owns the contexts of the processes hashed to it.
@@ -93,6 +101,40 @@ type Verifier struct {
 	QueueDepth int
 
 	totalMessages atomic.Uint64
+
+	tm *verifierMetrics
+}
+
+// verifierMetrics caches the verifier's telemetry instruments; the
+// per-message counters are striped one lane per shard so concurrent shard
+// workers never contend on a cache line.
+type verifierMetrics struct {
+	m          *telemetry.Metrics
+	messages   *telemetry.Counter // per-shard delivered messages
+	dropped    *telemetry.Counter // messages dropped on dead contexts
+	violations *telemetry.Counter
+	kills      *telemetry.Counter
+	syncs      *telemetry.Counter
+	batchSize  *telemetry.Histogram // deliverShardBatch run lengths
+	queueDepth *telemetry.Histogram // per-shard queue occupancy at enqueue
+	pumpStall  *telemetry.Histogram // ns the drain loop spent in RecvBatch
+}
+
+// EnableTelemetry attaches the metrics registry. Per-shard counters are
+// striped to the shard count; call before concurrent use.
+func (v *Verifier) EnableTelemetry(m *telemetry.Metrics) {
+	n := len(v.shards)
+	v.tm = &verifierMetrics{
+		m:          m,
+		messages:   m.CounterLanes("verifier.messages", n),
+		dropped:    m.CounterLanes("verifier.dropped_dead", n),
+		violations: m.CounterLanes("verifier.violations", n),
+		kills:      m.CounterLanes("verifier.kills", n),
+		syncs:      m.CounterLanes("verifier.syncs", n),
+		batchSize:  m.Histogram("verifier.batch_size"),
+		queueDepth: m.Histogram("verifier.queue_depth"),
+		pumpStall:  m.Histogram("verifier.pump_stall_ns"),
+	}
 }
 
 // New creates a verifier with one shard per GOMAXPROCS. gate may be nil for
@@ -173,6 +215,20 @@ func (v *Verifier) ProcessExited(pid int32) {
 	delete(s.procs, pid)
 }
 
+// ProcessKilled implements kernel.KillListener: the kernel reports that pid
+// was killed (a verifier-requested kill echoing back, or an epoch-expiry
+// kill the verifier never saw). The context is marked dead so messages still
+// in flight are dropped rather than evaluated, keeping the context's memory
+// bounded between the kill and the eventual ProcessExited.
+func (v *Verifier) ProcessKilled(pid int32, reason string) {
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pc, ok := s.procs[pid]; ok {
+		pc.dead = true
+	}
+}
+
 // gateAction is a deferred kernel interaction: policy evaluation happens
 // under the shard lock, kernel calls after it is released (the kernel may
 // block or call back into process teardown).
@@ -213,7 +269,7 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	s := &v.shards[si]
 	var actsBuf [4]gateAction
 	acts := actsBuf[:0]
-	var delivered uint64
+	var delivered, dropped, violCount, killCount, syncCount uint64
 	checkSeq, killOnViolation := v.CheckSeq, v.KillOnViolation
 
 	s.mu.Lock()
@@ -232,14 +288,24 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			// means the process never enabled HerQules.
 			continue
 		}
+		if pc.dead {
+			// The process is already being killed: drop instead of
+			// evaluating, so one fatal violation yields exactly one kill
+			// action and the context stops accumulating state.
+			dropped++
+			continue
+		}
 		delivered++
 		pc.messages++
 		if checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
 			viol := &policy.Violation{PID: m.PID, Op: m.Op,
 				Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
 			pc.violations = append(pc.violations, viol)
+			violCount++
 			// Integrity violations are always fatal (§3.1.1).
+			pc.dead = true
 			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: viol.Reason})
+			killCount++
 			continue
 		}
 		pc.lastSeq, pc.seqValid = m.Seq, true
@@ -249,10 +315,13 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			if viol := p.Handle(*m); viol != nil {
 				violated = viol
 				pc.violations = append(pc.violations, viol)
+				violCount++
 			}
 		}
 		if violated != nil && killOnViolation {
+			pc.dead = true
 			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: violated.Reason})
+			killCount++
 			continue
 		}
 		if m.Op == ipc.OpSyscall {
@@ -261,6 +330,7 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			// violation is pending and fatal (§2.2).
 			if len(pc.violations) == 0 || !killOnViolation {
 				acts = append(acts, gateAction{pid: m.PID})
+				syncCount++
 			}
 		}
 	}
@@ -269,11 +339,30 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	if delivered > 0 {
 		v.totalMessages.Add(delivered)
 	}
+	if tm := v.tm; tm != nil {
+		tm.messages.AddAt(si, delivered)
+		tm.batchSize.ObserveAt(si, uint64(len(ms)))
+		if dropped > 0 {
+			tm.dropped.AddAt(si, dropped)
+		}
+		if violCount > 0 {
+			tm.violations.AddAt(si, violCount)
+		}
+		if killCount > 0 {
+			tm.kills.AddAt(si, killCount)
+		}
+		if syncCount > 0 {
+			tm.syncs.AddAt(si, syncCount)
+		}
+	}
 	if v.gate == nil {
 		return
 	}
 	for _, a := range acts {
 		if a.kill {
+			if tm := v.tm; tm != nil {
+				tm.m.Event("verifier.kill", a.pid, 0)
+			}
 			v.gate.Kill(a.pid, a.reason)
 		} else {
 			v.gate.NotifySyncReady(a.pid)
@@ -331,8 +420,18 @@ func (v *Verifier) Pump(r ipc.Receiver) {
 
 	buf := make([]ipc.Message, batchSize)
 	routed := make([][]ipc.Message, nshards)
+	tm := v.tm
 	for {
+		var recvStart time.Time
+		if tm != nil {
+			recvStart = time.Now()
+		}
 		n, ok, err := ipc.RecvBatchFrom(r, buf)
+		if tm != nil {
+			// Time spent inside RecvBatch is (almost entirely) time the
+			// drain loop stalled waiting for the producer.
+			tm.pumpStall.Observe(uint64(time.Since(recvStart)))
+		}
 		if n > 0 {
 			// Partition the burst by shard, preserving order. buf is
 			// reused for the next burst, so messages are copied into
@@ -346,6 +445,9 @@ func (v *Verifier) Pump(r ipc.Receiver) {
 			}
 			for si, ms := range routed {
 				if ms != nil {
+					if tm != nil {
+						tm.queueDepth.ObserveAt(si, uint64(len(queues[si])))
+					}
 					queues[si] <- ms
 					routed[si] = nil
 				}

@@ -3,6 +3,7 @@ package verifier
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"herqules/internal/ipc"
 	"herqules/internal/kernel"
@@ -168,6 +169,154 @@ func TestSeqGapIsFatalIntegrityViolation(t *testing.T) {
 	v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Seq: 5}) // gap
 	if g.kills[1] == "" {
 		t.Fatal("sequence gap not fatal")
+	}
+}
+
+// countingGate records every gate interaction without deduplication, so
+// tests can assert on the exact number of kill actions issued.
+type countingGate struct {
+	mu    sync.Mutex
+	kills []int32
+	syncs []int32
+}
+
+func (g *countingGate) NotifySyncReady(pid int32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.syncs = append(g.syncs, pid)
+}
+
+func (g *countingGate) Kill(pid int32, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.kills = append(g.kills, pid)
+}
+
+func TestCounterGapYieldsExactlyOneKillAction(t *testing.T) {
+	// Regression: a counter gap used to take `continue` without advancing
+	// lastSeq, so every later message of that process in the batch
+	// re-detected the gap and appended another violation and another
+	// gate.Kill. One gap must produce exactly one violation and one kill,
+	// and the rest of the dead process's batch must be dropped.
+	g := &countingGate{}
+	v := NewSharded(cfiFactory, g, 2)
+	v.CheckSeq = true
+	v.ProcessStarted(1)
+	v.DeliverBatch([]ipc.Message{
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 2},
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 5}, // gap: 3, 4 missing
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 6},
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 7},
+		{Op: ipc.OpSyscall, PID: 1},
+	})
+	if len(g.kills) != 1 {
+		t.Fatalf("kill actions = %d, want exactly 1", len(g.kills))
+	}
+	if len(v.Violations(1)) != 1 {
+		t.Errorf("violations = %d, want 1", len(v.Violations(1)))
+	}
+	if len(g.syncs) != 0 {
+		t.Error("sync released for a process dead from a counter gap")
+	}
+	// Post-gap messages were dropped, not evaluated.
+	if got := v.Messages(1); got != 3 {
+		t.Errorf("Messages = %d, want 3 (2 clean + the gap message)", got)
+	}
+}
+
+func TestOneKillActionPerGapAcrossProcesses(t *testing.T) {
+	// Two interleaved processes, each with one gap: one kill each, and the
+	// innocent third process is untouched.
+	g := &countingGate{}
+	v := NewSharded(cfiFactory, g, 4)
+	v.CheckSeq = true
+	for pid := int32(1); pid <= 3; pid++ {
+		v.ProcessStarted(pid)
+	}
+	v.DeliverBatch([]ipc.Message{
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: 2, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: 3, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 9}, // gap for 1
+		{Op: ipc.OpCounterInc, PID: 2, Seq: 7}, // gap for 2
+		{Op: ipc.OpCounterInc, PID: 1, Seq: 10},
+		{Op: ipc.OpCounterInc, PID: 2, Seq: 8},
+		{Op: ipc.OpCounterInc, PID: 3, Seq: 2},
+	})
+	counts := map[int32]int{}
+	for _, pid := range g.kills {
+		counts[pid]++
+	}
+	if counts[1] != 1 || counts[2] != 1 || counts[3] != 0 {
+		t.Errorf("kill actions per pid = %v, want exactly one for 1 and 2", counts)
+	}
+	if v.Messages(3) != 2 {
+		t.Errorf("innocent process delivered %d, want 2", v.Messages(3))
+	}
+}
+
+func TestViolationKillDropsRestOfBatch(t *testing.T) {
+	// A policy-violation kill (not just a seq gap) also marks the context
+	// dead: the remainder of the batch is dropped and a trailing forged
+	// sync message cannot release the syscall.
+	g := &countingGate{}
+	v := NewSharded(cfiFactory, g, 2)
+	v.ProcessStarted(1)
+	v.DeliverBatch([]ipc.Message{
+		{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0xbad}, // violation
+		{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x20, Arg2: 0xbad}, // would violate again
+		{Op: ipc.OpSyscall, PID: 1},
+	})
+	if len(g.kills) != 1 {
+		t.Errorf("kill actions = %d, want 1", len(g.kills))
+	}
+	if len(v.Violations(1)) != 1 {
+		t.Errorf("violations = %d, want 1 (context dead after first)", len(v.Violations(1)))
+	}
+	if len(g.syncs) != 0 {
+		t.Error("sync released after fatal violation")
+	}
+}
+
+func TestProcessKilledDropsSubsequentMessages(t *testing.T) {
+	// The kernel's kill notification (kernel.KillListener) must stop the
+	// verifier from evaluating further messages, bounding the context's
+	// violation log between kill and ProcessExited.
+	g := newFakeGate()
+	v := New(cfiFactory, g)
+	v.ProcessStarted(1)
+	v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 1})
+	v.ProcessKilled(1, "epoch expired")
+	for i := 0; i < 50; i++ {
+		v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x10, Arg2: 0xbad})
+	}
+	if got := len(v.Violations(1)); got != 0 {
+		t.Errorf("violations accumulated on a dead context: %d", got)
+	}
+	if v.Messages(1) != 1 {
+		t.Errorf("Messages = %d, want 1 (post-kill messages dropped)", v.Messages(1))
+	}
+	// Unknown PIDs are a no-op.
+	v.ProcessKilled(42, "x")
+}
+
+func TestGateKillBoundsContextViaKernel(t *testing.T) {
+	// Full wiring: an epoch-expiry kill in the kernel propagates over the
+	// privileged channel and stops verifier-side evaluation.
+	v := New(cfiFactory, nil)
+	k := kernel.New(v)
+	v.gate = k
+	pid := k.Register()
+	k.Epoch = 10 * time.Millisecond
+	if err := k.SyscallEnter(pid, 1); err == nil {
+		t.Fatal("epoch expiry did not fail the syscall")
+	}
+	for i := 0; i < 20; i++ {
+		v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: pid, Arg1: 0x10, Arg2: 0xbad})
+	}
+	if got := len(v.Violations(pid)); got != 0 {
+		t.Errorf("gate-killed process accumulated %d violations", got)
 	}
 }
 
