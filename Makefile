@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench throughput stats
+.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke
 
 all: check
 
@@ -17,12 +17,21 @@ vet:
 	$(GO) vet ./...
 
 # check is the CI gate: vet, build, the full test suite under the race
-# detector, and a smoke run of the telemetry experiment end-to-end.
+# detector, a smoke run of the telemetry experiment end-to-end, and the
+# multi-process supervisor smoke (racy concurrent launches + one small
+# multiproc scaling measurement).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/hqbench -exp stats -msgs 50000 -procs 4 >/dev/null
+	$(MAKE) multiproc-smoke
+
+# multiproc-smoke re-runs the concurrent-supervisor tests under the race
+# detector and takes one small-N multiproc scaling measurement.
+multiproc-smoke:
+	$(GO) test -race -count=1 -run 'System' ./internal/supervisor .
+	$(GO) run ./cmd/hqbench -exp multiproc -msgs 200000 >/dev/null
 
 stats:
 	$(GO) run ./cmd/hqbench -exp stats
@@ -32,3 +41,6 @@ bench:
 
 throughput:
 	$(GO) run ./cmd/hqbench -exp throughput
+
+multiproc:
+	$(GO) run ./cmd/hqbench -exp multiproc

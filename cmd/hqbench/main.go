@@ -14,6 +14,7 @@
 //	hqbench -exp metrics        # §5.4 message/memory statistics
 //	hqbench -exp throughput     # verifier drain rate: scalar vs sharded-batch
 //	hqbench -exp stats          # component-level telemetry snapshot
+//	hqbench -exp multiproc      # supervisor scaling: aggregate rate vs process count
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats experiment")
@@ -110,6 +111,12 @@ func main() {
 		ran = true
 		header("Component telemetry: kernel gate, verifier shards, IPC channels")
 		fmt.Print(experiments.FormatStats(experiments.Stats(*procs, *msgs)))
+	}
+	if want("multiproc") {
+		ran = true
+		header("Supervisor scaling: aggregate verifier throughput vs concurrent monitored programs")
+		fmt.Print(experiments.FormatMultiproc(
+			experiments.Multiproc(*msgs, experiments.MultiprocCounts())))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

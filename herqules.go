@@ -36,12 +36,10 @@ package herqules
 import (
 	"herqules/internal/compiler"
 	"herqules/internal/core"
-	"herqules/internal/fpga"
 	"herqules/internal/ipc"
-	"herqules/internal/mem"
 	"herqules/internal/policy"
 	"herqules/internal/sim"
-	"herqules/internal/uarch"
+	"herqules/internal/supervisor"
 	"herqules/internal/verifier"
 	"herqules/internal/vm"
 )
@@ -92,6 +90,13 @@ type Outcome = core.Outcome
 // kernel module, verifier with the default policy set (CFI pointer
 // integrity, memory safety, event counter), and — when RunOptions.Channel
 // is set — a real concurrent AppendWrite transport.
+//
+// Run is the documented compatibility wrapper over the resident runtime: it
+// stands up a throwaway single-tenant System, launches exactly one process,
+// waits, and shuts the System down. New code hosting more than one program
+// (or keeping the verifier warm between runs) should use NewSystem +
+// System.Launch + Proc.Wait instead; see system.go for the migration map
+// (RunOptions fields → RunOption functional options).
 func Run(ins *Instrumented, opts RunOptions) (*Outcome, error) {
 	return core.Run(ins, opts)
 }
@@ -141,38 +146,19 @@ const (
 )
 
 // NewChannel constructs an IPC channel of the given kind with a default
-// capacity. The AppendWrite-µarch kind allocates its appendable memory
-// region in a private address space.
+// capacity, propagating any constructor failure (an unknown kind reports
+// its numeric value; backend validation errors — the FPGA's buffer check,
+// the µarch simulator's appendable-region mapping — surface instead of
+// being swallowed). The AppendWrite-µarch kind allocates its appendable
+// memory region in a private address space.
 func NewChannel(kind ChannelKind) (*Channel, error) {
-	const slots = 1 << 14
-	switch kind {
-	case ipc.KindSharedRing:
-		return ipc.NewSharedRing(slots), nil
-	case ipc.KindMessageQueue:
-		return ipc.NewMessageQueue(), nil
-	case ipc.KindPipe:
-		return ipc.NewPipe(), nil
-	case ipc.KindSocket:
-		return ipc.NewSocket(), nil
-	case ipc.KindLWC:
-		return ipc.NewLWC(), nil
-	case ipc.KindFPGA:
-		ch, _ := fpga.New(slots)
-		return ch, nil
-	case ipc.KindUArchModel:
-		return uarch.NewModel(slots), nil
-	case ipc.KindUArchSim:
-		m := mem.New()
-		ch, _, err := uarch.New(m, 0x7f00_0000_0000, slots*uint64(ipc.MessageSize))
-		return ch, err
-	default:
-		return nil, errUnknownKind(kind)
-	}
+	return supervisor.NewChannel(kind)
 }
 
-type errUnknownKind ipc.Kind
-
-func (e errUnknownKind) Error() string { return "herqules: unknown channel kind" }
+// PIDRegister is implemented by channel senders whose transport carries a
+// kernel-managed process-identity register (§3.1.1); the framework programs
+// it when binding a channel to a freshly registered process.
+type PIDRegister = ipc.PIDRegister
 
 // CostModel is the deterministic cycle model used by performance
 // experiments.

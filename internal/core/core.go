@@ -1,7 +1,14 @@
-// Package core is the HerQules framework proper: it wires the four
-// components of Figure 1 — an instrumented program (compiler + vm), the
-// AppendWrite channel (ipc/fpga/uarch), the kernel module (kernel) and the
-// verifier (verifier) — and runs monitored programs under a chosen design.
+// Package core is the one-process convenience entry point to the HerQules
+// framework: Run wires the four components of Figure 1 — an instrumented
+// program (compiler + vm), the AppendWrite channel (ipc/fpga/uarch), the
+// kernel module (kernel) and the verifier (verifier) — and executes a single
+// monitored program under a chosen design.
+//
+// Since the supervisor refactor, Run is a thin wrapper: it constructs a
+// throwaway supervisor.System (one kernel + one sharded verifier), launches
+// exactly one process into it, waits, and shuts the system down. Long-lived
+// multi-process hosting — the paper's actual deployment shape — lives in
+// package supervisor and is surfaced publicly as herqules.System.
 //
 // Two execution modes are provided:
 //
@@ -20,16 +27,15 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"herqules/internal/compiler"
 	"herqules/internal/ipc"
-	"herqules/internal/kernel"
 	"herqules/internal/policy"
 	"herqules/internal/sim"
+	"herqules/internal/supervisor"
 	"herqules/internal/telemetry"
 	"herqules/internal/verifier"
-	"herqules/internal/vm"
 )
 
 // Options configures one monitored run.
@@ -72,105 +78,35 @@ type Options struct {
 }
 
 // Outcome is the result of a monitored run.
-type Outcome struct {
-	*vm.Result
-	// PolicyViolations are the verifier-side violations recorded for the
-	// process (empty when it was killed on the first one).
-	PolicyViolations []*policy.Violation
-	// MessagesProcessed counts verifier-side deliveries.
-	MessagesProcessed uint64
-	// Entries / MaxEntries are the verifier metadata sizes (§5.4).
-	Entries, MaxEntries int
-	PID                 int32
-}
+type Outcome = supervisor.Outcome
 
 // DefaultPolicies installs the standard policy set.
-func DefaultPolicies() []policy.Policy {
-	return []policy.Policy{
-		policy.NewCFI(), policy.NewMemSafety(), policy.NewCounter(), policy.NewDFI(),
-	}
-}
+func DefaultPolicies() []policy.Policy { return supervisor.DefaultPolicies() }
 
-// Run executes an instrumented program under the framework.
+// Run executes an instrumented program under the framework: a private
+// single-tenant supervisor.System is stood up, the program is launched into
+// it, and the system is torn down once the program exits.
 func Run(ins *compiler.Instrumented, opts Options) (*Outcome, error) {
-	if opts.Entry == "" {
-		opts.Entry = "main"
-	}
-	factory := opts.Policies
-	if factory == nil {
-		factory = DefaultPolicies
-	}
-
-	k := kernel.New(nil)
-	v := verifier.New(factory, k)
-	v.KillOnViolation = opts.KillOnViolation
-	k.SetListener(v)
-	if opts.Metrics != nil {
-		k.EnableTelemetry(opts.Metrics)
-		v.EnableTelemetry(opts.Metrics)
-		if opts.Channel != nil {
-			opts.Channel.EnableTelemetry(opts.Metrics)
-		}
-	}
-	pid := k.Register()
-
-	cfg := ins.VMConfig()
-	cfg.PID = pid
-	cfg.ContinueOnViolation = opts.ContinueChecks
-	cfg.Cost = opts.Cost
-	cfg.MaxInstructions = opts.MaxInstructions
-	cfg.Seed = opts.Seed
-	if ins.Design.IsHQ() {
-		// Only HQ programs carry synchronization messages; gating a
-		// baseline would stall every system call until the epoch.
-		cfg.Kernel = k
-	}
-	cfg.Killed = func() (bool, string) { return k.Killed(pid) }
-
-	pumpDone := make(chan struct{})
-	if opts.Channel != nil {
-		ch := opts.Channel
-		// Transports with a kernel-managed PID register (the FPGA's
-		// authenticity mechanism, §3.1.1) must be programmed with the
-		// process identity on the context switch; the framework plays
-		// the kernel here.
-		if reg, ok := ch.Sender.(interface{ SetPID(int32) }); ok {
-			reg.SetPID(pid)
-		}
-		go func() {
-			v.Pump(ch.Receiver)
-			close(pumpDone)
-		}()
-		cfg.Emit = func(m ipc.Message) error { return ch.Sender.Send(m) }
-	} else {
-		close(pumpDone)
-		cfg.Emit = func(m ipc.Message) error { v.Deliver(m); return nil }
-	}
-
-	p, err := vm.NewProcess(ins.Mod, cfg)
+	sys := supervisor.New(supervisor.Config{
+		Policies:        opts.Policies,
+		KillOnViolation: opts.KillOnViolation,
+		Metrics:         opts.Metrics,
+	})
+	proc, err := sys.Launch(ins, supervisor.LaunchOptions{
+		Entry:           opts.Entry,
+		Args:            opts.Args,
+		Channel:         opts.Channel,
+		Inline:          opts.Channel == nil,
+		Cost:            opts.Cost,
+		ContinueChecks:  opts.ContinueChecks,
+		MaxInstructions: opts.MaxInstructions,
+		Seed:            opts.Seed,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: loading %s: %w", ins.Mod.Name, err)
+		sys.Shutdown(context.Background())
+		return nil, err
 	}
-	res := p.Run(opts.Entry, opts.Args...)
-
-	if opts.Channel != nil {
-		opts.Channel.Close()
-		<-pumpDone
-		// A violation may have landed after the program's last
-		// instruction; fold it into the result.
-		if killed, reason := k.Killed(pid); killed && !res.Killed {
-			res.Killed = true
-			res.KillReason = reason
-		}
-	}
-
-	out := &Outcome{
-		Result:            res,
-		PolicyViolations:  v.Violations(pid),
-		MessagesProcessed: v.Messages(pid),
-		PID:               pid,
-	}
-	out.Entries, out.MaxEntries = v.Entries(pid)
-	k.Exit(pid)
-	return out, nil
+	out, err := proc.Wait()
+	sys.Shutdown(context.Background())
+	return out, err
 }

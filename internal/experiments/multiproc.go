@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/verifier"
+)
+
+// MultiprocRow is one measurement of the supervisor's multi-source verifier
+// pump: N concurrent monitored message streams — one per-process replayed
+// channel each, exactly the per-process topology System.Launch builds —
+// drained through a single shared verifier.PumpSet, reported as aggregate
+// verified messages/sec.
+type MultiprocRow struct {
+	Procs      int
+	Shards     int
+	Messages   int // aggregate across all processes
+	Elapsed    time.Duration
+	MsgsPerSec float64 // aggregate
+	PerProc    float64 // MsgsPerSec / Procs
+	Speedup    float64 // aggregate rate relative to the Procs=1 row
+}
+
+// multiprocReps mirrors throughputReps: each configuration is drained a few
+// times and the fastest run reported, the repetition least disturbed by
+// scheduler noise.
+const multiprocReps = 3
+
+// MultiprocCounts builds the default process-count ladder: 1 → 2 → 4 →
+// GOMAXPROCS (deduplicated, ascending), the scaling axis of the supervisor
+// experiment.
+func MultiprocCounts() []int {
+	counts := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	out := make([]int, 0, len(counts))
+	for n := range counts {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Multiproc measures aggregate verifier throughput under the supervisor's
+// multi-tenant wiring: for each process count N, it registers N processes
+// with one kernel + one sharded verifier, attaches N per-process replay
+// receivers to a single PumpSet (each receiver standing in for one
+// monitored program's AppendWrite channel, its production cost paid up
+// front so the measurement isolates receive + policy evaluation), and times
+// the full drain — Attach through Close — of `messages` total messages. The
+// per-process streams carry the HQ-CFI hot mix (define/check/invalidate
+// triples) with consecutive sequence counters, so CheckSeq integrity
+// verification runs throughout.
+func Multiproc(messages int, procCounts []int) []MultiprocRow {
+	if messages <= 0 {
+		messages = 1 << 20
+	}
+	if len(procCounts) == 0 {
+		procCounts = MultiprocCounts()
+	}
+	var rows []MultiprocRow
+	var baseRate float64
+	for _, procs := range procCounts {
+		perProc := messages / procs
+		if perProc < 1 {
+			perProc = 1
+		}
+		total := perProc * procs
+
+		// One single-PID stream per process, produced once and replayed
+		// (rewound) every repetition.
+		replays := make([]*ipc.Replay, procs)
+		for p := 0; p < procs; p++ {
+			stream := make([]ipc.Message, 0, perProc)
+			pid := int32(1 + p)
+			var seq uint64
+			for len(stream) < perProc {
+				i := len(stream) / 3
+				addr := uint64(0x1000 + 8*(i%4096))
+				for _, op := range [...]ipc.Op{ipc.OpPointerDefine, ipc.OpPointerCheck, ipc.OpPointerInvalidate} {
+					seq++
+					stream = append(stream, ipc.Message{Op: op, PID: pid, Arg1: addr, Arg2: addr + 1, Seq: seq})
+					if len(stream) == perProc {
+						break
+					}
+				}
+			}
+			replays[p] = ipc.NewReplay(stream)
+		}
+
+		var minElapsed time.Duration
+		var shards int
+		for rep := 0; rep < multiprocReps; rep++ {
+			// Fresh kernel/verifier/pump per rep: policy state grows with
+			// the stream, and reusing it would make later reps cheaper.
+			k := kernel.New(nil)
+			v := verifier.NewSharded(throughputPolicies, k, 0)
+			v.CheckSeq = true
+			k.SetListener(v)
+			for p := 0; p < procs; p++ {
+				v.ProcessStarted(int32(1 + p))
+			}
+			for _, r := range replays {
+				r.Rewind()
+			}
+			ps := v.NewPumpSet()
+			start := time.Now()
+			dones := make([]<-chan struct{}, procs)
+			for p, r := range replays {
+				done, err := ps.Attach(r)
+				if err != nil {
+					panic("multiproc: attach on fresh pump set: " + err.Error())
+				}
+				dones[p] = done
+			}
+			for _, done := range dones {
+				<-done
+			}
+			ps.Close()
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < minElapsed {
+				minElapsed = elapsed
+			}
+			shards = v.Shards()
+		}
+
+		row := MultiprocRow{
+			Procs:      procs,
+			Shards:     shards,
+			Messages:   total,
+			Elapsed:    minElapsed,
+			MsgsPerSec: float64(total) / minElapsed.Seconds(),
+		}
+		row.PerProc = row.MsgsPerSec / float64(procs)
+		if procs == 1 {
+			baseRate = row.MsgsPerSec
+		}
+		if baseRate > 0 {
+			row.Speedup = row.MsgsPerSec / baseRate
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatMultiproc renders the scaling table. Speedup is aggregate
+// throughput relative to one monitored process; on a multi-core host it
+// should grow toward the shard count as independent processes validate on
+// independent shards.
+func FormatMultiproc(rows []MultiprocRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-7s %12s %12s %14s %14s %9s\n",
+		"Procs", "Shards", "Messages", "Elapsed", "Agg msgs/sec", "Per-proc", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6d %-7d %12d %12s %14.0f %14.0f %8.2fx\n",
+			r.Procs, r.Shards, r.Messages, r.Elapsed.Round(time.Microsecond),
+			r.MsgsPerSec, r.PerProc, r.Speedup)
+	}
+	fmt.Fprintf(&sb, "(%d CPUs; one replayed AppendWrite channel per process, all drained by one shared PumpSet)\n",
+		runtime.GOMAXPROCS(0))
+	return sb.String()
+}

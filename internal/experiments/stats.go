@@ -69,7 +69,7 @@ func Stats(procs, messages int) *StatsResult {
 		ch.EnableTelemetry(m)
 		pid := k.Register()
 		pids[p] = pid
-		if reg, ok := ch.Sender.(interface{ SetPID(int32) }); ok {
+		if reg, ok := ch.Sender.(ipc.PIDRegister); ok {
 			reg.SetPID(pid)
 		}
 		pumps.Add(1)

@@ -19,6 +19,7 @@
 package fpga
 
 import (
+	"fmt"
 	"sync"
 
 	"herqules/internal/ipc"
@@ -248,6 +249,7 @@ func (r *receiver) verify(m ipc.Message) (ipc.Message, bool, error) {
 }
 
 var (
+	_ ipc.PIDRegister   = (*sender)(nil)
 	_ ipc.Receiver      = (*receiver)(nil)
 	_ ipc.TryReceiver   = (*receiver)(nil)
 	_ ipc.BatchReceiver = (*receiver)(nil)
@@ -271,4 +273,17 @@ func New(slots int) (*ipc.Channel, *Device) {
 		},
 	}
 	return ch, d
+}
+
+// NewChannel is the validating constructor used by the channel factories:
+// unlike New, which silently substitutes DefaultSlots, it rejects a negative
+// buffer capacity — a caller bug the silent default used to swallow — so the
+// error can propagate to the API surface. The Device stays reachable through
+// the sender's ipc.PIDRegister.
+func NewChannel(slots int) (*ipc.Channel, error) {
+	if slots < 0 {
+		return nil, fmt.Errorf("fpga: negative circular-buffer capacity %d", slots)
+	}
+	ch, _ := New(slots)
+	return ch, nil
 }

@@ -225,3 +225,16 @@ func TestReceiverPending(t *testing.T) {
 		t.Errorf("Pending = %d ok=%t, want 7", p, ok)
 	}
 }
+
+func TestNewChannelValidatesCapacity(t *testing.T) {
+	if _, err := NewChannel(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	ch, err := NewChannel(0) // 0 selects DefaultSlots, like New
+	if err != nil || ch == nil {
+		t.Fatalf("NewChannel(0) = %v, %v", ch, err)
+	}
+	if _, ok := ch.Sender.(ipc.PIDRegister); !ok {
+		t.Error("FPGA sender lost its kernel-managed PID register")
+	}
+}

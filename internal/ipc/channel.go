@@ -61,6 +61,18 @@ type BatchReceiver interface {
 	RecvBatch(buf []Message) (n int, ok bool, err error)
 }
 
+// PIDRegister is implemented by senders whose transport carries a
+// kernel-managed process-identity register (the FPGA AFU's PID register,
+// §3.1.1): the kernel programs it on every context switch, and the hardware
+// stamps each message with it, which is what makes the PID field authentic.
+// The framework (core.Run, the supervisor) plays the kernel's role and calls
+// SetPID once when it binds a channel to a freshly registered process.
+type PIDRegister interface {
+	// SetPID programs the transport's process-identity register. Only
+	// kernel-side code may call it; the monitored program has no path to it.
+	SetPID(pid int32)
+}
+
 // Pender is implemented by receivers that can report how many messages are
 // sent but not yet received, making backpressure observable uniformly across
 // backends (the verifier's per-shard queue depth uses the same interface).

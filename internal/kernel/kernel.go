@@ -12,6 +12,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -331,6 +332,29 @@ func (k *Kernel) Kill(pid int32, reason string) {
 	if kl, ok := l.(KillListener); ok {
 		kl.ProcessKilled(pid, reason)
 	}
+}
+
+// Pids returns the PIDs of every process with a live kernel context, in
+// ascending order. The supervisor iterates the process table during graceful
+// shutdown (to kill stragglers once the deadline passes) and for aggregate
+// accounting; like /proc, the listing is a snapshot — contexts may appear or
+// vanish the moment the lock is released.
+func (k *Kernel) Pids() []int32 {
+	k.mu.Lock()
+	pids := make([]int32, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	k.mu.Unlock()
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}
+
+// NumProcs reports the number of live kernel contexts.
+func (k *Kernel) NumProcs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.procs)
 }
 
 // Killed reports whether pid has been killed and why.

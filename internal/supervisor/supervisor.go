@@ -1,0 +1,450 @@
+// Package supervisor is the resident HerQules runtime: one kernel module,
+// one PID-sharded verifier and one shared telemetry registry serving *many*
+// concurrently monitored programs — the deployment model of the paper's
+// Figure 1, where a single trusted verifier process multiplexes every
+// application that has enabled HerQules.
+//
+// Where package core's Run constructs a private kernel + verifier per call
+// and hosts exactly one process, a System is long-lived: programs Launch
+// into it, run concurrently (each with its own AppendWrite channel drained
+// by a shared verifier.PumpSet), and exit independently; Shutdown drains
+// every in-flight batch before stopping the shard workers. This is the
+// configuration under which CFI enforcement overheads are actually compared
+// in the literature (Burow et al.; de Clercq & Verbauwhede): one enforcement
+// domain amortized across the machine's workload, not one per process.
+//
+// core.Run remains as a one-process convenience wrapper over a throwaway
+// System; the public facade surfaces this package as herqules.System.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"herqules/internal/compiler"
+	"herqules/internal/fpga"
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/mem"
+	"herqules/internal/policy"
+	"herqules/internal/sim"
+	"herqules/internal/telemetry"
+	"herqules/internal/uarch"
+	"herqules/internal/verifier"
+	"herqules/internal/vm"
+)
+
+// ErrShutdown is returned by Launch once Shutdown has begun.
+var ErrShutdown = errors.New("supervisor: system is shut down")
+
+// Config parameterizes a System. The zero value is usable: default policy
+// set, kills disabled (the paper's measurement default), shared-memory ring
+// transport, GOMAXPROCS verifier shards, no telemetry.
+type Config struct {
+	// Policies builds the verifier policy set per monitored process; nil
+	// installs CFI + memory-safety + counter + DFI (DefaultPolicies).
+	Policies verifier.PolicyFactory
+
+	// KillOnViolation controls the verifier (§3.4). The paper disables it
+	// for performance/correctness runs because baseline designs
+	// false-positive (§5).
+	KillOnViolation bool
+
+	// Metrics, when non-nil, wires the telemetry layer through the whole
+	// stack once at construction: kernel gate, verifier shards, and every
+	// channel the System creates or is handed.
+	Metrics *telemetry.Metrics
+
+	// ChannelKind selects the AppendWrite transport Launch constructs for a
+	// process that does not bring its own channel. The zero value is the
+	// shared-memory ring.
+	ChannelKind ipc.Kind
+
+	// Shards overrides the verifier shard count (<= 0 selects GOMAXPROCS).
+	Shards int
+
+	// Epoch overrides the kernel synchronization timeout (0 keeps
+	// kernel.DefaultEpoch).
+	Epoch time.Duration
+}
+
+// DefaultPolicies installs the standard policy set.
+func DefaultPolicies() []policy.Policy {
+	return []policy.Policy{
+		policy.NewCFI(), policy.NewMemSafety(), policy.NewCounter(), policy.NewDFI(),
+	}
+}
+
+// Outcome is the result of one monitored execution under a System.
+type Outcome struct {
+	*vm.Result
+	// PolicyViolations are the verifier-side violations recorded for the
+	// process (empty when it was killed on the first one).
+	PolicyViolations []*policy.Violation
+	// MessagesProcessed counts verifier-side deliveries.
+	MessagesProcessed uint64
+	// Entries / MaxEntries are the verifier metadata sizes (§5.4).
+	Entries, MaxEntries int
+	PID                 int32
+}
+
+// LaunchOptions configures one monitored execution. All fields are
+// per-process; system-wide policy lives in Config.
+type LaunchOptions struct {
+	// Entry is the entry function (default "main"); Args its arguments.
+	Entry string
+	Args  []uint64
+
+	// Channel, when non-nil, is the process's AppendWrite transport. When
+	// nil (and Inline is false) the System constructs a fresh channel of
+	// its configured ChannelKind.
+	Channel *ipc.Channel
+
+	// Inline selects deterministic inline delivery: messages are evaluated
+	// by the (shared) verifier at send time on the program's goroutine, the
+	// mode the reproducibility experiments need. No channel is involved.
+	Inline bool
+
+	// Cost is the cycle model (nil: no accounting).
+	Cost *sim.CostModel
+
+	// ContinueChecks makes in-process checks (Clang-CFI, CCFI) record and
+	// continue rather than trap — the §5 performance methodology.
+	ContinueChecks bool
+
+	// MaxInstructions bounds execution (0: vm default).
+	MaxInstructions uint64
+
+	// Seed randomizes information-hiding layout.
+	Seed uint64
+}
+
+// Proc is a handle to one monitored program running under a System.
+type Proc struct {
+	pid  int32
+	done chan struct{}
+	out  *Outcome
+	err  error
+}
+
+// PID returns the kernel process identifier.
+func (p *Proc) PID() int32 { return p.pid }
+
+// Done returns a channel closed when the process has exited and its outcome
+// is available.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the process exits and returns its outcome. It is safe
+// to call from multiple goroutines and repeatedly; every call returns the
+// same outcome.
+func (p *Proc) Wait() (*Outcome, error) {
+	<-p.done
+	return p.out, p.err
+}
+
+// System is the resident runtime: one kernel, one sharded verifier, one
+// multi-source pump, N concurrently monitored programs.
+type System struct {
+	cfg Config
+	k   *kernel.Kernel
+	v   *verifier.Verifier
+	m   *telemetry.Metrics
+
+	pumps *verifier.PumpSet
+	base  telemetry.Snapshot // registry state at construction, for Stats
+
+	mu       sync.Mutex
+	procs    map[int32]*Proc // running
+	inflight sync.WaitGroup  // one per admitted Launch
+	launched uint64
+	finished uint64
+	killed   uint64
+	down     bool
+}
+
+// New constructs a System: kernel and verifier are created once, wired
+// together over the privileged listener channel, and instrumented with the
+// configured metrics registry. The verifier's shard workers start
+// immediately and idle until programs launch.
+func New(cfg Config) *System {
+	factory := cfg.Policies
+	if factory == nil {
+		factory = DefaultPolicies
+	}
+	k := kernel.New(nil)
+	if cfg.Epoch > 0 {
+		k.Epoch = cfg.Epoch
+	}
+	v := verifier.NewSharded(factory, k, cfg.Shards)
+	v.KillOnViolation = cfg.KillOnViolation
+	k.SetListener(v)
+	s := &System{
+		cfg:   cfg,
+		k:     k,
+		v:     v,
+		m:     cfg.Metrics,
+		procs: make(map[int32]*Proc),
+	}
+	if s.m != nil {
+		k.EnableTelemetry(s.m)
+		v.EnableTelemetry(s.m)
+		s.base = s.m.Snapshot()
+	}
+	s.pumps = v.NewPumpSet()
+	return s
+}
+
+// Kernel exposes the system's kernel module (for tests and experiments that
+// drive syscall gating directly).
+func (s *System) Kernel() *kernel.Kernel { return s.k }
+
+// Verifier exposes the system's shared verifier.
+func (s *System) Verifier() *verifier.Verifier { return s.v }
+
+// Launch starts ins as a new monitored process: it registers a kernel
+// context, binds an AppendWrite channel (programming the transport's PID
+// register when it has one), attaches the channel's receiver to the shared
+// pump, and runs the program on its own goroutine. It returns immediately
+// with a Proc handle; the outcome is collected with Proc.Wait.
+func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+
+	// Admission: a Launch admitted before Shutdown begins is fully served —
+	// Shutdown waits for it. The inflight count is raised under the same
+	// lock that Shutdown takes to flip down, so there is no window where a
+	// launch slips past a closing system.
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	s.inflight.Add(1)
+	s.launched++
+	s.mu.Unlock()
+
+	admitFailed := func(err error) (*Proc, error) {
+		s.mu.Lock()
+		s.launched--
+		s.mu.Unlock()
+		s.inflight.Done()
+		return nil, err
+	}
+
+	var ch *ipc.Channel
+	if !opts.Inline {
+		ch = opts.Channel
+		if ch == nil {
+			var err error
+			ch, err = NewChannel(s.cfg.ChannelKind)
+			if err != nil {
+				return admitFailed(err)
+			}
+		}
+		if s.m != nil {
+			ch.EnableTelemetry(s.m)
+		}
+	}
+
+	pid := s.k.Register()
+	if ch != nil {
+		// Transports with a kernel-managed PID register (the FPGA's
+		// authenticity mechanism, §3.1.1) must be programmed with the
+		// process identity on the context switch; the supervisor plays
+		// the kernel here.
+		if reg, ok := ch.Sender.(ipc.PIDRegister); ok {
+			reg.SetPID(pid)
+		}
+	}
+
+	cfg := ins.VMConfig()
+	cfg.PID = pid
+	cfg.ContinueOnViolation = opts.ContinueChecks
+	cfg.Cost = opts.Cost
+	cfg.MaxInstructions = opts.MaxInstructions
+	cfg.Seed = opts.Seed
+	if ins.Design.IsHQ() {
+		// Only HQ programs carry synchronization messages; gating a
+		// baseline would stall every system call until the epoch.
+		cfg.Kernel = s.k
+	}
+	cfg.Killed = func() (bool, string) { return s.k.Killed(pid) }
+
+	var drained <-chan struct{}
+	if ch != nil {
+		var err error
+		drained, err = s.pumps.Attach(ch.Receiver)
+		if err != nil {
+			// Shutdown won the race after admission; unwind the context.
+			s.k.Exit(pid)
+			return admitFailed(ErrShutdown)
+		}
+		sender := ch.Sender
+		cfg.Emit = func(m ipc.Message) error { return sender.Send(m) }
+	} else {
+		cfg.Emit = func(m ipc.Message) error { s.v.Deliver(m); return nil }
+	}
+
+	p, err := vm.NewProcess(ins.Mod, cfg)
+	if err != nil {
+		if ch != nil {
+			ch.Close()
+			<-drained
+		}
+		s.k.Exit(pid)
+		return admitFailed(fmt.Errorf("supervisor: loading %s: %w", ins.Mod.Name, err))
+	}
+
+	proc := &Proc{pid: pid, done: make(chan struct{})}
+	s.mu.Lock()
+	s.procs[pid] = proc
+	s.mu.Unlock()
+
+	go func() {
+		defer s.inflight.Done()
+		res := p.Run(opts.Entry, opts.Args...)
+		if ch != nil {
+			// The program is done emitting: close its channel, wait for
+			// the pump to hand every remaining message to the shard
+			// workers, then fold in a kill that landed after the last
+			// instruction.
+			ch.Close()
+			<-drained
+			if killed, reason := s.k.Killed(pid); killed && !res.Killed {
+				res.Killed = true
+				res.KillReason = reason
+			}
+		}
+		out := &Outcome{
+			Result:            res,
+			PolicyViolations:  s.v.Violations(pid),
+			MessagesProcessed: s.v.Messages(pid),
+			PID:               pid,
+		}
+		out.Entries, out.MaxEntries = s.v.Entries(pid)
+		s.k.Exit(pid)
+
+		proc.out = out
+		s.mu.Lock()
+		delete(s.procs, pid)
+		s.finished++
+		if res.Killed {
+			s.killed++
+		}
+		s.mu.Unlock()
+		close(proc.done)
+	}()
+	return proc, nil
+}
+
+// Shutdown stops the System gracefully: new launches are refused, in-flight
+// processes run to completion (their channels drain fully before their
+// outcomes are published), and the shared pump's shard workers are stopped
+// only after delivering every received batch. If ctx expires first, every
+// process still in the kernel's table is killed — their VM loops observe the
+// kill at the next message or system call and terminate — and Shutdown then
+// finishes the same drain path, returning the context's error. Shutdown is
+// idempotent; concurrent calls all return after the system is fully down.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.down = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: sweep the process table and kill stragglers so
+		// their runs terminate promptly; then wait out the (now bounded)
+		// drain.
+		for _, pid := range s.k.Pids() {
+			s.k.Kill(pid, "supervisor: system shutdown")
+		}
+		<-done
+	}
+	s.pumps.Close()
+	return err
+}
+
+// Stats is the per-system aggregate: process lifecycle totals, the shared
+// verifier's message total, and — when a metrics registry is wired — a
+// telemetry snapshot diffed against the registry state at construction, so
+// one registry can serve several systems (or a system plus unrelated
+// instrumentation) and each still reports exactly its own interval.
+type Stats struct {
+	Launched, Active, Finished, Killed uint64
+	MessagesVerified                   uint64
+	Snapshot                           telemetry.Snapshot
+}
+
+// Stats returns the aggregate snapshot.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Launched: s.launched,
+		Active:   uint64(len(s.procs)),
+		Finished: s.finished,
+		Killed:   s.killed,
+	}
+	s.mu.Unlock()
+	st.MessagesVerified = s.v.TotalMessages()
+	if s.m != nil {
+		st.Snapshot = s.m.Snapshot().Diff(s.base)
+	}
+	return st
+}
+
+// errUnknownKind is returned by NewChannel for an out-of-range kind. The
+// message carries the numeric kind so a bad constant is diagnosable from the
+// error alone.
+type errUnknownKind ipc.Kind
+
+func (e errUnknownKind) Error() string {
+	return fmt.Sprintf("herqules: unknown channel kind %d", int(e))
+}
+
+// DefaultChannelSlots is the capacity, in messages, of channels constructed
+// by NewChannel.
+const DefaultChannelSlots = 1 << 14
+
+// NewChannel constructs an IPC channel of the given kind with the default
+// capacity, propagating constructor failures (the µarch simulator's
+// appendable-region mapping, the FPGA's buffer validation) instead of
+// swallowing them. The AppendWrite-µarch kind allocates its appendable
+// memory region in a private address space.
+func NewChannel(kind ipc.Kind) (*ipc.Channel, error) {
+	const slots = DefaultChannelSlots
+	switch kind {
+	case ipc.KindSharedRing:
+		return ipc.NewSharedRing(slots), nil
+	case ipc.KindMessageQueue:
+		return ipc.NewMessageQueue(), nil
+	case ipc.KindPipe:
+		return ipc.NewPipe(), nil
+	case ipc.KindSocket:
+		return ipc.NewSocket(), nil
+	case ipc.KindLWC:
+		return ipc.NewLWC(), nil
+	case ipc.KindFPGA:
+		return fpga.NewChannel(slots)
+	case ipc.KindUArchModel:
+		return uarch.NewModel(slots), nil
+	case ipc.KindUArchSim:
+		m := mem.New()
+		ch, _, err := uarch.New(m, 0x7f00_0000_0000, slots*uint64(ipc.MessageSize))
+		return ch, err
+	default:
+		return nil, errUnknownKind(kind)
+	}
+}

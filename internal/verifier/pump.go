@@ -1,0 +1,211 @@
+package verifier
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"herqules/internal/ipc"
+)
+
+// pipeline is the sharded delivery fan-out shared by Pump and PumpSet: one
+// bounded queue plus worker goroutine per shard, with batch buffers recycled
+// through a free list so steady-state pumping allocates nothing. Any number
+// of drain loops may route bursts into the same pipeline concurrently; the
+// queues are channels, so enqueueing is safe without further locking.
+type pipeline struct {
+	v         *Verifier
+	batchSize int
+	queues    []chan []ipc.Message
+	free      chan []ipc.Message
+	workers   sync.WaitGroup
+}
+
+// newPipeline starts the per-shard workers. Callers must invoke stop exactly
+// once, after every drain loop feeding the pipeline has returned.
+func (v *Verifier) newPipeline() *pipeline {
+	batchSize := v.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	depth := v.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	nshards := len(v.shards)
+	p := &pipeline{
+		v:         v,
+		batchSize: batchSize,
+		queues:    make([]chan []ipc.Message, nshards),
+		free:      make(chan []ipc.Message, nshards*(depth+1)),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan []ipc.Message, depth)
+		p.workers.Add(1)
+		go func(si int, q chan []ipc.Message) {
+			defer p.workers.Done()
+			for batch := range q {
+				v.deliverShardBatch(si, batch)
+				select {
+				case p.free <- batch:
+				default:
+				}
+			}
+		}(i, p.queues[i])
+	}
+	return p
+}
+
+// grab returns a recycled batch buffer, or a fresh one when none is free.
+func (p *pipeline) grab() []ipc.Message {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]ipc.Message, 0, p.batchSize)
+	}
+}
+
+// drain consumes messages from r until the channel closes or fails,
+// partitioning each burst by shard and enqueueing the runs onto the shard
+// queues. It is the per-source half of the pump: each concurrent source runs
+// drain in its own goroutine with its own receive buffer, all feeding the
+// same shard workers. Messages for one process always arrive over one
+// channel and always land in that process's shard queue in receive order, so
+// per-process ordering (and CheckSeq) is preserved under any number of
+// concurrent sources. A receive-side integrity error kills the process the
+// receiver attributes it to and stops only this source's drain.
+func (p *pipeline) drain(r ipc.Receiver) {
+	v := p.v
+	buf := make([]ipc.Message, p.batchSize)
+	routed := make([][]ipc.Message, len(p.queues))
+	tm := v.tm
+	for {
+		var recvStart time.Time
+		if tm != nil {
+			recvStart = time.Now()
+		}
+		n, ok, err := ipc.RecvBatchFrom(r, buf)
+		if tm != nil {
+			// Time spent inside RecvBatch is (almost entirely) time the
+			// drain loop stalled waiting for the producer.
+			tm.pumpStall.Observe(uint64(time.Since(recvStart)))
+		}
+		if n > 0 {
+			// Partition the burst by shard, preserving order. buf is
+			// reused for the next burst, so messages are copied into
+			// recycled per-shard batch buffers.
+			for i := 0; i < n; i++ {
+				si := v.shardIndex(buf[i].PID)
+				if routed[si] == nil {
+					routed[si] = p.grab()
+				}
+				routed[si] = append(routed[si], buf[i])
+			}
+			for si, ms := range routed {
+				if ms != nil {
+					if tm != nil {
+						tm.queueDepth.ObserveAt(si, uint64(len(p.queues[si])))
+					}
+					p.queues[si] <- ms
+					routed[si] = nil
+				}
+			}
+		}
+		if err != nil {
+			v.killAttributed(err)
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// stop closes the shard queues and waits for the workers to deliver
+// everything still enqueued. No drain may be running or started afterwards.
+func (p *pipeline) stop() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.workers.Wait()
+}
+
+// ErrPumpClosed is returned by PumpSet.Attach after Close has been called.
+var ErrPumpClosed = errors.New("verifier: pump set closed")
+
+// PumpSet drains a dynamic set of receivers through one shared sharded
+// pipeline — the verifier-side heart of the multi-process supervisor: one
+// monitored program per attached channel, all validating through the same
+// shard workers. Sources register as processes launch (Attach) and
+// deregister themselves when their channel closes; Close waits for every
+// attached source to finish draining and then for the shard workers to
+// deliver all in-flight batches, so no received message is ever dropped by
+// shutdown.
+type PumpSet struct {
+	v *Verifier
+	p *pipeline
+
+	mu     sync.Mutex
+	active int
+	closed bool
+	drains sync.WaitGroup
+	stop   sync.Once
+}
+
+// NewPumpSet creates an empty pump set over v's shards. The per-shard
+// workers start immediately and idle until sources attach.
+func (v *Verifier) NewPumpSet() *PumpSet {
+	return &PumpSet{v: v, p: v.newPipeline()}
+}
+
+// Attach registers r as a new message source and starts draining it in a
+// dedicated goroutine. The returned channel is closed once r has been fully
+// drained (its channel closed or failed) and every one of its messages
+// handed to the shard workers; combined with Close, which then flushes the
+// workers, a caller that waits on the done channel before reading per-PID
+// verifier state observes all of the source's deliveries.
+func (ps *PumpSet) Attach(r ipc.Receiver) (done <-chan struct{}, err error) {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return nil, ErrPumpClosed
+	}
+	ps.active++
+	ps.drains.Add(1)
+	ps.mu.Unlock()
+
+	ch := make(chan struct{})
+	go func() {
+		defer ps.drains.Done()
+		ps.p.drain(r)
+		ps.mu.Lock()
+		ps.active--
+		ps.mu.Unlock()
+		close(ch)
+	}()
+	return ch, nil
+}
+
+// Sources reports the number of sources currently attached and draining.
+func (ps *PumpSet) Sources() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.active
+}
+
+// Close waits for every attached source to finish draining, then stops the
+// shard workers after they have delivered all enqueued batches. Attach fails
+// with ErrPumpClosed from the moment Close is entered; Close itself is
+// idempotent. Sources still attached block Close until their channels close,
+// so the owner must close (or have closed) every monitored program's channel
+// first — the supervisor's Shutdown ordering.
+func (ps *PumpSet) Close() {
+	ps.mu.Lock()
+	ps.closed = true
+	ps.mu.Unlock()
+	ps.drains.Wait()
+	// sync.Once blocks concurrent callers until the first stop returns, so
+	// every Close observes a fully flushed pipeline.
+	ps.stop.Do(ps.p.stop)
+}

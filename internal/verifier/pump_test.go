@@ -1,0 +1,168 @@
+package verifier
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+)
+
+// pumpStream builds a single-PID define/check/invalidate stream with
+// consecutive sequence numbers.
+func pumpStream(pid int32, n int) []ipc.Message {
+	msgs := make([]ipc.Message, 0, n)
+	var seq uint64
+	for len(msgs) < n {
+		i := len(msgs) / 3
+		addr := uint64(0x1000 + 8*(i%1024))
+		for _, op := range [...]ipc.Op{ipc.OpPointerDefine, ipc.OpPointerCheck, ipc.OpPointerInvalidate} {
+			seq++
+			msgs = append(msgs, ipc.Message{Op: op, PID: pid, Arg1: addr, Arg2: addr + 1, Seq: seq})
+			if len(msgs) == n {
+				break
+			}
+		}
+	}
+	return msgs
+}
+
+// TestPumpSetMultiSourceIntegrity drains several per-process replayed
+// channels through one PumpSet with CheckSeq on: per-process ordering must
+// survive the concurrent multiplexing (any reorder or loss would trip the
+// sequence counter), and every message must be delivered before Close
+// returns.
+func TestPumpSetMultiSourceIntegrity(t *testing.T) {
+	const procs, perProc = 6, 3000
+	g := newFakeGate()
+	v := NewSharded(cfiFactory, g, 4)
+	v.CheckSeq = true
+
+	ps := v.NewPumpSet()
+	var dones []<-chan struct{}
+	for p := 0; p < procs; p++ {
+		pid := int32(1 + p)
+		v.ProcessStarted(pid)
+		done, err := ps.Attach(ipc.NewReplay(pumpStream(pid, perProc)))
+		if err != nil {
+			t.Fatalf("attach %d: %v", p, err)
+		}
+		dones = append(dones, done)
+	}
+	for _, d := range dones {
+		<-d
+	}
+	ps.Close()
+
+	if len(g.kills) != 0 {
+		t.Fatalf("integrity kills on clean streams: %v", g.kills)
+	}
+	for p := 0; p < procs; p++ {
+		pid := int32(1 + p)
+		if got := v.Messages(pid); got != perProc {
+			t.Errorf("pid %d: %d messages delivered, want %d", pid, got, perProc)
+		}
+		if viols := v.Violations(pid); len(viols) != 0 {
+			t.Errorf("pid %d: unexpected violations %v", pid, viols)
+		}
+	}
+	if ps.Sources() != 0 {
+		t.Errorf("sources still attached after drain: %d", ps.Sources())
+	}
+}
+
+// TestPumpSetDynamicAttachDetach registers sources while others are already
+// draining live ring channels — the supervisor's launch/exit churn.
+func TestPumpSetDynamicAttachDetach(t *testing.T) {
+	g := newFakeGate()
+	v := NewSharded(cfiFactory, g, 2)
+	v.CheckSeq = true
+	ps := v.NewPumpSet()
+
+	const procs, perProc = 5, 2000
+	var senders sync.WaitGroup
+	dones := make([]<-chan struct{}, procs)
+	for p := 0; p < procs; p++ {
+		pid := int32(1 + p)
+		v.ProcessStarted(pid)
+		ch := ipc.NewSharedRing(1 << 8)
+		done, err := ps.Attach(ch.Receiver)
+		if err != nil {
+			t.Fatalf("attach %d: %v", p, err)
+		}
+		dones[p] = done
+		senders.Add(1)
+		go func(ch *ipc.Channel, pid int32) {
+			defer senders.Done()
+			defer ch.Close()
+			for _, m := range pumpStream(pid, perProc) {
+				if err := ch.Sender.Send(m); err != nil {
+					t.Errorf("pid %d send: %v", pid, err)
+					return
+				}
+			}
+		}(ch, pid)
+	}
+	senders.Wait()
+	for _, d := range dones {
+		<-d
+	}
+	ps.Close()
+
+	if len(g.kills) != 0 {
+		t.Fatalf("kills on clean live streams: %v", g.kills)
+	}
+	for p := 0; p < procs; p++ {
+		pid := int32(1 + p)
+		if got := v.Messages(pid); got != perProc {
+			t.Errorf("pid %d: %d delivered, want %d", pid, got, perProc)
+		}
+	}
+}
+
+// TestPumpSetAttachAfterClose verifies the closed pump refuses new sources.
+func TestPumpSetAttachAfterClose(t *testing.T) {
+	v := New(func() []policy.Policy { return nil }, nil)
+	ps := v.NewPumpSet()
+	ps.Close()
+	if _, err := ps.Attach(ipc.NewReplay(nil)); !errors.Is(err, ErrPumpClosed) {
+		t.Fatalf("attach after close: err = %v, want ErrPumpClosed", err)
+	}
+	ps.Close() // idempotent
+}
+
+// TestPumpSetAttributedErrorKillsOnlyThatSource: an integrity failure on one
+// source kills the attributed process and stops that source's drain without
+// disturbing the other attached sources.
+func TestPumpSetAttributedErrorKillsOnlyThatSource(t *testing.T) {
+	g := newFakeGate()
+	v := NewSharded(cfiFactory, g, 2)
+	ps := v.NewPumpSet()
+
+	v.ProcessStarted(1)
+	v.ProcessStarted(2)
+
+	bad := &errReceiver{err: &ipc.ProcessError{PID: 1, Err: ipc.ErrIntegrity}}
+	doneBad, err := ps.Attach(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneGood, err := ps.Attach(ipc.NewReplay(pumpStream(2, 300)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-doneBad
+	<-doneGood
+	ps.Close()
+
+	if g.kills[1] == "" {
+		t.Error("attributed integrity error did not kill pid 1")
+	}
+	if g.kills[2] != "" {
+		t.Errorf("pid 2 killed by pid 1's channel failure: %s", g.kills[2])
+	}
+	if got := v.Messages(2); got != 300 {
+		t.Errorf("pid 2: %d delivered, want 300", got)
+	}
+}

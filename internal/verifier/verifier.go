@@ -25,7 +25,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"herqules/internal/ipc"
 	"herqules/internal/policy"
@@ -379,92 +378,13 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 // delivered. A receive-side integrity error kills the affected process when
 // the receiver attributes the error to one (ipc.ProcessError), and stops the
 // pump.
+//
+// Pump owns a private pipeline for its single source; a dynamic set of
+// concurrent sources shares one pipeline through NewPumpSet (pump.go).
 func (v *Verifier) Pump(r ipc.Receiver) {
-	batchSize := v.BatchSize
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
-	depth := v.QueueDepth
-	if depth <= 0 {
-		depth = DefaultQueueDepth
-	}
-	nshards := len(v.shards)
-
-	queues := make([]chan []ipc.Message, nshards)
-	// Batch buffers cycle through a free list once the owning worker has
-	// delivered them, so steady-state pumping allocates nothing.
-	free := make(chan []ipc.Message, nshards*(depth+1))
-	var wg sync.WaitGroup
-	for i := range queues {
-		queues[i] = make(chan []ipc.Message, depth)
-		wg.Add(1)
-		go func(si int, q chan []ipc.Message) {
-			defer wg.Done()
-			for batch := range q {
-				v.deliverShardBatch(si, batch)
-				select {
-				case free <- batch:
-				default:
-				}
-			}
-		}(i, queues[i])
-	}
-	grab := func() []ipc.Message {
-		select {
-		case b := <-free:
-			return b[:0]
-		default:
-			return make([]ipc.Message, 0, batchSize)
-		}
-	}
-
-	buf := make([]ipc.Message, batchSize)
-	routed := make([][]ipc.Message, nshards)
-	tm := v.tm
-	for {
-		var recvStart time.Time
-		if tm != nil {
-			recvStart = time.Now()
-		}
-		n, ok, err := ipc.RecvBatchFrom(r, buf)
-		if tm != nil {
-			// Time spent inside RecvBatch is (almost entirely) time the
-			// drain loop stalled waiting for the producer.
-			tm.pumpStall.Observe(uint64(time.Since(recvStart)))
-		}
-		if n > 0 {
-			// Partition the burst by shard, preserving order. buf is
-			// reused for the next burst, so messages are copied into
-			// recycled per-shard batch buffers.
-			for i := 0; i < n; i++ {
-				si := v.shardIndex(buf[i].PID)
-				if routed[si] == nil {
-					routed[si] = grab()
-				}
-				routed[si] = append(routed[si], buf[i])
-			}
-			for si, ms := range routed {
-				if ms != nil {
-					if tm != nil {
-						tm.queueDepth.ObserveAt(si, uint64(len(queues[si])))
-					}
-					queues[si] <- ms
-					routed[si] = nil
-				}
-			}
-		}
-		if err != nil {
-			v.killAttributed(err)
-			break
-		}
-		if !ok {
-			break
-		}
-	}
-	for _, q := range queues {
-		close(q)
-	}
-	wg.Wait()
+	p := v.newPipeline()
+	p.drain(r)
+	p.stop()
 }
 
 // PumpScalar is the pre-sharding drain loop — one Recv and one Deliver per

@@ -1,0 +1,161 @@
+package herqules
+
+import (
+	"context"
+
+	"herqules/internal/supervisor"
+	"herqules/internal/telemetry"
+)
+
+// Metrics is the telemetry registry shared by every component of a System:
+// lane-striped counters, latency histograms and high-water marks, readable
+// without stopping the world. Attach one with WithMetrics.
+type Metrics = telemetry.Metrics
+
+// NewMetrics creates a telemetry registry with the default stripe width
+// (one lane per GOMAXPROCS).
+func NewMetrics() *Metrics { return telemetry.New(0) }
+
+// SystemStats is the per-system aggregate snapshot: process lifecycle
+// totals, the shared verifier's message total, and (when a Metrics registry
+// is attached) a telemetry snapshot covering exactly this system's lifetime.
+type SystemStats = supervisor.Stats
+
+// Proc is a handle to one monitored program running under a System: PID(),
+// Done() and Wait(), which returns the same *Outcome Run returns.
+type Proc = supervisor.Proc
+
+// System is the resident HerQules runtime — the deployment model of the
+// paper's Figure 1, where one kernel module and one verifier serve every
+// monitored program on the machine. A System owns one kernel, one
+// PID-sharded verifier and one multi-source message pump; any number of
+// instrumented programs Launch into it, run concurrently (each over its own
+// AppendWrite channel), and exit independently. Shutdown drains all
+// in-flight messages before stopping.
+//
+//	sys := herqules.NewSystem(herqules.WithKillOnViolation(true))
+//	defer sys.Shutdown(context.Background())
+//	p, err := sys.Launch(ins)
+//	out, err := p.Wait()
+//
+// The legacy single-shot entry point Run remains as a compatibility wrapper
+// that stands up a throwaway System per call.
+type System struct {
+	s *supervisor.System
+}
+
+// SystemOption configures a System at construction.
+type SystemOption func(*supervisor.Config)
+
+// WithMetrics wires a telemetry registry through the whole stack: kernel
+// gate, verifier shards, and every channel the System binds.
+func WithMetrics(m *Metrics) SystemOption {
+	return func(c *supervisor.Config) { c.Metrics = m }
+}
+
+// WithPolicies sets the factory building each monitored process's verifier
+// policy set (default: CFI + memory safety + counter + DFI).
+func WithPolicies(f PolicyFactory) SystemOption {
+	return func(c *supervisor.Config) { c.Policies = f }
+}
+
+// WithKillOnViolation controls whether the verifier terminates a program on
+// a failed policy check (§3.4). The default is false, the paper's
+// measurement configuration.
+func WithKillOnViolation(kill bool) SystemOption {
+	return func(c *supervisor.Config) { c.KillOnViolation = kill }
+}
+
+// WithChannelKind selects the AppendWrite transport the System constructs
+// for processes launched without an explicit channel (default: the
+// shared-memory ring).
+func WithChannelKind(kind ChannelKind) SystemOption {
+	return func(c *supervisor.Config) { c.ChannelKind = kind }
+}
+
+// WithShards overrides the verifier shard count (default: GOMAXPROCS).
+func WithShards(n int) SystemOption {
+	return func(c *supervisor.Config) { c.Shards = n }
+}
+
+// NewSystem constructs a resident runtime. The zero configuration is
+// usable: default policies, violations recorded but not killed, shared-ring
+// transport, GOMAXPROCS verifier shards.
+func NewSystem(opts ...SystemOption) *System {
+	var cfg supervisor.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &System{s: supervisor.New(cfg)}
+}
+
+// RunOption configures one Launch.
+type RunOption func(*supervisor.LaunchOptions)
+
+// WithEntry selects the entry function (default "main").
+func WithEntry(name string) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Entry = name }
+}
+
+// WithArgs passes arguments to the entry function.
+func WithArgs(args ...uint64) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Args = args }
+}
+
+// WithChannel launches the process over an explicit AppendWrite transport
+// instead of one constructed from the System's channel kind.
+func WithChannel(ch *Channel) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Channel = ch; o.Inline = false }
+}
+
+// WithInlineDelivery selects deterministic inline delivery: messages are
+// evaluated by the shared verifier at send time, on the program's own
+// goroutine — the reproducible mode the performance and effectiveness
+// experiments use. No concurrent channel is involved.
+func WithInlineDelivery() RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Inline = true; o.Channel = nil }
+}
+
+// WithCost attaches a cycle model to the run.
+func WithCost(cm *CostModel) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Cost = cm }
+}
+
+// WithContinueChecks makes in-process checks (Clang-CFI, CCFI) record and
+// continue rather than trap — the §5 performance methodology.
+func WithContinueChecks() RunOption {
+	return func(o *supervisor.LaunchOptions) { o.ContinueChecks = true }
+}
+
+// WithMaxInstructions bounds execution (0 keeps the VM default).
+func WithMaxInstructions(n uint64) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.MaxInstructions = n }
+}
+
+// WithSeed randomizes information-hiding layout; the same seed reproduces
+// the same layout.
+func WithSeed(seed uint64) RunOption {
+	return func(o *supervisor.LaunchOptions) { o.Seed = seed }
+}
+
+// Launch starts an instrumented program as a new monitored process under
+// the System and returns immediately with a handle; collect the result with
+// Proc.Wait. By default the process gets a fresh channel of the System's
+// configured kind; override with WithChannel or WithInlineDelivery.
+func (s *System) Launch(ins *Instrumented, opts ...RunOption) (*Proc, error) {
+	var lo supervisor.LaunchOptions
+	for _, o := range opts {
+		o(&lo)
+	}
+	return s.s.Launch(ins, lo)
+}
+
+// Shutdown stops the System gracefully: new launches are refused, running
+// processes finish and their channels drain fully, and the verifier's shard
+// workers stop only after delivering every in-flight batch. If ctx expires
+// first, still-running processes are killed and Shutdown returns the
+// context's error after the (then bounded) drain completes. Idempotent.
+func (s *System) Shutdown(ctx context.Context) error { return s.s.Shutdown(ctx) }
+
+// Stats returns the system's aggregate snapshot.
+func (s *System) Stats() SystemStats { return s.s.Stats() }

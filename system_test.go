@@ -1,0 +1,99 @@
+package herqules
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSystemFacadeConcurrentLaunches drives the redesigned public API end to
+// end: one resident System hosting a mix of clean and violating programs
+// concurrently, with telemetry attached, per-process outcomes collected via
+// Proc.Wait, and a graceful Shutdown.
+func TestSystemFacadeConcurrentLaunches(t *testing.T) {
+	mod := buildAPIVictim(t)
+	ins, err := Instrument(mod, HQSfeStk, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := NewModule("clean")
+	b := NewBuilder(clean)
+	b.Func("main", FuncTypeOf(I64Type))
+	b.Syscall(SysWrite, ConstInt(7))
+	b.Syscall(SysExit, ConstInt(0))
+	b.Ret(ConstInt(0))
+	clean.Finalize()
+	cleanIns, err := Instrument(clean, HQSfeStk, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMetrics()
+	sys := NewSystem(
+		WithMetrics(m),
+		WithKillOnViolation(true),
+		WithChannelKind(SharedRing),
+	)
+
+	const pairs = 4
+	var procs []*Proc
+	for i := 0; i < pairs; i++ {
+		pa, err := sys.Launch(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := sys.Launch(cleanIns, WithInlineDelivery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, pa, pc)
+	}
+	for i, p := range procs {
+		out, err := p.Wait()
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		attacker := i%2 == 0
+		if attacker && !out.Killed {
+			t.Errorf("attacker %d not killed", i)
+		}
+		if !attacker && out.Killed {
+			t.Errorf("clean proc %d killed: %s", i, out.KillReason)
+		}
+	}
+
+	st := sys.Stats()
+	if st.Launched != 2*pairs || st.Active != 0 {
+		t.Errorf("stats: launched=%d active=%d, want %d/0", st.Launched, st.Active, 2*pairs)
+	}
+	if st.Killed != pairs {
+		t.Errorf("stats: killed=%d, want %d", st.Killed, pairs)
+	}
+	if st.Snapshot.Counters["kernel.kills"].Total != pairs {
+		t.Errorf("kernel.kills = %d, want %d", st.Snapshot.Counters["kernel.kills"].Total, pairs)
+	}
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The compatibility wrapper still works after the redesign.
+	if out, err := Run(ins, RunOptions{KillOnViolation: true}); err != nil || !out.Killed {
+		t.Errorf("legacy Run: out=%+v err=%v", out, err)
+	}
+}
+
+// TestNewChannelErrors: the facade propagates constructor failures and
+// reports unknown kinds with their numeric value.
+func TestNewChannelErrors(t *testing.T) {
+	if _, err := NewChannel(ChannelKind(42)); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "42") {
+		t.Errorf("error %q does not carry the numeric kind", err)
+	}
+	for _, kind := range []ChannelKind{SharedRing, MessageQueue, Pipe, Socket, LWC, FPGA, UArchModel, UArchSim} {
+		ch, err := NewChannel(kind)
+		if err != nil || ch == nil {
+			t.Errorf("NewChannel(%v) = %v, %v", kind, ch, err)
+		}
+	}
+}
