@@ -45,7 +45,8 @@ type Options struct {
 	Args  []uint64
 
 	// Channel, when non-nil, selects concurrent mode over this transport.
-	// Nil selects deterministic inline delivery.
+	// Nil selects deterministic inline delivery. Run takes ownership of
+	// the channel: it is closed when the run finishes or fails.
 	Channel *ipc.Channel
 
 	// Cost is the cycle model (nil: no accounting).

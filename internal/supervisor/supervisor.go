@@ -101,6 +101,11 @@ type LaunchOptions struct {
 	// Channel, when non-nil, is the process's AppendWrite transport. When
 	// nil (and Inline is false) the System constructs a fresh channel of
 	// its configured ChannelKind.
+	//
+	// Launch takes ownership of the channel unconditionally: the System
+	// closes it when the process finishes emitting (closing is how the
+	// pump learns the source is done), and also on every Launch failure
+	// path. Callers must not reuse a channel after passing it to Launch.
 	Channel *ipc.Channel
 
 	// Inline selects deterministic inline delivery: messages are evaluated
@@ -279,7 +284,10 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		var err error
 		drained, err = s.pumps.Attach(ch.Receiver)
 		if err != nil {
-			// Shutdown won the race after admission; unwind the context.
+			// Shutdown won the race after admission; unwind the context
+			// and release the channel's transport resources (Launch owns
+			// the channel on every path, including failure).
+			ch.Close()
 			s.k.Exit(pid)
 			return admitFailed(ErrShutdown)
 		}
@@ -292,6 +300,9 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 	p, err := vm.NewProcess(ins.Mod, cfg)
 	if err != nil {
 		if ch != nil {
+			// Launch owns the channel (caller-supplied or not): closing it
+			// both releases the transport and terminates the drain this
+			// source holds attached to the pump.
 			ch.Close()
 			<-drained
 		}
@@ -308,10 +319,14 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		defer s.inflight.Done()
 		res := p.Run(opts.Entry, opts.Args...)
 		if ch != nil {
-			// The program is done emitting: close its channel, wait for
-			// the pump to hand every remaining message to the shard
-			// workers, then fold in a kill that landed after the last
-			// instruction.
+			// The program is done emitting: close its channel and wait for
+			// the pump to *deliver* every remaining message (Attach's done
+			// channel closes only after the shard workers have evaluated
+			// this source's final batches), then fold in a kill that landed
+			// after the last instruction. Only then is it safe to snapshot
+			// per-PID verifier state and Exit the kernel context below —
+			// nothing for this PID is still in flight to be dropped as
+			// "unregistered process".
 			ch.Close()
 			<-drained
 			if killed, reason := s.k.Killed(pid); killed && !res.Killed {
@@ -388,12 +403,16 @@ type Stats struct {
 	Snapshot                           telemetry.Snapshot
 }
 
-// Stats returns the aggregate snapshot.
+// Stats returns the aggregate snapshot. The lifecycle identity
+// Launched == Active + Finished holds in every snapshot: Active is derived
+// as launched-finished under the same lock rather than read from the process
+// table, which a Proc only enters once its VM has loaded — an admitted
+// launch still setting up counts as active, not as a bookkeeping gap.
 func (s *System) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
 		Launched: s.launched,
-		Active:   uint64(len(s.procs)),
+		Active:   s.launched - s.finished,
 		Finished: s.finished,
 		Killed:   s.killed,
 	}

@@ -16,9 +16,20 @@ import (
 type pipeline struct {
 	v         *Verifier
 	batchSize int
-	queues    []chan []ipc.Message
+	queues    []chan batchItem
 	free      chan []ipc.Message
 	workers   sync.WaitGroup
+}
+
+// batchItem is one unit of shard work: a run of same-shard messages plus the
+// flush counter of the source that enqueued it. The counter is decremented
+// only after the batch has been *delivered* to the verifier, which is what
+// lets a per-source waiter distinguish "handed to the workers" from
+// "verified". flush is nil when the caller does not track per-source
+// delivery (the single-source Pump, which flushes via stop instead).
+type batchItem struct {
+	ms    []ipc.Message
+	flush *sync.WaitGroup
 }
 
 // newPipeline starts the per-shard workers. Callers must invoke stop exactly
@@ -36,18 +47,24 @@ func (v *Verifier) newPipeline() *pipeline {
 	p := &pipeline{
 		v:         v,
 		batchSize: batchSize,
-		queues:    make([]chan []ipc.Message, nshards),
+		queues:    make([]chan batchItem, nshards),
 		free:      make(chan []ipc.Message, nshards*(depth+1)),
 	}
 	for i := range p.queues {
-		p.queues[i] = make(chan []ipc.Message, depth)
+		p.queues[i] = make(chan batchItem, depth)
 		p.workers.Add(1)
-		go func(si int, q chan []ipc.Message) {
+		go func(si int, q chan batchItem) {
 			defer p.workers.Done()
-			for batch := range q {
-				v.deliverShardBatch(si, batch)
+			for item := range q {
+				v.deliverShardBatch(si, item.ms)
+				if item.flush != nil {
+					// Deliveries (including any gate.Kill the batch
+					// triggered) are complete before the source's flush
+					// counter drops.
+					item.flush.Done()
+				}
 				select {
-				case p.free <- batch:
+				case p.free <- item.ms:
 				default:
 				}
 			}
@@ -75,7 +92,12 @@ func (p *pipeline) grab() []ipc.Message {
 // per-process ordering (and CheckSeq) is preserved under any number of
 // concurrent sources. A receive-side integrity error kills the process the
 // receiver attributes it to and stops only this source's drain.
-func (p *pipeline) drain(r ipc.Receiver) {
+//
+// flush, when non-nil, counts this source's outstanding batches: incremented
+// per enqueue here, decremented by the shard worker after delivery. When
+// drain has returned AND flush has drained to zero, every message r produced
+// has been evaluated by the verifier.
+func (p *pipeline) drain(r ipc.Receiver, flush *sync.WaitGroup) {
 	v := p.v
 	buf := make([]ipc.Message, p.batchSize)
 	routed := make([][]ipc.Message, len(p.queues))
@@ -107,7 +129,10 @@ func (p *pipeline) drain(r ipc.Receiver) {
 					if tm != nil {
 						tm.queueDepth.ObserveAt(si, uint64(len(p.queues[si])))
 					}
-					p.queues[si] <- ms
+					if flush != nil {
+						flush.Add(1)
+					}
+					p.queues[si] <- batchItem{ms: ms, flush: flush}
 					routed[si] = nil
 				}
 			}
@@ -138,10 +163,10 @@ var ErrPumpClosed = errors.New("verifier: pump set closed")
 // pipeline — the verifier-side heart of the multi-process supervisor: one
 // monitored program per attached channel, all validating through the same
 // shard workers. Sources register as processes launch (Attach) and
-// deregister themselves when their channel closes; Close waits for every
-// attached source to finish draining and then for the shard workers to
-// deliver all in-flight batches, so no received message is ever dropped by
-// shutdown.
+// deregister themselves once their channel has closed and their in-flight
+// batches have been delivered; Close waits for every attached source to
+// finish and then stops the shard workers, so no received message is ever
+// dropped by shutdown.
 type PumpSet struct {
 	v *Verifier
 	p *pipeline
@@ -161,10 +186,11 @@ func (v *Verifier) NewPumpSet() *PumpSet {
 
 // Attach registers r as a new message source and starts draining it in a
 // dedicated goroutine. The returned channel is closed once r has been fully
-// drained (its channel closed or failed) and every one of its messages
-// handed to the shard workers; combined with Close, which then flushes the
-// workers, a caller that waits on the done channel before reading per-PID
-// verifier state observes all of the source's deliveries.
+// drained (its channel closed or failed) AND every one of its messages has
+// been delivered by the shard workers — including any kill the verifier
+// issued for them — so a caller that waits on done before reading per-PID
+// verifier state (or tearing the process down) observes all of the source's
+// deliveries, with no Close required first.
 func (ps *PumpSet) Attach(r ipc.Receiver) (done <-chan struct{}, err error) {
 	ps.mu.Lock()
 	if ps.closed {
@@ -178,7 +204,12 @@ func (ps *PumpSet) Attach(r ipc.Receiver) (done <-chan struct{}, err error) {
 	ch := make(chan struct{})
 	go func() {
 		defer ps.drains.Done()
-		ps.p.drain(r)
+		var flush sync.WaitGroup
+		ps.p.drain(r, &flush)
+		// The source is fully read; now wait until the shard workers have
+		// delivered every batch it enqueued, so closing done publishes
+		// "this source's messages are verified", not merely "handed off".
+		flush.Wait()
 		ps.mu.Lock()
 		ps.active--
 		ps.mu.Unlock()

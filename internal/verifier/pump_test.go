@@ -121,6 +121,53 @@ func TestPumpSetDynamicAttachDetach(t *testing.T) {
 	}
 }
 
+// TestPumpSetDoneMeansDelivered pins the Attach contract the supervisor's
+// process teardown depends on: the done channel closes only after the shard
+// workers have *delivered* the source's messages, not merely after the drain
+// loop handed them to the queues. Per-PID state — the message count, a
+// violation recorded by the very last message, and the kill it triggered —
+// must all be observable immediately after <-done, with no Close first;
+// under the old enqueue-only semantics the trailing batch could still be in
+// a shard queue here and these assertions would race.
+func TestPumpSetDoneMeansDelivered(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		g := newFakeGate()
+		v := NewSharded(cfiFactory, g, 4)
+		v.CheckSeq = true
+		ps := v.NewPumpSet()
+
+		const pid, clean = int32(7), 500
+		v.ProcessStarted(pid)
+		msgs := pumpStream(pid, clean)
+		// Final message jumps the counter: a fatal integrity violation the
+		// verifier must have acted on by the time done closes.
+		msgs = append(msgs, ipc.Message{
+			Op: ipc.OpPointerCheck, PID: pid,
+			Arg1: 0x1000, Arg2: 0x1001, Seq: uint64(clean) + 2,
+		})
+		done, err := ps.Attach(ipc.NewReplay(msgs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-done
+
+		if got := v.Messages(pid); got != clean+1 {
+			t.Fatalf("round %d: %d messages visible after done, want %d", round, got, clean+1)
+		}
+		if viols := v.Violations(pid); len(viols) != 1 {
+			t.Fatalf("round %d: %d violations visible after done, want 1", round, len(viols))
+		}
+		if g.kills[pid] == "" {
+			t.Fatalf("round %d: counter-gap kill not issued before done closed", round)
+		}
+		// Simulate the supervisor's next step: the kernel context exits and
+		// the verifier context is destroyed. Nothing for this PID may still
+		// be in flight to be dropped as "unregistered process".
+		v.ProcessExited(pid)
+		ps.Close()
+	}
+}
+
 // TestPumpSetAttachAfterClose verifies the closed pump refuses new sources.
 func TestPumpSetAttachAfterClose(t *testing.T) {
 	v := New(func() []policy.Policy { return nil }, nil)

@@ -383,7 +383,7 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 // concurrent sources shares one pipeline through NewPumpSet (pump.go).
 func (v *Verifier) Pump(r ipc.Receiver) {
 	p := v.newPipeline()
-	p.drain(r)
+	p.drain(r, nil) // stop below flushes the workers; no per-source counter
 	p.stop()
 }
 

@@ -103,7 +103,9 @@ func WithArgs(args ...uint64) RunOption {
 }
 
 // WithChannel launches the process over an explicit AppendWrite transport
-// instead of one constructed from the System's channel kind.
+// instead of one constructed from the System's channel kind. The System
+// takes ownership of the channel: it is closed when the process finishes
+// emitting, and on every Launch failure path — do not reuse it afterwards.
 func WithChannel(ch *Channel) RunOption {
 	return func(o *supervisor.LaunchOptions) { o.Channel = ch; o.Inline = false }
 }
