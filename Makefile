@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke
+.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke obs-smoke latency
 
 all: check
 
@@ -26,12 +26,22 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/hqbench -exp stats -msgs 50000 -procs 4 >/dev/null
 	$(MAKE) multiproc-smoke
+	$(MAKE) obs-smoke
 
 # multiproc-smoke re-runs the concurrent-supervisor tests under the race
 # detector and takes one small-N multiproc scaling measurement.
 multiproc-smoke:
 	$(GO) test -race -count=1 -run 'System' ./internal/supervisor .
 	$(GO) run ./cmd/hqbench -exp multiproc -msgs 200000 >/dev/null
+
+# obs-smoke launches a resident System with the observability endpoint on a
+# loopback port, runs monitored programs through it, and scrapes /metrics
+# and /healthz over real HTTP, failing on an empty or incomplete exposition.
+obs-smoke:
+	$(GO) run ./cmd/hqbench -exp obs
+
+latency:
+	$(GO) run ./cmd/hqbench -exp latency
 
 stats:
 	$(GO) run ./cmd/hqbench -exp stats

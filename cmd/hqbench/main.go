@@ -15,6 +15,8 @@
 //	hqbench -exp throughput     # verifier drain rate: scalar vs sharded-batch
 //	hqbench -exp stats          # component-level telemetry snapshot
 //	hqbench -exp multiproc      # supervisor scaling: aggregate rate vs process count
+//	hqbench -exp latency        # cost + output of 1-in-N send→validate sampling
+//	hqbench -exp obs            # observability endpoint smoke: scrape /metrics over HTTP
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats experiment")
@@ -117,6 +119,21 @@ func main() {
 		header("Supervisor scaling: aggregate verifier throughput vs concurrent monitored programs")
 		fmt.Print(experiments.FormatMultiproc(
 			experiments.Multiproc(*msgs, experiments.MultiprocCounts())))
+	}
+	if want("latency") {
+		ran = true
+		header("End-to-end latency sampling: overhead and observed send → validate lag")
+		fmt.Print(experiments.FormatLatency(
+			experiments.Latency(*msgs, *procs, nil)))
+	}
+	if want("obs") {
+		ran = true
+		header("Observability endpoint smoke")
+		out, err := experiments.ObsSmoke()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -7,23 +7,27 @@
 //	hqrun [-design baseline|hq-sfestk|hq-retptr|clang-cfi|ccfi|cpi]
 //	      [-channel inline|fpga|model|shm|mq]
 //	      [-entry main] [-monitor] [-print]
-//	      [-metrics] [-trace events.jsonl] program.mir
+//	      [-metrics] [-trace events.jsonl] [-serve addr] program.mir
 //
 // With -monitor the verifier records violations without killing; -print
-// dumps the instrumented program before running it. -metrics prints a
-// component-level telemetry snapshot (kernel gate, verifier, IPC channel) to
-// stderr after the run; -trace additionally records the bounded event trace
-// (kills, epoch expiries, exits) and writes it as JSONL to the given file.
+// dumps the instrumented program before running it. -metrics prints the
+// system stats (lifecycle totals, per-PID attribution, telemetry snapshot)
+// to stderr after the run; -trace additionally records the bounded event
+// trace (kills, epoch expiries, exits) and writes it as JSONL to the given
+// file. Both artifacts are written on every exit path — including kills,
+// crashes and violations, which is exactly when the trace matters. -serve
+// exposes the live observability endpoints (/metrics, /healthz, /procs,
+// /trace, /debug/pprof/) on the given address for the duration of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"time"
 
 	hq "herqules"
-	"herqules/internal/telemetry"
 )
 
 var designs = map[string]hq.Design{
@@ -35,85 +39,132 @@ var designs = map[string]hq.Design{
 	"cpi":       hq.CPI,
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the whole program; main wraps it in os.Exit so that deferred
+// artifact writers (the -trace JSONL, the -metrics dump, the System
+// shutdown) run on every path — a run that ends in a kill or a violation is
+// precisely the one whose trace must not be lost.
+func run() int {
 	design := flag.String("design", "hq-sfestk", "CFI design: baseline, hq-sfestk, hq-retptr, clang-cfi, ccfi, cpi")
 	channel := flag.String("channel", "inline", "transport: inline (deterministic), fpga, model, shm, mq")
 	entry := flag.String("entry", "main", "entry function")
 	monitor := flag.Bool("monitor", false, "record violations without killing")
 	print := flag.Bool("print", false, "print the instrumented program before running")
-	metrics := flag.Bool("metrics", false, "print a telemetry snapshot to stderr after the run")
+	metrics := flag.Bool("metrics", false, "print system stats to stderr after the run")
 	traceOut := flag.String("trace", "", "write the JSONL event trace to this file")
+	serve := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :8080)")
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "hqrun:", err)
+		return 1
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hqrun [flags] program.mir")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	mod, err := hq.ParseModule(string(src))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	d, ok := designs[*design]
 	if !ok {
-		log.Fatalf("unknown design %q", *design)
+		return fail(fmt.Errorf("unknown design %q", *design))
 	}
 	ins, err := hq.Instrument(mod, d, hq.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if *print {
 		fmt.Println(ins.Mod.String())
 	}
 
-	opts := hq.RunOptions{Entry: *entry, KillOnViolation: !*monitor}
-	var tm *telemetry.Metrics
-	if *metrics || *traceOut != "" {
-		tm = telemetry.New(0)
+	var tm *hq.Metrics
+	if *metrics || *traceOut != "" || *serve != "" {
+		tm = hq.NewMetrics()
 		if *traceOut != "" {
 			tm.EnableTrace(1 << 16)
 		}
-		opts.Metrics = tm
-	}
-	switch *channel {
-	case "inline":
-	case "fpga":
-		opts.Channel, err = hq.NewChannel(hq.FPGA)
-	case "model":
-		opts.Channel, err = hq.NewChannel(hq.UArchModel)
-	case "shm":
-		opts.Channel, err = hq.NewChannel(hq.SharedRing)
-	case "mq":
-		opts.Channel, err = hq.NewChannel(hq.MessageQueue)
-	default:
-		log.Fatalf("unknown channel %q", *channel)
-	}
-	if err != nil {
-		log.Fatal(err)
 	}
 
-	out, err := hq.Run(ins, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sysOpts := []hq.SystemOption{hq.WithKillOnViolation(!*monitor)}
 	if tm != nil {
+		sysOpts = append(sysOpts, hq.WithMetrics(tm))
+	}
+	if *serve != "" {
+		sysOpts = append(sysOpts, hq.WithHTTPAddr(*serve))
+	}
+	sys := hq.NewSystem(sysOpts...)
+
+	// Artifacts are flushed before the System shuts down (LIFO defers), so
+	// the -metrics dump sees final per-PID rows and the endpoint can be
+	// scraped until the very end of the run.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sys.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hqrun: shutdown:", err)
+		}
+	}()
+	defer func() {
+		if tm == nil {
+			return
+		}
 		if *metrics {
-			fmt.Fprintf(os.Stderr, "--- telemetry ---\n%s", tm.Snapshot().Format())
+			fmt.Fprintf(os.Stderr, "--- stats ---\n%s", sys.Stats().String())
 		}
 		if *traceOut != "" {
 			f, ferr := os.Create(*traceOut)
 			if ferr != nil {
-				log.Fatal(ferr)
+				fmt.Fprintln(os.Stderr, "hqrun:", ferr)
+				return
 			}
 			if werr := tm.Trace().WriteJSONL(f); werr != nil {
-				log.Fatal(werr)
+				fmt.Fprintln(os.Stderr, "hqrun:", werr)
 			}
 			f.Close()
 		}
+	}()
+
+	if *serve != "" {
+		if addr, aerr := sys.HTTPAddr(); aerr != nil {
+			return fail(fmt.Errorf("serving %s: %w", *serve, aerr))
+		} else {
+			fmt.Fprintf(os.Stderr, "observability endpoints on http://%s\n", addr)
+		}
+	}
+
+	runOpts := []hq.RunOption{hq.WithEntry(*entry)}
+	switch *channel {
+	case "inline":
+		runOpts = append(runOpts, hq.WithInlineDelivery())
+	case "fpga", "model", "shm", "mq":
+		kinds := map[string]hq.ChannelKind{
+			"fpga": hq.FPGA, "model": hq.UArchModel, "shm": hq.SharedRing, "mq": hq.MessageQueue,
+		}
+		ch, cerr := hq.NewChannel(kinds[*channel])
+		if cerr != nil {
+			return fail(cerr)
+		}
+		runOpts = append(runOpts, hq.WithChannel(ch))
+	default:
+		return fail(fmt.Errorf("unknown channel %q", *channel))
+	}
+
+	p, err := sys.Launch(ins, runOpts...)
+	if err != nil {
+		return fail(err)
+	}
+	out, err := p.Wait()
+	if err != nil {
+		return fail(err)
 	}
 
 	for _, v := range out.Output {
@@ -123,14 +174,14 @@ func main() {
 		out.ExitCode, out.MessagesProcessed, out.Stats.Instructions)
 	if out.Killed {
 		fmt.Fprintf(os.Stderr, "KILLED: %s\n", out.KillReason)
-		os.Exit(137)
+		return 137
 	}
 	if out.Err != nil {
 		fmt.Fprintf(os.Stderr, "CRASHED: %v\n", out.Err)
-		os.Exit(139)
+		return 139
 	}
 	for _, v := range out.PolicyViolations {
 		fmt.Fprintf(os.Stderr, "violation: %s\n", v.Reason)
 	}
-	os.Exit(int(out.ExitCode))
+	return int(out.ExitCode)
 }

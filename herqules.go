@@ -31,6 +31,12 @@
 //	... // construct functions (see examples/)
 //	ins, err := herqules.Instrument(mod, herqules.HQSfeStk, herqules.DefaultOptions())
 //	out, err := herqules.Run(ins, herqules.RunOptions{})
+//
+// For many programs under one enforcement domain, use a resident System
+// (NewSystem / Launch / Shutdown). A System can expose a live observability
+// plane — Prometheus /metrics with per-PID attribution and sampled
+// send → validate latency, /healthz, /procs, /trace, /debug/pprof — with
+// WithHTTPAddr; see DESIGN.md's "Observability" section.
 package herqules
 
 import (

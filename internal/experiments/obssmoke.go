@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"herqules/internal/compiler"
+	"herqules/internal/mir"
+	"herqules/internal/obs"
+	"herqules/internal/supervisor"
+	"herqules/internal/telemetry"
+	"herqules/internal/vm"
+)
+
+// ObsSmoke is the observability-plane smoke test behind `make obs-smoke`:
+// it stands up a resident System with the observability server on a
+// loopback port, runs a couple of monitored programs through it, scrapes
+// /metrics and /healthz over real HTTP, and fails unless the exposition is
+// non-empty and carries the series an operator would alert on. It returns a
+// short human-readable summary on success.
+func ObsSmoke() (string, error) {
+	m := telemetry.New(0)
+	m.EnableTrace(1 << 12)
+	sys := supervisor.New(supervisor.Config{
+		Metrics: m,
+		// Sample every message: the smoke run is tiny and must still land
+		// send → validate observations.
+		LatencySampleEvery: 1,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = sys.Shutdown(ctx)
+	}()
+	srv := obs.NewServer(sys, m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return "", fmt.Errorf("obs-smoke: bind: %w", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	mod := mir.NewModule("obs-smoke")
+	b := mir.NewBuilder(mod)
+	b.Func("main", mir.FuncType(mir.I64))
+	b.Syscall(vm.SysWrite, mir.ConstInt(7))
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	ins, err := compiler.Instrument(mod, compiler.HQSfeStk, compiler.DefaultOptions())
+	if err != nil {
+		return "", fmt.Errorf("obs-smoke: instrument: %w", err)
+	}
+
+	const procs = 2
+	var pids []int32
+	for i := 0; i < procs; i++ {
+		p, err := sys.Launch(ins, supervisor.LaunchOptions{})
+		if err != nil {
+			return "", fmt.Errorf("obs-smoke: launch: %w", err)
+		}
+		if _, err := p.Wait(); err != nil {
+			return "", fmt.Errorf("obs-smoke: wait: %w", err)
+		}
+		pids = append(pids, p.PID())
+	}
+
+	fetch := func(path string) (int, string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, "", fmt.Errorf("obs-smoke: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, "", fmt.Errorf("obs-smoke: GET %s: %w", path, err)
+		}
+		return resp.StatusCode, string(body), nil
+	}
+
+	code, metrics, err := fetch("/metrics")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("obs-smoke: /metrics status %d", code)
+	}
+	if strings.TrimSpace(metrics) == "" {
+		return "", fmt.Errorf("obs-smoke: /metrics exposition is empty")
+	}
+	for _, want := range []string{
+		"herqules_messages_verified_total",
+		"herqules_verifier_send_validate_ns_bucket",
+		fmt.Sprintf(`herqules_proc_messages_total{pid="%d"}`, pids[0]),
+		fmt.Sprintf(`herqules_proc_messages_total{pid="%d"}`, pids[1]),
+	} {
+		if !strings.Contains(metrics, want) {
+			return "", fmt.Errorf("obs-smoke: /metrics missing %q", want)
+		}
+	}
+
+	code, health, err := fetch("/healthz")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("obs-smoke: /healthz status %d body %s", code, health)
+	}
+
+	lines := strings.Count(metrics, "\n")
+	return fmt.Sprintf("obs-smoke ok: %d procs, %d exposition lines on %s, /healthz up\n",
+		procs, lines, addr), nil
+}

@@ -16,9 +16,10 @@ func (c *Channel) EnableTelemetry(m *telemetry.Metrics) {
 		fr.carries = m.Counter("ipc.partial_frame_carries")
 	}
 	c.Sender = &instrumentedSender{
-		s:     c.Sender,
-		sends: m.Counter("ipc.sends"),
-		errs:  m.Counter("ipc.send_errors"),
+		s:       c.Sender,
+		sends:   m.Counter("ipc.sends"),
+		errs:    m.Counter("ipc.send_errors"),
+		sampler: m.LatencySampler(),
 	}
 	c.Receiver = &instrumentedReceiver{
 		r:         c.Receiver,
@@ -30,10 +31,23 @@ func (c *Channel) EnableTelemetry(m *telemetry.Metrics) {
 }
 
 // instrumentedSender counts sends and send errors around the wrapped sender.
+// When the registry has latency sampling enabled, it also stamps the send
+// time of every N-th successfully sent message, keyed by (PID, ordinal): the
+// ordinal of the n-th successful Send equals the sequence number every
+// backend in this module assigns to it (all count accepted messages from 1),
+// so the verifier can match the stamp against Message.Seq at validation time
+// with no change to the wire format.
 type instrumentedSender struct {
-	s     Sender
-	sends *telemetry.Counter
-	errs  *telemetry.Counter
+	s       Sender
+	sends   *telemetry.Counter
+	errs    *telemetry.Counter
+	sampler *telemetry.LatencySampler
+	// n counts successful sends, mirroring the backend's Seq. Plain, not
+	// atomic: every backend in this module already requires a single
+	// producer goroutine per channel (the ring's own seq++ is unsynchronized
+	// for the same reason), and an atomic add here costs ~10% of the
+	// shared-ring send path for nothing.
+	n uint64
 }
 
 func (s *instrumentedSender) Send(m Message) error {
@@ -43,10 +57,31 @@ func (s *instrumentedSender) Send(m Message) error {
 		return err
 	}
 	s.sends.Inc()
+	if s.sampler != nil {
+		// Count only successful sends so the ordinal tracks the backend's
+		// sequence counter (a failed Send consumes no sequence number).
+		// Stamping after Send measures enqueue → validate; back-pressure
+		// blocking inside Send is charged to the sender, not the verifier.
+		s.n++
+		if s.sampler.Sampled(s.n) {
+			s.sampler.Stamp(m.PID, s.n)
+		}
+	}
 	return nil
 }
 
 func (s *instrumentedSender) Close() error { return s.s.Close() }
+
+// SetPID implements PIDRegister by forwarding to the wrapped sender, so
+// wrapping a transport with a kernel-managed PID register (the FPGA AFU)
+// does not hide the register from the kernel-side code that must program it.
+// For backends without a register this is a no-op, which matches their
+// unwrapped behaviour (the type assertion would simply have failed).
+func (s *instrumentedSender) SetPID(pid int32) {
+	if reg, ok := s.s.(PIDRegister); ok {
+		reg.SetPID(pid)
+	}
+}
 
 // instrumentedReceiver counts receives around the wrapped receiver. It
 // always implements BatchReceiver — delegating through RecvBatchFrom, which
@@ -60,13 +95,24 @@ type instrumentedReceiver struct {
 	batches   *telemetry.Counter
 	batchSize *telemetry.Histogram
 	pending   *telemetry.Peak
+	// chanPeak is this channel's own pending high-water mark. The registry
+	// peak above is shared by every channel on the registry; the local peak
+	// is what per-PID attribution reports for the one process bound to this
+	// channel.
+	chanPeak telemetry.Peak
 }
 
 func (r *instrumentedReceiver) observePending() {
 	if n, ok := PendingOf(r.r); ok && n > 0 {
 		r.pending.Observe(uint64(n))
+		r.chanPeak.Observe(uint64(n))
 	}
 }
+
+// PendingPeak reports this channel's own sent-but-unread high-water mark,
+// the per-process backpressure figure the supervisor attributes to the PID
+// bound to the channel.
+func (r *instrumentedReceiver) PendingPeak() uint64 { return r.chanPeak.Value() }
 
 func (r *instrumentedReceiver) Recv() (Message, bool, error) {
 	r.observePending()
@@ -96,9 +142,19 @@ func (r *instrumentedReceiver) Pending() int {
 	return n
 }
 
+// PeakPender is implemented by receivers that track their own pending
+// high-water mark (the instrumented receiver); the supervisor uses it for
+// per-PID backpressure attribution.
+type PeakPender interface {
+	// PendingPeak reports the highest observed sent-but-unread count.
+	PendingPeak() uint64
+}
+
 var (
 	_ Sender        = (*instrumentedSender)(nil)
+	_ PIDRegister   = (*instrumentedSender)(nil)
 	_ Receiver      = (*instrumentedReceiver)(nil)
 	_ BatchReceiver = (*instrumentedReceiver)(nil)
 	_ Pender        = (*instrumentedReceiver)(nil)
+	_ PeakPender    = (*instrumentedReceiver)(nil)
 )

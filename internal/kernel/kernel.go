@@ -72,10 +72,22 @@ type proc struct {
 
 // ProcStats are the per-process statistics the kernel context maintains.
 type ProcStats struct {
-	Syscalls    uint64 // system calls gated
-	SyncStalls  uint64 // system calls that had to wait for the verifier
-	Forks       uint64
-	KilledByAll string // reason, when killed
+	Syscalls    uint64 `json:"syscalls"`    // system calls gated
+	SyncStalls  uint64 `json:"sync_stalls"` // system calls that had to wait for the verifier
+	Forks       uint64 `json:"forks"`
+	KilledByAll string `json:"kill_reason,omitempty"` // reason, when killed
+
+	// LastSyscallUnixNanos is the wall-clock epoch (UnixNano) of the most
+	// recent gated system call — the per-PID liveness figure /procs reports
+	// for a resident system.
+	LastSyscallUnixNanos int64 `json:"last_syscall_unix_nanos,omitempty"`
+
+	// StallNs is this process's own syscall-gate stall distribution
+	// (nanoseconds spent waiting for the verifier to catch up, §2.2). It is
+	// maintained under the kernel lock only when telemetry is wired, and
+	// complements the registry-wide kernel.syscall_stall_ns histogram with
+	// per-PID attribution.
+	StallNs telemetry.HistogramSnapshot `json:"syscall_stall_ns"`
 }
 
 // Kernel is the kernel-module model.
@@ -226,6 +238,7 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 	p.stats.Syscalls++
 	if tm != nil {
 		tm.syscalls.Inc()
+		p.stats.LastSyscallUnixNanos = time.Now().UnixNano()
 	}
 	if p.killed {
 		reason := p.killReason
@@ -264,7 +277,12 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		}
 		timer.Stop()
 		if tm != nil {
-			tm.stallNs.Observe(uint64(time.Since(stallStart)))
+			stall := uint64(time.Since(stallStart))
+			tm.stallNs.Observe(stall)
+			// Per-PID attribution: fold the same stall into this process's
+			// private distribution (k.mu is held here — cond.Wait
+			// reacquired it — so the single-writer Record is safe).
+			p.stats.StallNs.Record(stall)
 		}
 	}
 	if p.exited && !p.killed {

@@ -1,0 +1,163 @@
+// Package obs is the live observability plane for a resident HerQules
+// system: a small HTTP server exposing the telemetry registry as Prometheus
+// text exposition, per-PID attribution as JSON, the bounded event ring as
+// JSONL, a liveness probe, and the Go runtime profiler.
+//
+// The paper evaluates HerQules as a resident service (one verifier process
+// multiplexing every enforced application, §4); operating such a service
+// requires answering "is the verifier keeping up, and for which process is
+// it not?" without stopping it. The endpoints here serve exactly that: the
+// send → validate latency distribution (the paper's validation-lag figure),
+// per-PID syscall-gate stalls, and channel backpressure peaks, all scraped
+// from live atomics without pausing any shard worker.
+//
+// The package sits strictly above supervisor and telemetry — nothing in the
+// enforcement path imports it, and a System built without WithHTTPAddr never
+// constructs it.
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"herqules/internal/supervisor"
+	"herqules/internal/telemetry"
+)
+
+// System is the slice of supervisor.System the observability plane reads.
+// It is an interface so tests can serve synthetic stats and so obs never
+// reaches into supervisor internals.
+type System interface {
+	// Stats returns the aggregate + per-PID snapshot (supervisor.Stats).
+	Stats() supervisor.Stats
+	// Health returns the liveness summary.
+	Health() supervisor.Health
+}
+
+// Server serves the observability endpoints for one System. Construct with
+// NewServer, then either mount Handler into an existing mux or call Start to
+// bind and serve on a dedicated listener.
+type Server struct {
+	sys System
+	m   *telemetry.Metrics // may be nil: /trace then 404s
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server over sys. m, when non-nil, provides the event
+// ring behind /trace; the metric exposition itself reads sys.Stats(), which
+// already carries the registry snapshot diffed to the system's own interval.
+func NewServer(sys System, m *telemetry.Metrics) *Server {
+	return &Server{sys: sys, m: m}
+}
+
+// Handler returns the endpoint mux:
+//
+//	/metrics       Prometheus text exposition (counters, peaks, histograms,
+//	               per-PID series)
+//	/healthz       liveness JSON; 200 while up, 503 once shutdown has begun
+//	/procs         per-PID attribution JSON (the Stats serialization)
+//	/trace         event ring as JSONL; 404 until tracing is enabled
+//	/debug/pprof/  Go runtime profiler
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/procs", s.handleProcs)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (host:port; ":0" picks a free port — read it back with
+// Addr) and serves the Handler on a background goroutine until Close. A bind
+// failure is returned synchronously so a typo'd address surfaces at startup,
+// not as a silently dead endpoint.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go func() {
+		// ErrServerClosed is the normal Close path; anything else would
+		// already have surfaced to a scraper as connection failures.
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers. Safe to call without a
+// prior Start, and idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.sys.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.sys.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Up {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleProcs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The whole Stats value is the shared serialization path (its
+	// MarshalJSON carries the per-PID rows); /procs is that document.
+	_ = enc.Encode(s.sys.Stats())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	var t *telemetry.Trace
+	if s.m != nil {
+		t = s.m.Trace()
+	}
+	if t == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = t.WriteJSONL(w)
+}

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"herqules/internal/compiler"
+	"herqules/internal/mir"
+	"herqules/internal/supervisor"
+	"herqules/internal/telemetry"
+	"herqules/internal/vm"
+)
+
+// cleanProgram builds a small HQ-instrumented program: an indirect call
+// through a heap slot plus two gated syscalls, enough to exercise the
+// AppendWrite channel, the verifier shard and the kernel gate.
+func cleanProgram(t *testing.T) *compiler.Instrumented {
+	t.Helper()
+	mod := mir.NewModule("obs-prog")
+	b := mir.NewBuilder(mod)
+	sig := mir.FuncType(mir.I64, mir.I64)
+
+	legit := b.Func("legit", sig, "x")
+	b.Ret(b.Add(legit.Params[0], mir.ConstInt(1)))
+
+	b.Func("main", mir.FuncType(mir.I64))
+	slot := b.Cast(b.Malloc(mir.ConstInt(16)), mir.Ptr(mir.Ptr(sig)))
+	b.Store(b.FuncAddr(legit), slot)
+	fp := b.Load(slot)
+	r := b.ICall(fp, sig, mir.ConstInt(41))
+	b.Syscall(vm.SysWrite, r)
+	b.Syscall(vm.SysExit, mir.ConstInt(0))
+	b.Ret(mir.ConstInt(0))
+	mod.Finalize()
+	if err := mir.Validate(mod); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := compiler.Instrument(mod, compiler.HQSfeStk, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// sampleLine matches one exposition sample: name, optional label set, value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+(?:\.\d+)?|\+Inf)$`)
+
+// checkExposition parses body as Prometheus text exposition: every
+// non-comment line must match the sample grammar, and every histogram's
+// cumulative buckets must be monotone non-decreasing with the +Inf bucket
+// equal to its _count. Returns the parsed samples keyed by name{labels}.
+func checkExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	type bucketSeries struct {
+		order []float64 // le bounds in emission order
+		cum   []float64
+	}
+	buckets := make(map[string]*bucketSeries) // histogram series (labels minus le)
+	leRe := regexp.MustCompile(`le="([^"]*)"`)
+
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		mm := sampleLine.FindStringSubmatch(line)
+		if mm == nil {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		name, labels, valStr := mm[1], mm[2], mm[3]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[name+labels] = val
+
+		if strings.HasSuffix(name, "_bucket") {
+			le := leRe.FindStringSubmatch(labels)
+			if le == nil {
+				t.Fatalf("bucket line without le label: %q", line)
+			}
+			bound := float64(0)
+			if le[1] == "+Inf" {
+				bound = -1 // sentinel: must be last
+			} else if bound, err = strconv.ParseFloat(le[1], 64); err != nil {
+				t.Fatalf("unparseable le bound in %q: %v", line, err)
+			}
+			key := name + leRe.ReplaceAllString(labels, "")
+			bs := buckets[key]
+			if bs == nil {
+				bs = &bucketSeries{}
+				buckets[key] = bs
+			}
+			bs.order = append(bs.order, bound)
+			bs.cum = append(bs.cum, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, bs := range buckets {
+		for i := 1; i < len(bs.cum); i++ {
+			if bs.cum[i] < bs.cum[i-1] {
+				t.Errorf("%s: cumulative buckets not monotone: %v", key, bs.cum)
+				break
+			}
+		}
+		if last := bs.order[len(bs.order)-1]; last != -1 {
+			t.Errorf("%s: last bucket bound is %v, want +Inf", key, last)
+		}
+		// +Inf must equal the family's _count for the same labels.
+		countKey := strings.Replace(key, "_bucket", "_count", 1)
+		countKey = strings.TrimSuffix(countKey, "{}")
+		if cnt, ok := samples[countKey]; ok && cnt != bs.cum[len(bs.cum)-1] {
+			t.Errorf("%s: +Inf bucket %v != count %v", key, bs.cum[len(bs.cum)-1], cnt)
+		}
+	}
+	return samples
+}
+
+// TestMetricsEndpointLiveSystem is the acceptance test: scrape /metrics
+// while a multi-process System with latency sampling runs, and assert the
+// send → validate histogram is populated, every launched PID has its own
+// labeled series, and the whole exposition parses with monotone cumulative
+// buckets.
+func TestMetricsEndpointLiveSystem(t *testing.T) {
+	m := telemetry.New(0)
+	m.EnableTrace(1 << 12)
+	sys := supervisor.New(supervisor.Config{
+		Metrics: m,
+		// Sample every message so even a short program lands latency samples.
+		LatencySampleEvery: 1,
+	})
+	srv := NewServer(sys, m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	const procs = 4
+	ins := cleanProgram(t)
+	pids := make([]int32, 0, procs)
+	handles := make([]*supervisor.Proc, 0, procs)
+	for i := 0; i < procs; i++ {
+		p, err := sys.Launch(ins, supervisor.LaunchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, p.PID())
+		handles = append(handles, p)
+	}
+
+	// Scrape mid-run at least once: the endpoints must be serveable while
+	// shard workers are hot, not only at quiescence.
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics mid-run: status %d", code)
+	}
+
+	for _, p := range handles {
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	samples := checkExposition(t, body)
+
+	if c := samples["herqules_verifier_send_validate_ns_count"]; c <= 0 {
+		t.Errorf("send_validate histogram empty: count=%v\n%s", c, body)
+	}
+	for _, pid := range pids {
+		key := fmt.Sprintf(`herqules_proc_messages_total{pid="%d"}`, pid)
+		v, ok := samples[key]
+		if !ok {
+			t.Errorf("no per-PID series %s", key)
+		} else if v <= 0 {
+			t.Errorf("%s = %v, want > 0", key, v)
+		}
+		stall := fmt.Sprintf(`herqules_proc_syscall_stall_ns_count{pid="%d"}`, pid)
+		if _, ok := samples[stall]; !ok {
+			t.Errorf("no per-PID stall histogram for pid %d", pid)
+		}
+	}
+	if samples["herqules_procs_launched_total"] != procs {
+		t.Errorf("launched_total = %v, want %d", samples["herqules_procs_launched_total"], procs)
+	}
+
+	// /healthz: up while running.
+	code, hbody := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d body %s", code, hbody)
+	}
+	var h supervisor.Health
+	if err := json.Unmarshal([]byte(hbody), &h); err != nil {
+		t.Fatalf("/healthz: bad JSON: %v", err)
+	}
+	if !h.Up || h.Shards <= 0 {
+		t.Errorf("healthz = %+v, want up with shards", h)
+	}
+
+	// /procs: the Stats document, with one row per launched PID.
+	code, pbody := get(t, base+"/procs")
+	if code != http.StatusOK {
+		t.Fatalf("/procs: status %d", code)
+	}
+	var doc struct {
+		Launched uint64 `json:"launched"`
+		Procs    []struct {
+			PID      int32  `json:"pid"`
+			State    string `json:"state"`
+			Messages uint64 `json:"messages"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal([]byte(pbody), &doc); err != nil {
+		t.Fatalf("/procs: bad JSON: %v\n%s", err, pbody)
+	}
+	if len(doc.Procs) != procs {
+		t.Fatalf("/procs rows = %d, want %d", len(doc.Procs), procs)
+	}
+	for _, row := range doc.Procs {
+		if row.State != "exited" {
+			t.Errorf("pid %d state %q, want exited", row.PID, row.State)
+		}
+		if row.Messages == 0 {
+			t.Errorf("pid %d has zero validated messages", row.PID)
+		}
+	}
+
+	// /trace: tracing is enabled, so JSONL with at least one event.
+	code, tbody := get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: status %d", code)
+	}
+	if strings.TrimSpace(tbody) != "" {
+		var ev map[string]any
+		first := strings.SplitN(strings.TrimSpace(tbody), "\n", 2)[0]
+		if err := json.Unmarshal([]byte(first), &ev); err != nil {
+			t.Errorf("/trace first line not JSON: %v: %q", err, first)
+		}
+	}
+
+	// pprof index should serve.
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+
+	// After shutdown, /healthz flips to 503 but /metrics still serves.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz after shutdown: status %d, want 503", code)
+	}
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics after shutdown: status %d", code)
+	}
+}
+
+// TestTraceEndpointDisabled: without a trace ring the endpoint 404s rather
+// than serving an empty document that looks like "no events happened".
+func TestTraceEndpointDisabled(t *testing.T) {
+	m := telemetry.New(0)
+	sys := supervisor.New(supervisor.Config{Metrics: m})
+	srv := NewServer(sys, m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without ring: status %d, want 404", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteMetricsSynthetic exercises the exposition writer against a
+// hand-built Stats value: sanitized names, cumulative buckets, per-PID
+// labels — without a live system.
+func TestWriteMetricsSynthetic(t *testing.T) {
+	var h telemetry.HistogramSnapshot
+	for _, v := range []uint64{0, 1, 3, 9, 1000} {
+		h.Record(v)
+	}
+	st := supervisor.Stats{
+		Launched: 2, Active: 1, Finished: 1,
+		MessagesVerified: 42,
+		Procs: []supervisor.ProcStats{
+			{PID: 7, State: "running", Messages: 40, Syscalls: 3, StallNs: h},
+			{PID: 9, State: "killed", Messages: 2, Violations: 1, KillReason: "cfi"},
+		},
+		Snapshot: telemetry.Snapshot{
+			Counters:   map[string]telemetry.CounterSnapshot{"ipc.sends": {Total: 42}},
+			Peaks:      map[string]uint64{"ipc.pending_peak": 17},
+			Histograms: map[string]telemetry.HistogramSnapshot{"verifier.send_validate_ns": h},
+		},
+	}
+	var b strings.Builder
+	WriteMetrics(&b, st)
+	body := b.String()
+	samples := checkExposition(t, body)
+
+	for key, want := range map[string]float64{
+		"herqules_ipc_sends_total":                      42,
+		"herqules_ipc_pending_peak_peak":                17,
+		"herqules_verifier_send_validate_ns_count":      5,
+		"herqules_verifier_send_validate_ns_sum":        1013,
+		`herqules_proc_messages_total{pid="7"}`:         40,
+		`herqules_proc_messages_total{pid="9"}`:         2,
+		`herqules_proc_violations_total{pid="9"}`:       1,
+		`herqules_proc_state{pid="9",state="killed"}`:   1,
+		`herqules_proc_syscall_stall_ns_count{pid="7"}`: 5,
+		"herqules_procs_launched_total":                 2,
+		"herqules_messages_verified_total":              42,
+	} {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %v, want %v\n%s", key, got, want, body)
+		}
+	}
+
+	// The zero bucket must appear with le="0" and the 1000-sample must land
+	// in le="1023" cumulative 5.
+	if got := samples[`herqules_verifier_send_validate_ns_bucket{le="0"}`]; got != 1 {
+		t.Errorf(`le="0" bucket = %v, want 1`, got)
+	}
+	if got := samples[`herqules_verifier_send_validate_ns_bucket{le="1023"}`]; got != 5 {
+		t.Errorf(`le="1023" bucket = %v, want 5`, got)
+	}
+}

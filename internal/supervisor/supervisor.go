@@ -19,8 +19,11 @@ package supervisor
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,6 +72,14 @@ type Config struct {
 	// Epoch overrides the kernel synchronization timeout (0 keeps
 	// kernel.DefaultEpoch).
 	Epoch time.Duration
+
+	// LatencySampleEvery controls sampled end-to-end latency tracing when
+	// Metrics is wired: one message in N is stamped at send time and its
+	// send → validate latency recorded at the shard worker (histogram
+	// verifier.send_validate_ns). 0 selects telemetry.DefaultSampleEvery
+	// (1024); values are rounded up to a power of two; negative disables
+	// sampling. Ignored when Metrics is nil.
+	LatencySampleEvery int
 }
 
 // DefaultPolicies installs the standard policy set.
@@ -168,6 +179,30 @@ type System struct {
 	finished uint64
 	killed   uint64
 	down     bool
+
+	// Per-PID attribution: one record per successfully launched process,
+	// retained after exit (bounded to maxProcRecords finished rows) so a
+	// scrape of /procs or /metrics sees every PID of the measured interval,
+	// not only the ones that happen to still be running.
+	records  map[int32]*procRecord
+	doneFIFO []int32 // finished PIDs, oldest first, for bounded retention
+}
+
+// maxProcRecords bounds how many *finished* per-PID rows a resident System
+// retains; beyond it, the oldest finished records are evicted (running
+// processes are never evicted). 4096 rows keep a long-lived system's memory
+// bounded while covering any realistic scrape interval.
+const maxProcRecords = 4096
+
+// procRecord tracks one launched process for per-PID attribution. While the
+// process runs, stats are assembled live from the verifier shard, the kernel
+// context and the channel's pending peak; once it finishes, the final row is
+// frozen here (the live sources tear their state down on exit).
+type procRecord struct {
+	pid     int32
+	started int64           // UnixNano at launch
+	peak    ipc.PeakPender  // per-channel pending high-water; nil without telemetry or channel
+	final   *ProcStats      // frozen at exit; nil while running
 }
 
 // New constructs a System: kernel and verifier are created once, wired
@@ -187,13 +222,19 @@ func New(cfg Config) *System {
 	v.KillOnViolation = cfg.KillOnViolation
 	k.SetListener(v)
 	s := &System{
-		cfg:   cfg,
-		k:     k,
-		v:     v,
-		m:     cfg.Metrics,
-		procs: make(map[int32]*Proc),
+		cfg:     cfg,
+		k:       k,
+		v:       v,
+		m:       cfg.Metrics,
+		procs:   make(map[int32]*Proc),
+		records: make(map[int32]*procRecord),
 	}
 	if s.m != nil {
+		if cfg.LatencySampleEvery >= 0 {
+			// Attach the sampler before the verifier caches its telemetry
+			// instruments, so the shard workers pick it up.
+			s.m.EnableLatencySampling(cfg.LatencySampleEvery)
+		}
 		k.EnableTelemetry(s.m)
 		v.EnableTelemetry(s.m)
 		s.base = s.m.Snapshot()
@@ -311,8 +352,17 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 	}
 
 	proc := &Proc{pid: pid, done: make(chan struct{})}
+	rec := &procRecord{pid: pid, started: time.Now().UnixNano()}
+	if ch != nil {
+		// The telemetry wrapper (when wired) tracks this channel's own
+		// pending high-water mark; keep a handle for per-PID attribution.
+		if pp, ok := ch.Receiver.(ipc.PeakPender); ok {
+			rec.peak = pp
+		}
+	}
 	s.mu.Lock()
 	s.procs[pid] = proc
+	s.records[pid] = rec
 	s.mu.Unlock()
 
 	go func() {
@@ -341,6 +391,20 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 			PID:               pid,
 		}
 		out.Entries, out.MaxEntries = s.v.Entries(pid)
+
+		// Freeze the per-PID attribution row while the verifier context and
+		// kernel context are still alive — Exit below tears both down, and a
+		// later /procs scrape must still see this PID's totals.
+		final := s.liveProcStats(rec)
+		if final.State != stateKilled {
+			if res.Killed {
+				final.State, final.KillReason = stateKilled, res.KillReason
+			} else {
+				final.State = stateExited
+			}
+		}
+		final.FinishedUnixNanos = time.Now().UnixNano()
+
 		s.k.Exit(pid)
 
 		proc.out = out
@@ -349,6 +413,12 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		s.finished++
 		if res.Killed {
 			s.killed++
+		}
+		rec.final = &final
+		s.doneFIFO = append(s.doneFIFO, pid)
+		for len(s.doneFIFO) > maxProcRecords {
+			delete(s.records, s.doneFIFO[0])
+			s.doneFIFO = s.doneFIFO[1:]
 		}
 		s.mu.Unlock()
 		close(proc.done)
@@ -392,15 +462,208 @@ func (s *System) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// ProcStats.State values.
+const (
+	stateRunning = "running"
+	stateExited  = "exited"
+	stateKilled  = "killed"
+)
+
+// ProcStats is the supervisor's per-PID attribution row, merging the
+// verifier's validation totals, the kernel's syscall-gate figures and the
+// channel's backpressure peak for one monitored process. Rows for finished
+// processes are frozen at exit time. The JSON form is the single
+// serialization consumed by both `hqrun -metrics` and the /procs endpoint.
+type ProcStats struct {
+	PID   int32  `json:"pid"`
+	State string `json:"state"` // "running", "exited" or "killed"
+
+	// Verifier-side attribution.
+	Messages   uint64 `json:"messages"`          // validated deliveries
+	Dropped    uint64 `json:"dropped,omitempty"` // dropped after the context died
+	Violations uint64 `json:"violations"`        // recorded policy violations
+	KillReason string `json:"kill_reason,omitempty"`
+
+	// Channel-side attribution: this process's sent-but-unread high-water
+	// mark (0 when telemetry is not wired or delivery is inline).
+	PendingPeak uint64 `json:"pending_peak"`
+
+	// Kernel-side attribution.
+	Syscalls             uint64 `json:"syscalls"`
+	SyncStalls           uint64 `json:"sync_stalls"`
+	LastSyscallUnixNanos int64  `json:"last_syscall_unix_nanos,omitempty"`
+
+	// StallNs is the per-PID syscall-gate stall distribution (§2.2),
+	// populated only when telemetry is wired.
+	StallNs telemetry.HistogramSnapshot `json:"syscall_stall_ns"`
+
+	StartedUnixNanos  int64 `json:"started_unix_nanos"`
+	FinishedUnixNanos int64 `json:"finished_unix_nanos,omitempty"`
+}
+
+// liveProcStats assembles a row for a still-registered process from the live
+// sources (verifier shard, kernel context, channel peak). Each source takes
+// its own lock; s.mu must NOT be held. rec's identity fields are immutable
+// after Launch, so reading them unlocked is safe.
+func (s *System) liveProcStats(rec *procRecord) ProcStats {
+	ps := ProcStats{PID: rec.pid, State: stateRunning, StartedUnixNanos: rec.started}
+	if vs, ok := s.v.ProcStats(rec.pid); ok {
+		ps.Messages = vs.Messages
+		ps.Dropped = vs.Dropped
+		ps.Violations = vs.Violations
+	}
+	if ks, ok := s.k.Stats(rec.pid); ok {
+		ps.Syscalls = ks.Syscalls
+		ps.SyncStalls = ks.SyncStalls
+		ps.LastSyscallUnixNanos = ks.LastSyscallUnixNanos
+		ps.StallNs = ks.StallNs
+	}
+	if killed, reason := s.k.Killed(rec.pid); killed {
+		ps.State, ps.KillReason = stateKilled, reason
+	}
+	if rec.peak != nil {
+		ps.PendingPeak = rec.peak.PendingPeak()
+	}
+	return ps
+}
+
+// ProcStats returns one attribution row per launched process — running ones
+// assembled live, finished ones as frozen at exit (bounded retention) —
+// ascending by PID. The rows are not a consistent cut across sources: each
+// underlying lock is taken separately, the same trade the kernel and
+// verifier listings already make.
+func (s *System) ProcStats() []ProcStats {
+	s.mu.Lock()
+	rows := make([]ProcStats, 0, len(s.records))
+	live := make([]*procRecord, 0, len(s.procs))
+	for _, r := range s.records {
+		if r.final != nil {
+			rows = append(rows, *r.final)
+		} else {
+			live = append(live, r)
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range live {
+		rows = append(rows, s.liveProcStats(r))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].PID < rows[j].PID })
+	return rows
+}
+
+// Health is the liveness summary served by the /healthz endpoint: whether
+// the system still accepts launches, and the moving parts a stuck system
+// would show as wedged (attached pump sources that never drain, processes
+// that never finish).
+type Health struct {
+	Up          bool `json:"up"`           // accepting launches (Shutdown not begun)
+	ActiveProcs int  `json:"active_procs"` // admitted and not yet finished
+	PumpSources int  `json:"pump_sources"` // channels currently attached and draining
+	Shards      int  `json:"shards"`       // verifier shard workers
+}
+
+// Health reports the system's liveness summary.
+func (s *System) Health() Health {
+	s.mu.Lock()
+	up := !s.down
+	active := int(s.launched - s.finished)
+	s.mu.Unlock()
+	return Health{
+		Up:          up,
+		ActiveProcs: active,
+		PumpSources: s.pumps.Sources(),
+		Shards:      s.v.Shards(),
+	}
+}
+
 // Stats is the per-system aggregate: process lifecycle totals, the shared
-// verifier's message total, and — when a metrics registry is wired — a
-// telemetry snapshot diffed against the registry state at construction, so
-// one registry can serve several systems (or a system plus unrelated
-// instrumentation) and each still reports exactly its own interval.
+// verifier's message total, per-PID attribution rows, and — when a metrics
+// registry is wired — a telemetry snapshot diffed against the registry state
+// at construction, so one registry can serve several systems (or a system
+// plus unrelated instrumentation) and each still reports exactly its own
+// interval.
 type Stats struct {
 	Launched, Active, Finished, Killed uint64
 	MessagesVerified                   uint64
+	Procs                              []ProcStats
 	Snapshot                           telemetry.Snapshot
+}
+
+// statsHist is the compact histogram form Stats.MarshalJSON emits: the
+// figures a consumer of `hqrun -metrics` or /procs actually reads, rather
+// than the raw 65-bucket arrays (the full-fidelity exposition lives on
+// /metrics).
+type statsHist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+func compactHist(h telemetry.HistogramSnapshot) statsHist {
+	return statsHist{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max,
+	}
+}
+
+// MarshalJSON serializes the aggregate in the stable machine-readable form
+// shared by `hqrun -metrics` and the observability endpoints: lifecycle
+// totals, per-PID rows, counter/peak totals, and compact histogram summaries.
+func (st Stats) MarshalJSON() ([]byte, error) {
+	counters := make(map[string]uint64, len(st.Snapshot.Counters))
+	for name, cs := range st.Snapshot.Counters {
+		counters[name] = cs.Total
+	}
+	hists := make(map[string]statsHist, len(st.Snapshot.Histograms))
+	for name, h := range st.Snapshot.Histograms {
+		hists[name] = compactHist(h)
+	}
+	return json.Marshal(struct {
+		Launched         uint64               `json:"launched"`
+		Active           uint64               `json:"active"`
+		Finished         uint64               `json:"finished"`
+		Killed           uint64               `json:"killed"`
+		MessagesVerified uint64               `json:"messages_verified"`
+		Procs            []ProcStats          `json:"procs"`
+		Counters         map[string]uint64    `json:"counters,omitempty"`
+		Peaks            map[string]uint64    `json:"peaks,omitempty"`
+		Histograms       map[string]statsHist `json:"histograms,omitempty"`
+	}{
+		Launched:         st.Launched,
+		Active:           st.Active,
+		Finished:         st.Finished,
+		Killed:           st.Killed,
+		MessagesVerified: st.MessagesVerified,
+		Procs:            st.Procs,
+		Counters:         counters,
+		Peaks:            st.Snapshot.Peaks,
+		Histograms:       hists,
+	})
+}
+
+// String renders the aggregate for humans: one header line, a per-PID table,
+// then the registry snapshot in telemetry's format. It is the `hqrun
+// -metrics` output.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "launched=%d active=%d finished=%d killed=%d messages_verified=%d\n",
+		st.Launched, st.Active, st.Finished, st.Killed, st.MessagesVerified)
+	if len(st.Procs) > 0 {
+		fmt.Fprintf(&b, "%6s  %-8s %12s %6s %10s %10s %8s %14s\n",
+			"PID", "STATE", "MSGS", "VIOL", "PENDPEAK", "SYSCALLS", "STALLS", "P99STALL(ns)")
+		for _, p := range st.Procs {
+			fmt.Fprintf(&b, "%6d  %-8s %12d %6d %10d %10d %8d %14.0f\n",
+				p.PID, p.State, p.Messages, p.Violations, p.PendingPeak,
+				p.Syscalls, p.SyncStalls, p.StallNs.Quantile(0.99))
+		}
+	}
+	b.WriteString(st.Snapshot.Format())
+	return b.String()
 }
 
 // Stats returns the aggregate snapshot. The lifecycle identity
@@ -418,6 +681,7 @@ func (s *System) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.MessagesVerified = s.v.TotalMessages()
+	st.Procs = s.ProcStats()
 	if s.m != nil {
 		st.Snapshot = s.m.Snapshot().Diff(s.base)
 	}

@@ -55,8 +55,24 @@ func (h *Histogram) ObserveAt(lane int, v uint64) {
 // HistogramSnapshot is a point-in-time histogram reading, mergeable and
 // diffable bucket-by-bucket.
 type HistogramSnapshot struct {
-	Count, Sum, Max uint64
-	Buckets         [histBuckets]uint64
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Max     uint64              `json:"max"`
+	Buckets [histBuckets]uint64 `json:"buckets"`
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i: 0 for the
+// zero bucket, 2^i - 1 for value bucket i (which holds [2^(i-1), 2^i)). The
+// Prometheus exposition uses these as `le` boundaries; they are exact for
+// integer-valued samples.
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<i - 1
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -85,6 +101,20 @@ func (s HistogramSnapshot) diff(prev HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Record folds one sample into the snapshot in place. It is the
+// single-writer complement to Histogram.Observe for callers that keep a
+// private per-entity distribution under their own lock (the kernel's per-PID
+// syscall-stall histogram) instead of registering a striped instrument per
+// entity in a registry.
+func (s *HistogramSnapshot) Record(v uint64) {
+	s.Count++
+	s.Sum += v
+	if v > s.Max {
+		s.Max = v
+	}
+	s.Buckets[bits.Len64(v)]++
+}
+
 // Mean returns the arithmetic mean of the recorded samples (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
@@ -99,6 +129,12 @@ func (s HistogramSnapshot) Mean() float64 {
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
+	}
+	if s.Count == 1 {
+		// One sample: every quantile is that sample, and Max records it
+		// exactly — skip the in-bucket interpolation, whose lower edge
+		// would otherwise leak through for small q.
+		return float64(s.Max)
 	}
 	if q < 0 {
 		q = 0

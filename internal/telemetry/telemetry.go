@@ -112,6 +112,7 @@ type Metrics struct {
 	hists    map[string]*Histogram
 	peaks    map[string]*Peak
 	trace    atomic.Pointer[Trace]
+	sampler  atomic.Pointer[LatencySampler]
 }
 
 // New creates a registry whose instruments default to the given stripe width

@@ -223,3 +223,194 @@ func TestConcurrentInstruments(t *testing.T) {
 		t.Errorf("peak = %d, want %d", s.Peaks["p"], per-1)
 	}
 }
+
+// TestEnableTraceIdempotent is the regression test for the double-enable bug:
+// a second EnableTrace used to replace the ring and silently discard every
+// retained event. It must return the existing ring instead.
+func TestEnableTraceIdempotent(t *testing.T) {
+	m := New(1)
+	first := m.EnableTrace(64)
+	m.Event("before", 1, 0)
+	m.Event("before", 2, 0)
+
+	second := m.EnableTrace(16) // different capacity: first call's wins
+	if second != first {
+		t.Fatalf("second EnableTrace returned a new ring, discarding retained events")
+	}
+	if got := m.Trace(); got != first {
+		t.Fatalf("Trace() = %p, want the original ring %p", got, first)
+	}
+	if n := first.Len(); n != 2 {
+		t.Fatalf("retained events = %d, want 2", n)
+	}
+	m.Event("after", 3, 0)
+	evs := first.Events()
+	if len(evs) != 3 || evs[0].Name != "before" || evs[2].Name != "after" {
+		t.Fatalf("events after re-enable = %+v", evs)
+	}
+}
+
+// TestQuantileEdgeCases covers the histogram-quantile boundaries: empty
+// histogram, a single sample (every quantile must return exactly it), and all
+// samples in the top bucket (p99 must not index past the last bucket and must
+// stay clamped to the exact Max).
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Errorf("empty.Mean() = %v, want 0", empty.Mean())
+	}
+
+	m := New(1)
+	single := m.Histogram("single")
+	single.Observe(5)
+	ss := m.Snapshot().Histograms["single"]
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+		if got := ss.Quantile(q); got != 5 {
+			t.Errorf("single-sample Quantile(%v) = %v, want exactly 5 (clamped to Max)", q, got)
+		}
+	}
+	// Out-of-range q values are clamped, not an index error.
+	if got := ss.Quantile(-1); got < 0 || got > 5 {
+		t.Errorf("Quantile(-1) = %v, want within [0, 5]", got)
+	}
+	if got := ss.Quantile(2); got != 5 {
+		t.Errorf("Quantile(2) = %v, want 5", got)
+	}
+
+	// All samples land in the very last bucket (values with bit 63 set):
+	// the quantile walk must terminate at the final bucket, never read past
+	// it, and the interpolated estimate must clamp to the recorded Max.
+	top := m.Histogram("top")
+	const hi = uint64(1) << 63
+	for i := uint64(0); i < 10; i++ {
+		top.Observe(hi + i)
+	}
+	ts := m.Snapshot().Histograms["top"]
+	for _, q := range []float64{0.5, 0.99, 1} {
+		got := ts.Quantile(q)
+		if math.IsNaN(got) || got < float64(hi) || got > float64(ts.Max) {
+			t.Errorf("top-bucket Quantile(%v) = %v, want within [2^63, Max=%d]", q, got, ts.Max)
+		}
+	}
+	if ts.Max != hi+9 {
+		t.Errorf("Max = %d, want %d", ts.Max, hi+9)
+	}
+}
+
+// TestSnapshotDiffFewerSeriesInBase diffs against a base snapshot taken
+// before some instruments were registered: the missing series must count from
+// zero rather than panic or vanish.
+func TestSnapshotDiffFewerSeriesInBase(t *testing.T) {
+	m := New(2)
+	m.Counter("old").Add(7)
+	m.Histogram("oldh").Observe(3)
+	base := m.Snapshot()
+
+	m.Counter("old").Add(5)
+	m.Counter("new").Add(11)
+	m.Histogram("oldh").Observe(3)
+	m.Histogram("newh").Observe(9)
+	m.Peak("newp").Observe(42)
+
+	d := m.Snapshot().Diff(base)
+	if got := d.Counters["old"].Total; got != 5 {
+		t.Errorf("old counter diff = %d, want 5", got)
+	}
+	if got := d.Counters["new"].Total; got != 11 {
+		t.Errorf("counter missing from base: diff = %d, want full value 11", got)
+	}
+	if got := d.Histograms["oldh"].Count; got != 1 {
+		t.Errorf("oldh diff count = %d, want 1", got)
+	}
+	nh := d.Histograms["newh"]
+	if nh.Count != 1 || nh.Sum != 9 {
+		t.Errorf("histogram missing from base: diff = %+v, want count=1 sum=9", nh)
+	}
+	if got := d.Peaks["newp"]; got != 42 {
+		t.Errorf("peak missing from base = %d, want 42", got)
+	}
+}
+
+// TestHistogramSnapshotRecord checks the single-writer Record helper used for
+// private per-entity histograms (the kernel's per-PID stall distribution).
+func TestHistogramSnapshotRecord(t *testing.T) {
+	var s HistogramSnapshot
+	for _, v := range []uint64{0, 1, 5, 1000} {
+		s.Record(v)
+	}
+	if s.Count != 4 || s.Sum != 1006 || s.Max != 1000 {
+		t.Fatalf("after Record: %+v", s)
+	}
+	if s.Buckets[0] != 1 { // the zero observation
+		t.Errorf("zero bucket = %d, want 1", s.Buckets[0])
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %v, want 1000", got)
+	}
+}
+
+// TestBucketUpperBound pins the le-boundary mapping the Prometheus exposition
+// relies on: bucket i holds [2^(i-1), 2^i), so its inclusive bound is 2^i-1.
+func TestBucketUpperBound(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: ^uint64(0), 70: ^uint64(0)}
+	for i, want := range cases {
+		if got := BucketUpperBound(i); got != want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	var s HistogramSnapshot
+	s.Record(6) // lands in bucket 3: [4, 8)
+	if s.Buckets[3] != 1 || BucketUpperBound(3) < 6 {
+		t.Errorf("sample 6 not covered by its bucket's upper bound")
+	}
+}
+
+// TestLatencySampler exercises the 1-in-N stamp table: sampling decision,
+// stamp/take round trip, take-once semantics, and idempotent enablement.
+func TestLatencySampler(t *testing.T) {
+	m := New(1)
+	if m.LatencySampler() != nil {
+		t.Fatal("sampler attached before EnableLatencySampling")
+	}
+	s := m.EnableLatencySampling(1000) // rounds up to 1024
+	if s.EveryN() != 1024 {
+		t.Fatalf("EveryN = %d, want 1024 (rounded up)", s.EveryN())
+	}
+	if again := m.EnableLatencySampling(64); again != s {
+		t.Fatal("second EnableLatencySampling replaced the sampler")
+	}
+	if s.Sampled(0) {
+		t.Error("seq 0 (unset counter) must never sample")
+	}
+	if s.Sampled(1023) || !s.Sampled(1024) || !s.Sampled(2048) {
+		t.Error("sampling points must be exact multiples of EveryN")
+	}
+
+	s.Stamp(7, 1024)
+	if _, ok := s.Take(7, 2048); ok {
+		t.Error("Take matched a different sequence number")
+	}
+	if _, ok := s.Take(8, 1024); ok {
+		t.Error("Take matched a different PID")
+	}
+	lat, ok := s.Take(7, 1024)
+	if !ok || lat < 0 {
+		t.Fatalf("Take(7, 1024) = %d, %v; want a non-negative latency", lat, ok)
+	}
+	if _, ok := s.Take(7, 1024); ok {
+		t.Error("second Take returned the consumed stamp")
+	}
+}
+
+// TestLatencySamplerDefault checks the documented default period.
+func TestLatencySamplerDefault(t *testing.T) {
+	m := New(1)
+	if n := m.EnableLatencySampling(0).EveryN(); n != DefaultSampleEvery {
+		t.Fatalf("default EveryN = %d, want %d", n, DefaultSampleEvery)
+	}
+}

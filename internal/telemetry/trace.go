@@ -29,14 +29,22 @@ type Trace struct {
 
 // EnableTrace attaches a bounded event-trace ring of the given capacity
 // (minimum 16) to the registry and returns it. Until this is called,
-// Metrics.Event is one atomic pointer load and a branch.
+// Metrics.Event is one atomic pointer load and a branch. A second call
+// returns the ring already attached — the capacity of the first call wins —
+// so two components enabling tracing on a shared registry cannot silently
+// discard each other's retained events.
 func (m *Metrics) EnableTrace(capacity int) *Trace {
+	if t := m.trace.Load(); t != nil {
+		return t
+	}
 	if capacity < 16 {
 		capacity = 16
 	}
 	t := &Trace{buf: make([]Event, 0, capacity), start: time.Now()}
-	m.trace.Store(t)
-	return t
+	if m.trace.CompareAndSwap(nil, t) {
+		return t
+	}
+	return m.trace.Load()
 }
 
 // Trace returns the attached trace ring, or nil when tracing is disabled.

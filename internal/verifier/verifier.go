@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,7 @@ type procCtx struct {
 	policies   []policy.Policy
 	violations []*policy.Violation
 	messages   uint64
+	dropped    uint64 // messages dropped after the context went dead
 	lastSeq    uint64
 	seqValid   bool
 	// dead marks a context whose process has been (or is being) killed:
@@ -117,10 +119,20 @@ type verifierMetrics struct {
 	batchSize  *telemetry.Histogram // deliverShardBatch run lengths
 	queueDepth *telemetry.Histogram // per-shard queue occupancy at enqueue
 	pumpStall  *telemetry.Histogram // ns the drain loop spent in RecvBatch
+	// sampler/sendLatency implement the sampled end-to-end latency trace:
+	// when the registry has latency sampling enabled, the shard worker takes
+	// back the send-time stamp of each sampled message and observes the
+	// send → validate difference — the paper's "validation lag" (§5.3) as a
+	// live distribution. Nil when sampling is disabled.
+	sampler     *telemetry.LatencySampler
+	sendLatency *telemetry.Histogram // ns from instrumented send to validation
 }
 
 // EnableTelemetry attaches the metrics registry. Per-shard counters are
-// striped to the shard count; call before concurrent use.
+// striped to the shard count; call before concurrent use. When the registry
+// has latency sampling enabled (Metrics.EnableLatencySampling, called before
+// this), the verifier also records the sampled send → validate latency
+// histogram `verifier.send_validate_ns`.
 func (v *Verifier) EnableTelemetry(m *telemetry.Metrics) {
 	n := len(v.shards)
 	v.tm = &verifierMetrics{
@@ -133,6 +145,10 @@ func (v *Verifier) EnableTelemetry(m *telemetry.Metrics) {
 		batchSize:  m.Histogram("verifier.batch_size"),
 		queueDepth: m.Histogram("verifier.queue_depth"),
 		pumpStall:  m.Histogram("verifier.pump_stall_ns"),
+	}
+	if s := m.LatencySampler(); s != nil {
+		v.tm.sampler = s
+		v.tm.sendLatency = m.HistogramLanes("verifier.send_validate_ns", n)
 	}
 }
 
@@ -270,6 +286,13 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	acts := actsBuf[:0]
 	var delivered, dropped, violCount, killCount, syncCount uint64
 	checkSeq, killOnViolation := v.CheckSeq, v.KillOnViolation
+	// Latency sampling: hoisted so the per-message cost of a non-sampled
+	// message is one nil check plus one mask-and-branch.
+	var sampler *telemetry.LatencySampler
+	var sendLatency *telemetry.Histogram
+	if tm := v.tm; tm != nil {
+		sampler, sendLatency = tm.sampler, tm.sendLatency
+	}
 
 	s.mu.Lock()
 	var pc *procCtx
@@ -292,10 +315,19 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			// evaluating, so one fatal violation yields exactly one kill
 			// action and the context stops accumulating state.
 			dropped++
+			pc.dropped++
 			continue
 		}
 		delivered++
 		pc.messages++
+		if sampler != nil && sampler.Sampled(m.Seq) {
+			// This message was stamped at send time (1-in-N): record the
+			// end-to-end send → validate latency. A miss means the stream
+			// never passed an instrumented sender (inline or replayed).
+			if lat, ok := sampler.Take(m.PID, m.Seq); ok {
+				sendLatency.ObserveAt(si, uint64(lat))
+			}
+		}
 		if checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
 			viol := &policy.Violation{PID: m.PID, Op: m.Op,
 				Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
@@ -444,6 +476,58 @@ func (v *Verifier) Messages(pid int32) uint64 {
 // TotalMessages returns the number of messages processed for all processes.
 func (v *Verifier) TotalMessages() uint64 {
 	return v.totalMessages.Load()
+}
+
+// ProcStats is the verifier-side per-process attribution row: one monitored
+// process's share of the shard it validates on. The supervisor merges it
+// with the kernel's per-process figures for /procs and System.Stats.
+type ProcStats struct {
+	PID        int32  `json:"pid"`
+	Messages   uint64 `json:"messages"`   // validated deliveries
+	Dropped    uint64 `json:"dropped"`    // dropped after the context died
+	Violations uint64 `json:"violations"` // recorded policy violations
+	Dead       bool   `json:"dead"`       // killed; context awaiting teardown
+}
+
+// ProcStats returns the per-process verifier statistics for pid in one lock
+// round; ok is false when the process has no live context (never registered,
+// or already exited).
+func (v *Verifier) ProcStats(pid int32) (ProcStats, bool) {
+	s := v.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pc, ok := s.procs[pid]
+	if !ok {
+		return ProcStats{}, false
+	}
+	return procCtxStats(pc), true
+}
+
+// AllProcStats returns one row per live verifier context, ascending by PID.
+// Each shard is locked once; like the kernel's process listing, the result
+// is a snapshot — contexts may come and go as soon as a shard is released.
+func (v *Verifier) AllProcStats() []ProcStats {
+	var out []ProcStats
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.mu.Lock()
+		for _, pc := range s.procs {
+			out = append(out, procCtxStats(pc))
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+func procCtxStats(pc *procCtx) ProcStats {
+	return ProcStats{
+		PID:        pc.pid,
+		Messages:   pc.messages,
+		Dropped:    pc.dropped,
+		Violations: uint64(len(pc.violations)),
+		Dead:       pc.dead,
+	}
 }
 
 // Entries returns the current and maximum metadata entries across the

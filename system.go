@@ -3,6 +3,7 @@ package herqules
 import (
 	"context"
 
+	"herqules/internal/obs"
 	"herqules/internal/supervisor"
 	"herqules/internal/telemetry"
 )
@@ -17,9 +18,19 @@ type Metrics = telemetry.Metrics
 func NewMetrics() *Metrics { return telemetry.New(0) }
 
 // SystemStats is the per-system aggregate snapshot: process lifecycle
-// totals, the shared verifier's message total, and (when a Metrics registry
-// is attached) a telemetry snapshot covering exactly this system's lifetime.
+// totals, the shared verifier's message total, per-PID attribution rows, and
+// (when a Metrics registry is attached) a telemetry snapshot covering
+// exactly this system's lifetime. Its String and MarshalJSON forms are the
+// canonical renderings shared by hqrun and the /procs endpoint.
 type SystemStats = supervisor.Stats
+
+// ProcStats is one per-PID attribution row of a SystemStats: validated
+// messages, violations, channel backpressure peak, syscall-gate figures and
+// the per-process stall distribution.
+type ProcStats = supervisor.ProcStats
+
+// SystemHealth is the liveness summary served by the /healthz endpoint.
+type SystemHealth = supervisor.Health
 
 // Proc is a handle to one monitored program running under a System: PID(),
 // Done() and Wait(), which returns the same *Outcome Run returns.
@@ -42,52 +53,118 @@ type Proc = supervisor.Proc
 // that stands up a throwaway System per call.
 type System struct {
 	s *supervisor.System
+
+	obs     *obs.Server // nil unless WithHTTPAddr was given
+	obsErr  error       // bind failure, reported by HTTPAddr
+	obsAddr string      // resolved listen address
+}
+
+// systemConfig is the construction-time state SystemOptions mutate: the
+// supervisor configuration plus facade-level concerns (the observability
+// endpoint) that the enforcement stack itself must not know about.
+type systemConfig struct {
+	sup      supervisor.Config
+	httpAddr string
 }
 
 // SystemOption configures a System at construction.
-type SystemOption func(*supervisor.Config)
+type SystemOption func(*systemConfig)
 
 // WithMetrics wires a telemetry registry through the whole stack: kernel
 // gate, verifier shards, and every channel the System binds.
 func WithMetrics(m *Metrics) SystemOption {
-	return func(c *supervisor.Config) { c.Metrics = m }
+	return func(c *systemConfig) { c.sup.Metrics = m }
 }
 
 // WithPolicies sets the factory building each monitored process's verifier
 // policy set (default: CFI + memory safety + counter + DFI).
 func WithPolicies(f PolicyFactory) SystemOption {
-	return func(c *supervisor.Config) { c.Policies = f }
+	return func(c *systemConfig) { c.sup.Policies = f }
 }
 
 // WithKillOnViolation controls whether the verifier terminates a program on
 // a failed policy check (§3.4). The default is false, the paper's
 // measurement configuration.
 func WithKillOnViolation(kill bool) SystemOption {
-	return func(c *supervisor.Config) { c.KillOnViolation = kill }
+	return func(c *systemConfig) { c.sup.KillOnViolation = kill }
 }
 
 // WithChannelKind selects the AppendWrite transport the System constructs
 // for processes launched without an explicit channel (default: the
 // shared-memory ring).
 func WithChannelKind(kind ChannelKind) SystemOption {
-	return func(c *supervisor.Config) { c.ChannelKind = kind }
+	return func(c *systemConfig) { c.sup.ChannelKind = kind }
 }
 
 // WithShards overrides the verifier shard count (default: GOMAXPROCS).
 func WithShards(n int) SystemOption {
-	return func(c *supervisor.Config) { c.Shards = n }
+	return func(c *systemConfig) { c.sup.Shards = n }
 }
+
+// WithLatencySampling sets the end-to-end latency sampling period: one
+// message in everyN (rounded up to a power of two) is timed from channel
+// send to shard validation, feeding the verifier.send_validate_ns histogram.
+// The default when a Metrics registry is attached is 1 in 1024; pass a
+// negative value to disable sampling entirely. Requires WithMetrics (or
+// WithHTTPAddr, which implies one).
+func WithLatencySampling(everyN int) SystemOption {
+	return func(c *systemConfig) { c.sup.LatencySampleEvery = everyN }
+}
+
+// WithHTTPAddr serves the observability endpoints on addr (host:port;
+// ":8080" or "127.0.0.1:0" both work): /metrics in Prometheus text format,
+// /healthz, /procs, /trace and /debug/pprof/. If no Metrics registry is
+// attached, one is created and wired automatically (with the default event
+// ring enabled, so /trace serves). A bind failure does not fail NewSystem —
+// the enforcement stack is independent of the scrape endpoint — but is
+// reported by HTTPAddr.
+func WithHTTPAddr(addr string) SystemOption {
+	return func(c *systemConfig) { c.httpAddr = addr }
+}
+
+// defaultTraceEvents is the event-ring capacity a System enables when it
+// auto-creates a registry for the observability endpoint.
+const defaultTraceEvents = 1 << 14
 
 // NewSystem constructs a resident runtime. The zero configuration is
 // usable: default policies, violations recorded but not killed, shared-ring
 // transport, GOMAXPROCS verifier shards.
 func NewSystem(opts ...SystemOption) *System {
-	var cfg supervisor.Config
+	var cfg systemConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &System{s: supervisor.New(cfg)}
+	if cfg.httpAddr != "" && cfg.sup.Metrics == nil {
+		// An observability endpoint without instruments would serve an
+		// empty exposition; imply the registry (and its event ring — the
+		// EnableTrace call is idempotent, so an explicit registry that
+		// already enabled a differently-sized ring keeps it).
+		cfg.sup.Metrics = telemetry.New(0)
+	}
+	sys := &System{s: supervisor.New(cfg.sup)}
+	if cfg.httpAddr != "" {
+		cfg.sup.Metrics.EnableTrace(defaultTraceEvents)
+		sys.obs = obs.NewServer(sys.s, cfg.sup.Metrics)
+		if err := sys.obs.Start(cfg.httpAddr); err != nil {
+			sys.obs, sys.obsErr = nil, err
+		} else {
+			sys.obsAddr = sys.obs.Addr()
+		}
+	}
+	return sys
 }
+
+// HTTPAddr reports the resolved observability listen address, or the bind
+// error when WithHTTPAddr was given but the listener could not be opened.
+// Both are zero when the System was built without WithHTTPAddr.
+func (s *System) HTTPAddr() (string, error) { return s.obsAddr, s.obsErr }
+
+// Health returns the system's liveness summary (the /healthz document).
+func (s *System) Health() SystemHealth { return s.s.Health() }
+
+// ProcStats returns one attribution row per launched process, running and
+// finished, ascending by PID.
+func (s *System) ProcStats() []ProcStats { return s.s.ProcStats() }
 
 // RunOption configures one Launch.
 type RunOption func(*supervisor.LaunchOptions)
@@ -157,7 +234,15 @@ func (s *System) Launch(ins *Instrumented, opts ...RunOption) (*Proc, error) {
 // workers stop only after delivering every in-flight batch. If ctx expires
 // first, still-running processes are killed and Shutdown returns the
 // context's error after the (then bounded) drain completes. Idempotent.
-func (s *System) Shutdown(ctx context.Context) error { return s.s.Shutdown(ctx) }
+func (s *System) Shutdown(ctx context.Context) error {
+	err := s.s.Shutdown(ctx)
+	if s.obs != nil {
+		// The endpoint outlives the drain (a scraper can observe the final
+		// totals during shutdown) but not the System.
+		_ = s.obs.Close()
+	}
+	return err
+}
 
 // Stats returns the system's aggregate snapshot.
 func (s *System) Stats() SystemStats { return s.s.Stats() }

@@ -2,6 +2,9 @@ package herqules
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -79,6 +82,91 @@ func TestSystemFacadeConcurrentLaunches(t *testing.T) {
 	// The compatibility wrapper still works after the redesign.
 	if out, err := Run(ins, RunOptions{KillOnViolation: true}); err != nil || !out.Killed {
 		t.Errorf("legacy Run: out=%+v err=%v", out, err)
+	}
+}
+
+// TestSystemFacadeHTTPEndpoint: WithHTTPAddr stands up the observability
+// plane with an implied registry; /metrics serves the exposition, /healthz
+// tracks shutdown, and HTTPAddr reports the resolved port.
+func TestSystemFacadeHTTPEndpoint(t *testing.T) {
+	clean := NewModule("obs-clean")
+	b := NewBuilder(clean)
+	b.Func("main", FuncTypeOf(I64Type))
+	b.Syscall(SysWrite, ConstInt(7))
+	b.Syscall(SysExit, ConstInt(0))
+	b.Ret(ConstInt(0))
+	clean.Finalize()
+	ins, err := Instrument(clean, HQSfeStk, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No WithMetrics: the endpoint implies a registry of its own.
+	sys := NewSystem(WithHTTPAddr("127.0.0.1:0"), WithLatencySampling(1))
+	addr, err := sys.HTTPAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("HTTPAddr empty after successful bind")
+	}
+
+	p, err := sys.Launch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := fetch("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"herqules_procs_launched_total 1",
+		"herqules_verifier_send_validate_ns_bucket",
+		`herqules_proc_messages_total{pid="` + strconv.FormatInt(int64(p.PID()), 10) + `"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	if code, _ := fetch("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz: status %d, want 200", code)
+	}
+	// The implied registry enables the event ring, so /trace serves.
+	if code, _ := fetch("/trace"); code != http.StatusOK {
+		t.Errorf("/trace: status %d, want 200", code)
+	}
+
+	if err := sys.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown closes the endpoint.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("endpoint still serving after Shutdown")
+	}
+
+	// A bind failure surfaces through HTTPAddr, not as a panic or a dead
+	// System: the enforcement stack still works.
+	bad := NewSystem(WithHTTPAddr("256.256.256.256:0"))
+	if _, err := bad.HTTPAddr(); err == nil {
+		t.Error("expected bind error from unroutable address")
+	}
+	if err := bad.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 
