@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke obs-smoke latency
+.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency
 
 all: check
 
@@ -27,6 +27,7 @@ check:
 	$(GO) run ./cmd/hqbench -exp stats -msgs 50000 -procs 4 >/dev/null
 	$(MAKE) multiproc-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) chaos-smoke
 
 # multiproc-smoke re-runs the concurrent-supervisor tests under the race
 # detector and takes one small-N multiproc scaling measurement.
@@ -39,6 +40,20 @@ multiproc-smoke:
 # and /healthz over real HTTP, failing on an empty or incomplete exposition.
 obs-smoke:
 	$(GO) run ./cmd/hqbench -exp obs
+
+# chaos-smoke is a short seeded fault-injection soak under the race detector:
+# the injector unit tests, the failure-containment tests across ipc, verifier,
+# kernel and supervisor, and the full Chaos experiment (soak + determinism
+# replay) at a fixed seed. Deterministic by construction — safe for CI.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -run 'Chaos|Panic|Degraded|Wedged|Seq|Transient|Retry|Frame|Garbage|SpinWait' \
+		./internal/ipc ./internal/verifier ./internal/kernel ./internal/supervisor ./internal/experiments
+
+# chaos runs the full soak with report output (override: make chaos SEED=99).
+SEED ?= 0xda0517
+chaos:
+	$(GO) run ./cmd/hqbench -exp chaos -seed $(SEED)
 
 latency:
 	$(GO) run ./cmd/hqbench -exp latency

@@ -17,9 +17,11 @@
 //	hqbench -exp multiproc      # supervisor scaling: aggregate rate vs process count
 //	hqbench -exp latency        # cost + output of 1-in-N send→validate sampling
 //	hqbench -exp obs            # observability endpoint smoke: scrape /metrics over HTTP
+//	hqbench -exp chaos          # fault-injection soak: fail-closed invariants + reproducibility
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
-//	hqbench -procs N            # concurrent monitored processes for stats
+//	hqbench -procs N            # concurrent monitored processes for stats/chaos
+//	hqbench -seed N             # fault-schedule seed for the chaos soak
 package main
 
 import (
@@ -33,10 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
-	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats experiment")
+	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
+	seed := flag.Uint64("seed", 0xda0517, "fault-schedule seed for the chaos soak")
 	flag.Parse()
 
 	var scale workload.Scale
@@ -117,19 +120,34 @@ func main() {
 	if want("multiproc") {
 		ran = true
 		header("Supervisor scaling: aggregate verifier throughput vs concurrent monitored programs")
-		fmt.Print(experiments.FormatMultiproc(
-			experiments.Multiproc(*msgs, experiments.MultiprocCounts())))
+		rows, err := experiments.Multiproc(*msgs, experiments.MultiprocCounts())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatMultiproc(rows))
 	}
 	if want("latency") {
 		ran = true
 		header("End-to-end latency sampling: overhead and observed send → validate lag")
-		fmt.Print(experiments.FormatLatency(
-			experiments.Latency(*msgs, *procs, nil)))
+		rows, err := experiments.Latency(*msgs, *procs, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatLatency(rows))
 	}
 	if want("obs") {
 		ran = true
 		header("Observability endpoint smoke")
 		out, err := experiments.ObsSmoke()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
+	if want("chaos") {
+		ran = true
+		header("Chaos soak: seeded fault injection across the IPC → verifier → kernel path")
+		out, err := experiments.Chaos(*seed, *procs)
 		if err != nil {
 			fatal(err)
 		}

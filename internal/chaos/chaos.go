@@ -1,0 +1,381 @@
+// Package chaos is a deterministic fault injector for the HerQules IPC
+// plane. It wraps any ipc.Sender / ipc.Receiver pair with composable fault
+// stages — message drop, duplication, bounded reordering, payload bit-flip
+// corruption, send delay/jitter, receive stall-then-burst, and transient
+// send/receive errors — so the verifier→kernel enforcement path can be
+// soaked against exactly the failure classes its design claims to survive:
+// a dropped or replayed message must surface as a CheckSeq violation
+// (§3.1.1), a silent channel must surface as an epoch expiry (§2.2), and a
+// transient transport hiccup must be retried rather than degrade anything.
+//
+// Determinism. Every per-message fault decision is a pure function of
+// (seed, stream, message index): the same seed over the same message
+// streams yields bit-identical fault schedules, independent of scheduling,
+// timing, or how receives batch. Per-call faults (stall-then-burst,
+// transient receive errors) necessarily depend on how many RecvBatch calls
+// the consumer makes — a timing artifact — so they are decided from a
+// separate per-call counter and excluded from the schedule hash.
+//
+// The injector itself is pure wrapping: code that does not install a
+// wrapper pays nothing, and a wrapper whose rates are all zero only pays a
+// few predictable branch tests per message.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"herqules/internal/telemetry"
+)
+
+// Fault identifies one injectable fault class.
+type Fault int
+
+// Fault classes, in schedule-hash encoding order. FaultNone must stay zero:
+// a clean message hashes as decision 0.
+const (
+	FaultNone      Fault = iota
+	FaultDrop            // receiver discards the message
+	FaultDuplicate       // receiver sees the message twice
+	FaultReorder         // message delivered late, within the reorder window
+	FaultCorrupt         // one payload bit flipped before delivery
+	FaultDelay           // sender sleeps before the send
+	FaultSendErr         // Send returns a transient error (message not sent)
+	FaultRecvErr         // RecvBatch returns a transient error (per call)
+	FaultStall           // RecvBatch stalls, then delivers the backlog burst
+	numFaults
+)
+
+var faultNames = [...]string{
+	FaultNone:      "none",
+	FaultDrop:      "drop",
+	FaultDuplicate: "duplicate",
+	FaultReorder:   "reorder",
+	FaultCorrupt:   "corrupt",
+	FaultDelay:     "delay",
+	FaultSendErr:   "send-err",
+	FaultRecvErr:   "recv-err",
+	FaultStall:     "stall",
+}
+
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Counts is a snapshot of how many times each fault actually fired.
+type Counts struct {
+	Dropped    uint64 `json:"dropped"`
+	Duplicated uint64 `json:"duplicated"`
+	Reordered  uint64 `json:"reordered"`
+	Corrupted  uint64 `json:"corrupted"`
+	Delayed    uint64 `json:"delayed"`
+	SendErrors uint64 `json:"send_errors"`
+	RecvErrors uint64 `json:"recv_errors"`
+	Stalls     uint64 `json:"stalls"`
+}
+
+// Total sums every fired fault.
+func (c Counts) Total() uint64 {
+	return c.Dropped + c.Duplicated + c.Reordered + c.Corrupted +
+		c.Delayed + c.SendErrors + c.RecvErrors + c.Stalls
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d delay=%d senderr=%d recverr=%d stall=%d",
+		c.Dropped, c.Duplicated, c.Reordered, c.Corrupted,
+		c.Delayed, c.SendErrors, c.RecvErrors, c.Stalls)
+}
+
+// config holds the per-fault rates and parameters. Rates are probabilities
+// in [0, 1], evaluated deterministically per message (or per call for the
+// call-scoped faults).
+type config struct {
+	drop      float64
+	duplicate float64
+	reorder   float64
+	window    int // max messages a reordered message may be held back
+	corrupt   float64
+	delay     float64
+	maxDelay  time.Duration
+	sendErr   float64
+	recvErr   float64
+	stall     float64
+	stallFor  time.Duration
+}
+
+// Option configures an Injector.
+type Option func(*config)
+
+// WithDrop discards each received message with probability rate. Dropped
+// messages leave a sequence gap the verifier must flag (§3.1.1).
+func WithDrop(rate float64) Option { return func(c *config) { c.drop = clampRate(rate) } }
+
+// WithDuplicate delivers each received message twice with probability rate.
+// The duplicate carries the identical sequence number, so CheckSeq must
+// classify it as a duplicate, not a gap.
+func WithDuplicate(rate float64) Option {
+	return func(c *config) { c.duplicate = clampRate(rate) }
+}
+
+// WithReorder holds each received message back with probability rate,
+// releasing it after up to window subsequent messages have been delivered.
+// A released message arrives with a stale sequence number — a
+// replay/reorder violation.
+func WithReorder(rate float64, window int) Option {
+	return func(c *config) {
+		c.reorder = clampRate(rate)
+		if window < 1 {
+			window = 1
+		}
+		c.window = window
+	}
+}
+
+// WithCorrupt flips one deterministically chosen bit in each received
+// message's payload (Arg1/Arg2/Arg3/Seq) with probability rate.
+func WithCorrupt(rate float64) Option { return func(c *config) { c.corrupt = clampRate(rate) } }
+
+// WithDelay sleeps up to max before a send with probability rate, modelling
+// scheduling jitter on the producer side.
+func WithDelay(rate float64, max time.Duration) Option {
+	return func(c *config) {
+		c.delay = clampRate(rate)
+		if max <= 0 {
+			max = time.Millisecond
+		}
+		c.maxDelay = max
+	}
+}
+
+// WithTransientSendErrors fails each Send with an ipc.Transient error with
+// probability rate. The message is not sent; a correct producer retries
+// (ipc.SendWithRetry) and no sequence number is consumed.
+func WithTransientSendErrors(rate float64) Option {
+	return func(c *config) { c.sendErr = clampRate(rate) }
+}
+
+// WithTransientRecvErrors fails each RecvBatch call with an ipc.Transient
+// error with probability rate, exercising the pump's bounded retry path.
+// Call-scoped: excluded from the schedule hash.
+func WithTransientRecvErrors(rate float64) Option {
+	return func(c *config) { c.recvErr = clampRate(rate) }
+}
+
+// WithStall makes each RecvBatch call, with probability rate, sleep for d
+// before reading — the backlog then arrives as one burst. Call-scoped:
+// excluded from the schedule hash.
+func WithStall(rate float64, d time.Duration) Option {
+	return func(c *config) {
+		c.stall = clampRate(rate)
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		c.stallFor = d
+	}
+}
+
+func clampRate(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// errInjected is the root cause carried by injected transient errors.
+var errInjected = errors.New("chaos: injected fault")
+
+// Injector derives deterministic fault schedules from one seed and hands out
+// Sender/Receiver wrappers that apply them. One Injector may wrap any number
+// of channels; each wrapper gets its own stream identifier in creation
+// order, so a fixed seed plus a fixed wrapping order reproduces the exact
+// schedule regardless of runtime interleaving.
+type Injector struct {
+	seed uint64
+	cfg  config
+
+	streams atomic.Uint64 // next stream id
+	hash    atomic.Uint64 // XOR-combined FNV-1a of per-message decisions
+
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+	reordered  atomic.Uint64
+	corrupted  atomic.Uint64
+	delayed    atomic.Uint64
+	sendErrs   atomic.Uint64
+	recvErrs   atomic.Uint64
+	stalls     atomic.Uint64
+
+	tm *chaosMetrics
+}
+
+type chaosMetrics struct {
+	dropped    *telemetry.Counter
+	duplicated *telemetry.Counter
+	reordered  *telemetry.Counter
+	corrupted  *telemetry.Counter
+	delayed    *telemetry.Counter
+	sendErrs   *telemetry.Counter
+	recvErrs   *telemetry.Counter
+	stalls     *telemetry.Counter
+}
+
+// NewInjector builds an injector for seed with the given fault options.
+func NewInjector(seed uint64, opts ...Option) *Injector {
+	inj := &Injector{seed: seed}
+	for _, o := range opts {
+		o(&inj.cfg)
+	}
+	return inj
+}
+
+// Seed reports the injector's seed.
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// EnableTelemetry mirrors the fault counters into a metrics registry under
+// chaos.* names. Call before wrapping channels that will be used
+// concurrently.
+func (inj *Injector) EnableTelemetry(m *telemetry.Metrics) {
+	inj.tm = &chaosMetrics{
+		dropped:    m.Counter("chaos.dropped"),
+		duplicated: m.Counter("chaos.duplicated"),
+		reordered:  m.Counter("chaos.reordered"),
+		corrupted:  m.Counter("chaos.corrupted"),
+		delayed:    m.Counter("chaos.delayed"),
+		sendErrs:   m.Counter("chaos.send_errors"),
+		recvErrs:   m.Counter("chaos.recv_errors"),
+		stalls:     m.Counter("chaos.stalls"),
+	}
+}
+
+// Counts snapshots how many faults have fired so far.
+func (inj *Injector) Counts() Counts {
+	return Counts{
+		Dropped:    inj.dropped.Load(),
+		Duplicated: inj.duplicated.Load(),
+		Reordered:  inj.reordered.Load(),
+		Corrupted:  inj.corrupted.Load(),
+		Delayed:    inj.delayed.Load(),
+		SendErrors: inj.sendErrs.Load(),
+		RecvErrors: inj.recvErrs.Load(),
+		Stalls:     inj.stalls.Load(),
+	}
+}
+
+func (inj *Injector) count(f Fault) {
+	switch f {
+	case FaultDrop:
+		inj.dropped.Add(1)
+		if inj.tm != nil {
+			inj.tm.dropped.Inc()
+		}
+	case FaultDuplicate:
+		inj.duplicated.Add(1)
+		if inj.tm != nil {
+			inj.tm.duplicated.Inc()
+		}
+	case FaultReorder:
+		inj.reordered.Add(1)
+		if inj.tm != nil {
+			inj.tm.reordered.Inc()
+		}
+	case FaultCorrupt:
+		inj.corrupted.Add(1)
+		if inj.tm != nil {
+			inj.tm.corrupted.Inc()
+		}
+	case FaultDelay:
+		inj.delayed.Add(1)
+		if inj.tm != nil {
+			inj.tm.delayed.Inc()
+		}
+	case FaultSendErr:
+		inj.sendErrs.Add(1)
+		if inj.tm != nil {
+			inj.tm.sendErrs.Inc()
+		}
+	case FaultRecvErr:
+		inj.recvErrs.Add(1)
+		if inj.tm != nil {
+			inj.tm.recvErrs.Inc()
+		}
+	case FaultStall:
+		inj.stalls.Add(1)
+		if inj.tm != nil {
+			inj.tm.stalls.Inc()
+		}
+	}
+}
+
+// ScheduleHash digests every per-message fault decision taken so far:
+// FNV-1a over (stream, index, decision) records, XOR-combined so the digest
+// is independent of goroutine interleaving. Two runs with the same seed,
+// wrapping order, and message streams produce the same hash even when their
+// timing differs; call-scoped faults (stall, transient receive errors) are
+// deliberately outside the digest.
+func (inj *Injector) ScheduleHash() uint64 { return inj.hash.Load() }
+
+// recordDecision folds one per-message decision into the schedule hash.
+// Decision 0 (clean) is folded too: a message that was *eligible* for
+// faults but drew none is part of the schedule.
+func (inj *Injector) recordDecision(stream, idx uint64, f Fault) {
+	h := fnv1a(stream, idx, uint64(f))
+	for {
+		old := inj.hash.Load()
+		if inj.hash.CompareAndSwap(old, old^h) {
+			return
+		}
+	}
+}
+
+// fnv1a hashes the three words with 64-bit FNV-1a, byte by byte.
+func fnv1a(a, b, c uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range [3]uint64{a, b, c} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// splitmix64 is the counter-PRNG core: a bijective mixer good enough that
+// consecutive counters produce independent-looking draws (Steele et al.,
+// "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw produces the deterministic random word for fault f on message idx of
+// stream. Each (fault, stream) pair gets its own counter sequence, so the
+// per-fault decisions are mutually independent.
+func (inj *Injector) draw(f Fault, stream, idx uint64) uint64 {
+	return splitmix64(inj.seed ^
+		stream*0xd1b54a32d192ed03 ^
+		uint64(f)*0x2545f4914f6cdd1d ^
+		splitmix64(idx))
+}
+
+// hit converts a draw into a biased coin with probability rate.
+func hit(r uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	// Top 53 bits → uniform float64 in [0, 1).
+	return float64(r>>11)/(1<<53) < rate
+}

@@ -41,7 +41,7 @@ const latencyReps = 3
 // process — so the measured overhead is the full production path: ordinal
 // bookkeeping on every send, stamp-table writes on sampled ones, and the
 // matching Take + histogram observe at the shard worker.
-func Latency(messages, procs int, everyNs []int) []LatencyRow {
+func Latency(messages, procs int, everyNs []int) ([]LatencyRow, error) {
 	if messages <= 0 {
 		messages = 1 << 20
 	}
@@ -97,6 +97,8 @@ func Latency(messages, procs int, everyNs []int) []LatencyRow {
 			ps := v.NewPumpSet()
 
 			var senders sync.WaitGroup
+			var sendErr error
+			var sendErrOnce sync.Once
 			dones := make([]<-chan struct{}, procs)
 			start := time.Now()
 			for p := 0; p < procs; p++ {
@@ -108,27 +110,45 @@ func Latency(messages, procs int, everyNs []int) []LatencyRow {
 				}
 				done, err := ps.Attach(ch.Receiver)
 				if err != nil {
-					panic("latency: attach on fresh pump set: " + err.Error())
+					// Unreachable on a fresh pump set, but library code must
+					// not panic: release the transport and fail the
+					// measurement after the already-started producers finish.
+					ch.Close()
+					sendErrOnce.Do(func() {
+						sendErr = fmt.Errorf("latency: attach on fresh pump set: %w", err)
+					})
+					break
 				}
 				dones[p] = done
 				senders.Add(1)
 				go func(ch *ipc.Channel, pid int32) {
 					defer senders.Done()
+					// A failed send aborts this producer (recording the first
+					// failure) but still closes the channel, so the attached
+					// drain terminates and the run unwinds cleanly.
+					defer ch.Close()
 					for _, msg := range payload {
 						msg.PID = pid
 						if err := ch.Sender.Send(msg); err != nil {
-							panic("latency: send: " + err.Error())
+							sendErrOnce.Do(func() {
+								sendErr = fmt.Errorf("latency: send (pid %d): %w", pid, err)
+							})
+							return
 						}
 					}
-					ch.Close()
 				}(ch, pid)
 			}
 			senders.Wait()
 			for _, done := range dones {
-				<-done
+				if done != nil {
+					<-done
+				}
 			}
 			elapsed := time.Since(start)
 			ps.Close()
+			if sendErr != nil {
+				return nil, sendErr
+			}
 			if rep == 0 || elapsed < minElapsed {
 				minElapsed = elapsed
 				if m != nil {
@@ -156,7 +176,7 @@ func Latency(messages, procs int, everyNs []int) []LatencyRow {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatLatency renders the sampling-overhead rows.

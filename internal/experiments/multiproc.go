@@ -55,7 +55,7 @@ func MultiprocCounts() []int {
 // per-process streams carry the HQ-CFI hot mix (define/check/invalidate
 // triples) with consecutive sequence counters, so CheckSeq integrity
 // verification runs throughout.
-func Multiproc(messages int, procCounts []int) []MultiprocRow {
+func Multiproc(messages int, procCounts []int) ([]MultiprocRow, error) {
 	if messages <= 0 {
 		messages = 1 << 20
 	}
@@ -113,7 +113,16 @@ func Multiproc(messages int, procCounts []int) []MultiprocRow {
 			for p, r := range replays {
 				done, err := ps.Attach(r)
 				if err != nil {
-					panic("multiproc: attach on fresh pump set: " + err.Error())
+					// A fresh pump set refusing an attach is a library bug,
+					// but the experiment is library code too: report it
+					// instead of panicking out of the caller (after tearing
+					// the already-attached sources down so their drains
+					// finish).
+					for _, d := range dones[:p] {
+						<-d
+					}
+					ps.Close()
+					return nil, fmt.Errorf("multiproc: attach on fresh pump set: %w", err)
 				}
 				dones[p] = done
 			}
@@ -144,7 +153,7 @@ func Multiproc(messages int, procCounts []int) []MultiprocRow {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatMultiproc renders the scaling table. Speedup is aggregate

@@ -3,6 +3,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Common channel errors.
@@ -18,6 +19,86 @@ var (
 	// monitored program must be terminated (§3.1.1).
 	ErrIntegrity = errors.New("ipc: message integrity violated")
 )
+
+// TransientError marks a send/receive failure as retryable: the operation
+// failed for a reason that does not impugn message integrity (a momentary
+// resource shortage, a modelled fault injection), so the caller may retry
+// with backoff instead of degrading. Every error NOT wrapped in a
+// TransientError is terminal by construction — the enforcement path fails
+// closed on anything it cannot positively classify as transient.
+type TransientError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is classified as retryable. Integrity
+// failures, decode errors, and closed channels are all terminal; only errors
+// explicitly wrapped by Transient answer true.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// Send-retry defaults used by SendWithRetry (and mirrored by the verifier's
+// receive-side retry in the pump drain loop).
+const (
+	// DefaultSendAttempts bounds how many times SendWithRetry tries before
+	// converting a persistent transient failure into a terminal error.
+	DefaultSendAttempts = 8
+	// retryBackoffBase is the first backoff step; it doubles per attempt.
+	retryBackoffBase = time.Microsecond
+	// RetryBackoffMax caps one backoff sleep.
+	RetryBackoffMax = time.Millisecond
+)
+
+// RetryBackoff returns the sleep preceding retry attempt n (1-based):
+// exponential from retryBackoffBase, capped at RetryBackoffMax.
+func RetryBackoff(attempt int) time.Duration {
+	d := retryBackoffBase << uint(attempt-1)
+	if d <= 0 || d > RetryBackoffMax {
+		return RetryBackoffMax
+	}
+	return d
+}
+
+// SendWithRetry sends m through s, retrying transient failures with
+// exponential backoff up to attempts tries (<= 0 selects
+// DefaultSendAttempts). Terminal errors return immediately. When the retry
+// budget is exhausted the last transient error is converted into a terminal
+// one — a transport that fails persistently is indistinguishable from a
+// broken one, and the enforcement path must degrade fail-closed, not spin.
+func SendWithRetry(s Sender, m Message, attempts int) error {
+	if attempts <= 0 {
+		attempts = DefaultSendAttempts
+	}
+	var err error
+	for try := 1; try <= attempts; try++ {
+		err = s.Send(m)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if try < attempts {
+			time.Sleep(RetryBackoff(try))
+		}
+	}
+	// %v, not %w: the returned error must NOT unwrap to the TransientError,
+	// or the caller's IsTransient check would retry a budget-exhausted send
+	// forever.
+	return fmt.Errorf("ipc: send retry budget exhausted after %d attempts: %v", attempts, err)
+}
 
 // Sender is the monitored-program side of an IPC channel. Send transmits one
 // fixed-size message; implementations differ in cost (system call, memory

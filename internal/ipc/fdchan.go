@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,17 @@ type fdReceiver struct {
 	// carries counts bursts that ended in a partial frame carried to the
 	// next call (set by Channel.EnableTelemetry, nil otherwise).
 	carries *telemetry.Counter
+	// frameErrs counts terminal framing failures — undecodable frames and
+	// streams truncated mid-frame (set by Channel.EnableTelemetry, nil
+	// otherwise).
+	frameErrs *telemetry.Counter
+}
+
+// countFrameErr bumps the framing-failure counter when telemetry is wired.
+func (r *fdReceiver) countFrameErr() {
+	if r.frameErrs != nil {
+		r.frameErrs.Inc()
+	}
 }
 
 func (r *fdReceiver) Recv() (Message, bool, error) {
@@ -102,6 +114,19 @@ func (r *fdReceiver) RecvBatch(out []Message) (int, bool, error) {
 				break
 			}
 			r.r.Close()
+			if r.n > 0 {
+				// The stream ended inside a frame. Silently dropping the
+				// trailing bytes would hide a lost (possibly violating)
+				// message, so truncation is a terminal integrity failure —
+				// never a skipped frame. Unattributable: the partial frame
+				// may not even carry a complete PID field.
+				trailing := r.n
+				r.n = 0
+				r.countFrameErr()
+				return 0, false, fmt.Errorf(
+					"ipc: truncated frame: stream ended with %d trailing bytes (frame is %d): %w",
+					trailing, MessageSize, ErrIntegrity)
+			}
 			return 0, false, nil // closed and drained
 		}
 	}
@@ -114,7 +139,10 @@ func (r *fdReceiver) RecvBatch(out []Message) (int, bool, error) {
 		if err != nil {
 			r.consume(i * MessageSize)
 			r.pending.Add(int64(-i))
-			return i, false, err
+			r.countFrameErr()
+			// Terminal, not transient: a corrupted byte stream cannot be
+			// resynchronized — every subsequent frame boundary is suspect.
+			return i, false, fmt.Errorf("ipc: frame decode failed: %v: %w", err, ErrIntegrity)
 		}
 		out[i] = m
 	}

@@ -14,6 +14,7 @@ import (
 func (c *Channel) EnableTelemetry(m *telemetry.Metrics) {
 	if fr, ok := c.Receiver.(*fdReceiver); ok {
 		fr.carries = m.Counter("ipc.partial_frame_carries")
+		fr.frameErrs = m.Counter("ipc.frame_errors")
 	}
 	c.Sender = &instrumentedSender{
 		s:       c.Sender,

@@ -31,6 +31,56 @@ const DefaultEpoch = 2 * time.Second
 // policy was violated.
 var ErrProcessExited = errors.New("process exited")
 
+// Kill reasons recorded by the epoch watchdog. ReasonEpochExpired is the
+// generic §2.2 timeout: no System-Call message arrived, cause unknown.
+// ReasonWedgedVerifier is the distinct degraded-mode reason recorded when
+// the watchdog can positively attribute the silence to a verifier that has
+// stopped making progress for this process (e.g. its shard was poisoned by a
+// contained worker panic); the full reason carries the watchdog's detail
+// after a colon.
+const (
+	ReasonEpochExpired   = "synchronization epoch expired"
+	ReasonWedgedVerifier = "synchronization epoch expired: verifier wedged"
+)
+
+// DegradedPolicy selects how the kernel treats an epoch expiry — the moment
+// bounded asynchronous validation (§2.2) detects that validation is not
+// keeping up, whether from an attack suppressing messages or a wedged
+// verifier. The zero value fails closed, which is the only sound default:
+// an enforcement system that fails open under pressure invites inducing that
+// pressure.
+type DegradedPolicy int
+
+const (
+	// DegradedFailClosed kills the process at the epoch deadline (default).
+	DegradedFailClosed DegradedPolicy = iota
+	// DegradedLogOnly records the expiry (counter + event + per-process
+	// stats) and lets the system call proceed. Fail-open: measurement and
+	// chaos experiments only, never production enforcement.
+	DegradedLogOnly
+)
+
+func (p DegradedPolicy) String() string {
+	switch p {
+	case DegradedFailClosed:
+		return "fail-closed"
+	case DegradedLogOnly:
+		return "log-only"
+	default:
+		return fmt.Sprintf("degraded-policy(%d)", int(p))
+	}
+}
+
+// Watchdog lets the kernel ask, at an epoch deadline, whether the verifier
+// can still make validation progress for a process. Implementations must be
+// lock-free with respect to kernel callbacks: the kernel probes with its own
+// lock held (*verifier.Verifier's WedgedFor reads only atomics).
+type Watchdog interface {
+	// WedgedFor reports whether validation for pid is permanently stuck,
+	// with a human-readable detail when it is.
+	WedgedFor(pid int32) (wedged bool, detail string)
+}
+
 // Listener is the kernel→verifier privileged notification channel (edges 1b
 // and 4a of Figure 1): the verifier learns about process lifecycle events
 // from the kernel, never from the untrusted program.
@@ -82,6 +132,11 @@ type ProcStats struct {
 	// for a resident system.
 	LastSyscallUnixNanos int64 `json:"last_syscall_unix_nanos,omitempty"`
 
+	// DegradedAllows counts system calls that expired their epoch but were
+	// allowed to proceed because the kernel runs under DegradedLogOnly. Any
+	// non-zero value means enforcement was bypassed for this process.
+	DegradedAllows uint64 `json:"degraded_allows,omitempty"`
+
 	// StallNs is this process's own syscall-gate stall distribution
 	// (nanoseconds spent waiting for the verifier to catch up, §2.2). It is
 	// maintained under the kernel lock only when telemetry is wired, and
@@ -96,6 +151,8 @@ type Kernel struct {
 	procs    map[int32]*proc
 	nextPID  int32
 	listener Listener
+	watchdog Watchdog
+	degraded DegradedPolicy
 
 	// Epoch is the synchronization timeout (§2.2). Zero means
 	// DefaultEpoch.
@@ -107,14 +164,16 @@ type Kernel struct {
 // kernelMetrics caches the kernel's telemetry instruments, resolved once at
 // wiring time so the hot path pays only a nil check plus atomic adds.
 type kernelMetrics struct {
-	m        *telemetry.Metrics
-	syscalls *telemetry.Counter
-	stalls   *telemetry.Counter
-	expiries *telemetry.Counter
-	kills    *telemetry.Counter
-	forks    *telemetry.Counter
-	exits    *telemetry.Counter
-	stallNs  *telemetry.Histogram
+	m           *telemetry.Metrics
+	syscalls    *telemetry.Counter
+	stalls      *telemetry.Counter
+	expiries    *telemetry.Counter
+	kills       *telemetry.Counter
+	wedgedKills *telemetry.Counter
+	degraded    *telemetry.Counter
+	forks       *telemetry.Counter
+	exits       *telemetry.Counter
+	stallNs     *telemetry.Histogram
 }
 
 // EnableTelemetry attaches the metrics registry: the kernel gate records a
@@ -124,14 +183,16 @@ func (k *Kernel) EnableTelemetry(m *telemetry.Metrics) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.tm = &kernelMetrics{
-		m:        m,
-		syscalls: m.Counter("kernel.syscalls"),
-		stalls:   m.Counter("kernel.sync_stalls"),
-		expiries: m.Counter("kernel.epoch_expiries"),
-		kills:    m.Counter("kernel.kills"),
-		forks:    m.Counter("kernel.forks"),
-		exits:    m.Counter("kernel.exits"),
-		stallNs:  m.Histogram("kernel.syscall_stall_ns"),
+		m:           m,
+		syscalls:    m.Counter("kernel.syscalls"),
+		stalls:      m.Counter("kernel.sync_stalls"),
+		expiries:    m.Counter("kernel.epoch_expiries"),
+		kills:       m.Counter("kernel.kills"),
+		wedgedKills: m.Counter("kernel.wedged_kills"),
+		degraded:    m.Counter("kernel.degraded_allows"),
+		forks:       m.Counter("kernel.forks"),
+		exits:       m.Counter("kernel.exits"),
+		stallNs:     m.Histogram("kernel.syscall_stall_ns"),
 	}
 }
 
@@ -151,6 +212,30 @@ func (k *Kernel) SetListener(l Listener) {
 	k.mu.Lock()
 	k.listener = l
 	k.mu.Unlock()
+}
+
+// SetWatchdog attaches a verifier-liveness probe consulted at epoch
+// deadlines. wd.WedgedFor is called with the kernel lock held, so it must not
+// take locks the verifier's delivery path also holds (see Watchdog).
+func (k *Kernel) SetWatchdog(wd Watchdog) {
+	k.mu.Lock()
+	k.watchdog = wd
+	k.mu.Unlock()
+}
+
+// SetDegradedPolicy selects the epoch-expiry behaviour. The default (zero
+// value) is DegradedFailClosed.
+func (k *Kernel) SetDegradedPolicy(p DegradedPolicy) {
+	k.mu.Lock()
+	k.degraded = p
+	k.mu.Unlock()
+}
+
+// DegradedMode reports the active epoch-expiry policy.
+func (k *Kernel) DegradedMode() DegradedPolicy {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.degraded
 }
 
 // Register allocates a kernel context for a process that enabled HerQules
@@ -245,7 +330,7 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		k.mu.Unlock()
 		return fmt.Errorf("kernel: pid %d killed: %s", pid, reason)
 	}
-	var expired bool
+	var expired, wedged, logOnly bool
 	if !p.syncReady {
 		p.stats.SyncStalls++
 		var stallStart time.Time
@@ -265,12 +350,33 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		})
 		for !p.syncReady && !p.killed && !p.exited {
 			if time.Now().After(deadline) {
-				// No synchronization message within the epoch:
-				// treat as a policy violation (§2.2).
-				p.killed = true
-				p.killReason = "synchronization epoch expired"
-				p.stats.KilledByAll = p.killReason
+				// No synchronization message within the epoch (§2.2).
+				// Ask the watchdog whether the silence has a positive
+				// attribution — a verifier that can no longer make
+				// progress for this process — then apply the degraded
+				// policy. WedgedFor reads only atomics, so calling it
+				// with k.mu held cannot deadlock against delivery.
 				expired = true
+				reason := ReasonEpochExpired
+				if k.watchdog != nil {
+					if w, detail := k.watchdog.WedgedFor(pid); w {
+						wedged = true
+						reason = ReasonWedgedVerifier
+						if detail != "" {
+							reason = ReasonWedgedVerifier + ": " + detail
+						}
+					}
+				}
+				if k.degraded == DegradedLogOnly {
+					// Fail-open mode: record the bypass and resume the
+					// system call instead of killing.
+					logOnly = true
+					p.stats.DegradedAllows++
+					break
+				}
+				p.killed = true
+				p.killReason = reason
+				p.stats.KilledByAll = reason
 				break
 			}
 			p.cond.Wait()
@@ -291,6 +397,18 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		k.mu.Unlock()
 		return fmt.Errorf("kernel: pid %d: %w", pid, ErrProcessExited)
 	}
+	if logOnly && !p.killed {
+		// DegradedLogOnly: the epoch expired but policy says observe, don't
+		// enforce. Leave syncReady false — the next gated call stalls again,
+		// so every bypassed epoch is individually counted.
+		k.mu.Unlock()
+		if tm != nil {
+			tm.expiries.Inc()
+			tm.degraded.Inc()
+			tm.m.Event("kernel.degraded_allow", pid, uint64(syscallNo))
+		}
+		return nil
+	}
 	if p.killed {
 		reason := p.killReason
 		l := k.listener
@@ -299,6 +417,9 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 			if tm != nil {
 				tm.expiries.Inc()
 				tm.kills.Inc()
+				if wedged {
+					tm.wedgedKills.Inc()
+				}
 				tm.m.Event("kernel.epoch_expired", pid, uint64(syscallNo))
 			}
 			if kl, ok := l.(KillListener); ok {

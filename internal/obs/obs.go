@@ -134,7 +134,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.sys.Health()
 	w.Header().Set("Content-Type", "application/json")
-	if !h.Up {
+	// A poisoned verifier shard is permanent lost capacity — the probe
+	// reports it as unhealthy (503) just like shutdown, so an orchestrator
+	// replaces the instance instead of routing new launches at shards that
+	// kill everything they're handed.
+	if !h.Up || h.Degraded() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	_ = json.NewEncoder(w).Encode(h)

@@ -362,3 +362,44 @@ func TestWriteMetricsSynthetic(t *testing.T) {
 		t.Errorf(`le="1023" bucket = %v, want 5`, got)
 	}
 }
+
+// degradedSystem is a synthetic System whose Health reports poisoned shards.
+type degradedSystem struct{ poisoned int }
+
+func (d degradedSystem) Stats() supervisor.Stats { return supervisor.Stats{} }
+func (d degradedSystem) Health() supervisor.Health {
+	return supervisor.Health{Up: true, Shards: 4, PoisonedShards: d.poisoned,
+		DegradedPolicy: "fail-closed"}
+}
+
+// TestHealthzReportsDegradedAs503: a poisoned verifier shard is permanent
+// lost capacity — the probe must go unhealthy even though the system is
+// still up, so an orchestrator replaces the instance.
+func TestHealthzReportsDegradedAs503(t *testing.T) {
+	srv := NewServer(degradedSystem{poisoned: 1}, nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with poisoned shard: status %d, want 503", code)
+	}
+	var h supervisor.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if !h.Up || h.PoisonedShards != 1 || !h.Degraded() {
+		t.Errorf("health document = %+v, want up-but-degraded", h)
+	}
+
+	// Zero poisoned shards: healthy.
+	srv2 := NewServer(degradedSystem{poisoned: 0}, nil)
+	if err := srv2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if code, _ := get(t, "http://"+srv2.Addr()+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz healthy system: status %d, want 200", code)
+	}
+}

@@ -1,0 +1,95 @@
+package supervisor
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+)
+
+// panicOnCheck is a deliberately buggy policy: it panics on the victim
+// program's pointer-check message, modelling any defect in verifier-side
+// policy code.
+type panicOnCheck struct{}
+
+func (panicOnCheck) Name() string { return "panic-on-check" }
+func (panicOnCheck) Handle(m ipc.Message) *policy.Violation {
+	if m.Op == ipc.OpPointerCheck {
+		panic("injected policy bug")
+	}
+	return nil
+}
+func (panicOnCheck) Clone() policy.Policy { return panicOnCheck{} }
+func (panicOnCheck) Entries() int         { return 0 }
+
+// TestShardPanicDegradesFailClosed is the end-to-end containment test: a
+// policy panic while a monitored program runs must poison the shard, kill the
+// program (fail-closed — its messages can no longer be validated), kill any
+// later launch routed to the poisoned shard, and surface the degradation
+// through Health so /healthz flips unhealthy.
+func TestShardPanicDegradesFailClosed(t *testing.T) {
+	sys := New(Config{
+		Policies:        func() []policy.Policy { return []policy.Policy{panicOnCheck{}} },
+		KillOnViolation: true,
+		Shards:          1, // every pid routes to the shard that will die
+		Epoch:           200 * time.Millisecond,
+	})
+
+	if h := sys.Health(); h.Degraded() || h.PoisonedShards != 0 {
+		t.Fatalf("fresh system reports degraded: %+v", h)
+	}
+
+	ins := instrumentHQ(t, victim(t, false))
+	p, err := sys.Launch(ins, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Killed {
+		t.Fatalf("process on poisoned shard not killed: %+v", out)
+	}
+	if !strings.Contains(out.KillReason, "poisoned") &&
+		!strings.Contains(out.KillReason, "verifier wedged") {
+		t.Errorf("kill reason %q does not attribute the dead verifier", out.KillReason)
+	}
+
+	h := sys.Health()
+	if h.PoisonedShards != 1 {
+		t.Errorf("PoisonedShards = %d, want 1", h.PoisonedShards)
+	}
+	if !h.Degraded() {
+		t.Error("Health.Degraded() false with a poisoned shard")
+	}
+	if h.DegradedPolicy != "fail-closed" {
+		t.Errorf("DegradedPolicy = %q, want fail-closed", h.DegradedPolicy)
+	}
+
+	// A process launched after the poison is born dead: its messages would
+	// pass unvalidated otherwise.
+	p2, err := sys.Launch(ins, LaunchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := p2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Killed {
+		t.Fatalf("launch after poison survived: %+v", out2)
+	}
+	if !strings.Contains(out2.KillReason, "poisoned") {
+		t.Errorf("post-poison kill reason %q lacks attribution", out2.KillReason)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// false-positive (§5).
 	KillOnViolation bool
 
+	// CheckSeq enables per-process message-counter verification (§3.1.1):
+	// a sequence gap, duplicate or replay in a process's stream is a policy
+	// violation. Off by default to match the measurement configuration;
+	// enforcement and chaos runs turn it on.
+	CheckSeq bool
+
 	// Metrics, when non-nil, wires the telemetry layer through the whole
 	// stack once at construction: kernel gate, verifier shards, and every
 	// channel the System creates or is handed.
@@ -72,6 +78,13 @@ type Config struct {
 	// Epoch overrides the kernel synchronization timeout (0 keeps
 	// kernel.DefaultEpoch).
 	Epoch time.Duration
+
+	// Degraded selects the kernel's epoch-expiry behaviour when validation
+	// stops making progress (a wedged or poisoned verifier shard, a silent
+	// channel). The zero value is kernel.DegradedFailClosed: the stalled
+	// process is killed at the deadline. kernel.DegradedLogOnly records the
+	// bypass and lets the call through — measurement runs only.
+	Degraded kernel.DegradedPolicy
 
 	// LatencySampleEvery controls sampled end-to-end latency tracing when
 	// Metrics is wired: one message in N is stamped at send time and its
@@ -220,7 +233,14 @@ func New(cfg Config) *System {
 	}
 	v := verifier.NewSharded(factory, k, cfg.Shards)
 	v.KillOnViolation = cfg.KillOnViolation
+	v.CheckSeq = cfg.CheckSeq
 	k.SetListener(v)
+	// The verifier doubles as the kernel's epoch watchdog: at a deadline the
+	// kernel asks (lock-free) whether the silent process's shard is poisoned,
+	// which turns an anonymous epoch expiry into an attributed wedged-verifier
+	// kill under the configured degraded policy.
+	k.SetWatchdog(v)
+	k.SetDegradedPolicy(cfg.Degraded)
 	s := &System{
 		cfg:     cfg,
 		k:       k,
@@ -333,7 +353,11 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 			return admitFailed(ErrShutdown)
 		}
 		sender := ch.Sender
-		cfg.Emit = func(m ipc.Message) error { return sender.Send(m) }
+		// Transient transport failures (modelled fault injection, momentary
+		// resource shortages) are retried with bounded backoff instead of
+		// aborting the program; persistent failure degrades to a terminal
+		// error the VM surfaces.
+		cfg.Emit = func(m ipc.Message) error { return ipc.SendWithRetry(sender, m, 0) }
 	} else {
 		cfg.Emit = func(m ipc.Message) error { s.v.Deliver(m); return nil }
 	}
@@ -560,7 +584,20 @@ type Health struct {
 	ActiveProcs int  `json:"active_procs"` // admitted and not yet finished
 	PumpSources int  `json:"pump_sources"` // channels currently attached and draining
 	Shards      int  `json:"shards"`       // verifier shard workers
+
+	// PoisonedShards counts verifier shards disabled by contained worker
+	// panics. Non-zero means the system is degraded: processes routed to a
+	// poisoned shard are killed fail-closed (or bypassed under log-only),
+	// and /healthz reports 503.
+	PoisonedShards int `json:"poisoned_shards"`
+	// DegradedPolicy names the kernel's epoch-expiry policy ("fail-closed"
+	// or "log-only").
+	DegradedPolicy string `json:"degraded_policy"`
 }
+
+// Degraded reports whether the system has lost capacity it will not regain
+// (any poisoned verifier shard).
+func (h Health) Degraded() bool { return h.PoisonedShards > 0 }
 
 // Health reports the system's liveness summary.
 func (s *System) Health() Health {
@@ -569,10 +606,12 @@ func (s *System) Health() Health {
 	active := int(s.launched - s.finished)
 	s.mu.Unlock()
 	return Health{
-		Up:          up,
-		ActiveProcs: active,
-		PumpSources: s.pumps.Sources(),
-		Shards:      s.v.Shards(),
+		Up:             up,
+		ActiveProcs:    active,
+		PumpSources:    s.pumps.Sources(),
+		Shards:         s.v.Shards(),
+		PoisonedShards: s.v.PoisonedShards(),
+		DegradedPolicy: s.k.DegradedMode().String(),
 	}
 }
 

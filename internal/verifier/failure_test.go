@@ -1,0 +1,273 @@
+package verifier
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+	"herqules/internal/telemetry"
+)
+
+func TestSeqViolationReasonClassification(t *testing.T) {
+	// The three counter-check failure classes are distinct fault signatures
+	// (§3.1.1): the chaos injector's duplicate, reorder and drop faults — and
+	// a real replay attack vs a real lossy channel — must be told apart by
+	// the kill reason alone.
+	cases := []struct {
+		name      string
+		got, last uint64
+		want      string
+	}{
+		{"duplicate", 5, 5, "message counter duplicate: 5 delivered twice"},
+		{"replay of old message", 2, 7, "message counter replay/reorder: got 2 after 7"},
+		{"reorder by one", 6, 7, "message counter replay/reorder: got 6 after 7"},
+		{"single gap", 7, 5, "message counter gap: got 7 after 5 (1 missing)"},
+		{"burst loss", 100, 5, "message counter gap: got 100 after 5 (94 missing)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := seqViolationReason(tc.got, tc.last); got != tc.want {
+				t.Errorf("seqViolationReason(%d, %d) = %q, want %q", tc.got, tc.last, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSeqViolationReasonsReachTheGate(t *testing.T) {
+	// End-to-end over Deliver: each fault class kills with its own reason.
+	cases := []struct {
+		name string
+		seqs []uint64
+		want string
+	}{
+		{"duplicate", []uint64{1, 2, 2}, "duplicate"},
+		{"replay", []uint64{1, 2, 3, 2}, "replay/reorder"},
+		{"gap", []uint64{1, 2, 9}, "gap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newFakeGate()
+			v := New(cfiFactory, g)
+			v.CheckSeq = true
+			v.ProcessStarted(1)
+			for _, seq := range tc.seqs {
+				v.Deliver(ipc.Message{Op: ipc.OpCounterInc, PID: 1, Seq: seq})
+			}
+			if reason := g.kills[1]; !strings.Contains(reason, tc.want) {
+				t.Errorf("kill reason %q does not mention %q", reason, tc.want)
+			}
+		})
+	}
+}
+
+// bombPolicy panics when it sees the trigger message — a stand-in for any
+// bug in policy evaluation code.
+type bombPolicy struct{ trigger uint64 }
+
+func (p *bombPolicy) Name() string { return "bomb" }
+func (p *bombPolicy) Handle(m ipc.Message) *policy.Violation {
+	if m.Op == ipc.OpCounterInc && m.Arg1 == p.trigger {
+		panic("bomb: policy bug")
+	}
+	return nil
+}
+func (p *bombPolicy) Clone() policy.Policy { return &bombPolicy{trigger: p.trigger} }
+func (p *bombPolicy) Entries() int         { return 0 }
+
+func bombFactory() []policy.Policy {
+	return []policy.Policy{&bombPolicy{trigger: 0xdead}}
+}
+
+func TestWorkerPanicPoisonsShardFailClosed(t *testing.T) {
+	// A panic inside policy evaluation must be contained to the one shard it
+	// happened on: the shard is poisoned, every resident process is killed
+	// fail-closed (their messages can no longer be validated, so they must
+	// not pass gates), and the rest of the verifier keeps running.
+	g := newFakeGate()
+	m := telemetry.New(1)
+	v := NewSharded(bombFactory, g, 1) // one shard: every pid routes to it
+	v.EnableTelemetry(m)
+	v.ProcessStarted(1)
+	v.ProcessStarted(2)
+
+	ps := v.NewPumpSet()
+	done, err := ps.Attach(ipc.NewReplay([]ipc.Message{
+		{Op: ipc.OpCounterInc, PID: 1, Arg1: 1, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: 1, Arg1: 0xdead, Seq: 2}, // detonates
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	ps.Close()
+
+	if got := v.PoisonedShards(); got != 1 {
+		t.Fatalf("PoisonedShards = %d, want 1", got)
+	}
+	for _, pid := range []int32{1, 2} {
+		reason := g.kills[pid]
+		if reason == "" {
+			t.Fatalf("resident pid %d not killed after shard poison", pid)
+		}
+		if !strings.Contains(reason, "poisoned") || !strings.Contains(reason, "panic") {
+			t.Errorf("pid %d kill reason %q lacks poison/panic attribution", pid, reason)
+		}
+	}
+	if wedged, detail := v.WedgedFor(1); !wedged || !strings.Contains(detail, "poisoned") {
+		t.Errorf("WedgedFor on poisoned shard = %t %q, want wedged with reason", wedged, detail)
+	}
+	if v := m.Snapshot().Counters["verifier.poisoned_shards"].Total; v != 1 {
+		t.Errorf("poisoned_shards counter = %d, want 1", v)
+	}
+
+	// A process registered after the poison is born dead and killed at once:
+	// admitting it would let its messages pass unevaluated (fail-open).
+	v.ProcessStarted(3)
+	if g.kills[3] == "" {
+		t.Error("process started on a poisoned shard was admitted")
+	}
+	// Deliveries routed to the poisoned shard are dropped, not evaluated —
+	// in particular they must not detonate the bomb again (no panic here,
+	// since this path runs without safeDeliver's recover).
+	before := v.Messages(1) // the detonating message was counted before evaluation
+	v.DeliverBatch([]ipc.Message{{Op: ipc.OpCounterInc, PID: 1, Arg1: 0xdead, Seq: 3}})
+	if got := v.Messages(1); got != before {
+		t.Errorf("poisoned shard evaluated messages: Messages = %d, want %d", got, before)
+	}
+}
+
+func TestWorkerPanicDoesNotDisturbOtherShards(t *testing.T) {
+	// With many shards, a poison on one shard leaves processes on the others
+	// validating normally. Pick PIDs that provably hash to different shards.
+	g := newFakeGate()
+	v := NewSharded(bombFactory, g, 4)
+	victim, bystander := int32(1), int32(2)
+	if v.shardIndex(victim) == v.shardIndex(bystander) {
+		for bystander = 3; v.shardIndex(victim) == v.shardIndex(bystander); bystander++ {
+		}
+	}
+	v.ProcessStarted(victim)
+	v.ProcessStarted(bystander)
+
+	ps := v.NewPumpSet()
+	doneV, err := ps.Attach(ipc.NewReplay([]ipc.Message{
+		{Op: ipc.OpCounterInc, PID: victim, Arg1: 0xdead, Seq: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-doneV
+	doneB, err := ps.Attach(ipc.NewReplay([]ipc.Message{
+		{Op: ipc.OpCounterInc, PID: bystander, Arg1: 1, Seq: 1},
+		{Op: ipc.OpCounterInc, PID: bystander, Arg1: 2, Seq: 2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-doneB
+	ps.Close()
+
+	if g.kills[victim] == "" {
+		t.Error("victim of the poisoned shard not killed")
+	}
+	if g.kills[bystander] != "" {
+		t.Errorf("bystander on a healthy shard killed: %s", g.kills[bystander])
+	}
+	if got := v.Messages(bystander); got != 2 {
+		t.Errorf("bystander messages = %d, want 2", got)
+	}
+	if wedged, _ := v.WedgedFor(bystander); wedged {
+		t.Error("healthy shard reported wedged")
+	}
+}
+
+// transientReceiver yields batches interleaved with transient errors, then
+// closes; or fails transiently forever when batches run out and sticky is set.
+type transientReceiver struct {
+	script []any // each item: []ipc.Message (burst) or error
+	sticky error // returned forever once the script is exhausted (nil = close)
+}
+
+func (r *transientReceiver) Recv() (ipc.Message, bool, error) {
+	var one [1]ipc.Message
+	n, ok, err := r.RecvBatch(one[:])
+	if n == 1 {
+		return one[0], true, err
+	}
+	return ipc.Message{}, ok, err
+}
+
+func (r *transientReceiver) RecvBatch(out []ipc.Message) (int, bool, error) {
+	for len(r.script) > 0 {
+		item := r.script[0]
+		r.script = r.script[1:]
+		switch it := item.(type) {
+		case error:
+			return 0, true, it
+		case []ipc.Message:
+			return copy(out, it), true, nil
+		}
+	}
+	if r.sticky != nil {
+		return 0, true, r.sticky
+	}
+	return 0, false, nil
+}
+
+func TestPumpRetriesTransientRecvErrors(t *testing.T) {
+	// Transient receive faults (ipc.IsTransient) must be retried with
+	// backoff, losing nothing: every message around the faults is delivered
+	// and no process is killed.
+	g := newFakeGate()
+	m := telemetry.New(1)
+	v := NewSharded(cfiFactory, g, 2)
+	v.EnableTelemetry(m)
+	v.ProcessStarted(1)
+	flaky := errors.New("ring momentarily unreadable")
+	v.Pump(&transientReceiver{script: []any{
+		[]ipc.Message{{Op: ipc.OpCounterInc, PID: 1, Arg1: 1}},
+		ipc.Transient(flaky),
+		ipc.Transient(flaky),
+		[]ipc.Message{{Op: ipc.OpCounterInc, PID: 1, Arg1: 2}},
+	}})
+	if len(g.kills) != 0 {
+		t.Fatalf("transient faults killed: %v", g.kills)
+	}
+	if got := v.Messages(1); got != 2 {
+		t.Errorf("Messages = %d, want 2 (nothing lost across retries)", got)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["verifier.recv_transient_retries"].Total; got != 2 {
+		t.Errorf("recv_transient_retries = %d, want 2", got)
+	}
+	if got := snap.Counters["verifier.recv_terminal_errors"].Total; got != 0 {
+		t.Errorf("recv_terminal_errors = %d, want 0", got)
+	}
+}
+
+func TestPumpTransientFaultThatNeverClearsIsTerminal(t *testing.T) {
+	// A "transient" fault that persists past the retry budget means the
+	// source is broken: the drain must stop (not spin forever), record a
+	// terminal receive error, and — since the fault is unattributed — kill
+	// no one. Fail-closed for the process comes from the kernel epoch, not
+	// from a guess at the guilty PID.
+	g := newFakeGate()
+	m := telemetry.New(1)
+	v := NewSharded(cfiFactory, g, 2)
+	v.MaxRecvRetries = 3
+	v.EnableTelemetry(m)
+	v.ProcessStarted(1)
+	v.Pump(&transientReceiver{sticky: ipc.Transient(errors.New("wedged ring"))})
+	if len(g.kills) != 0 {
+		t.Fatalf("unattributed transient exhaustion killed: %v", g.kills)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["verifier.recv_transient_retries"].Total; got != 3 {
+		t.Errorf("recv_transient_retries = %d, want exactly MaxRecvRetries=3", got)
+	}
+	if got := snap.Counters["verifier.recv_terminal_errors"].Total; got != 1 {
+		t.Errorf("recv_terminal_errors = %d, want 1", got)
+	}
+}

@@ -56,7 +56,11 @@ func (v *Verifier) newPipeline() *pipeline {
 		go func(si int, q chan batchItem) {
 			defer p.workers.Done()
 			for item := range q {
-				v.deliverShardBatch(si, item.ms)
+				// safeDeliver contains a delivery panic to this shard
+				// (poisoning it) so the worker keeps consuming its queue:
+				// flush counters still drop and producers never wedge on a
+				// full queue with a dead consumer.
+				v.safeDeliver(si, item.ms)
 				if item.flush != nil {
 					// Deliveries (including any gate.Kill the batch
 					// triggered) are complete before the source's flush
@@ -102,6 +106,11 @@ func (p *pipeline) drain(r ipc.Receiver, flush *sync.WaitGroup) {
 	buf := make([]ipc.Message, p.batchSize)
 	routed := make([][]ipc.Message, len(p.queues))
 	tm := v.tm
+	maxRetries := v.MaxRecvRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRecvRetries
+	}
+	retries := 0
 	for {
 		var recvStart time.Time
 		if tm != nil {
@@ -138,9 +147,27 @@ func (p *pipeline) drain(r ipc.Receiver, flush *sync.WaitGroup) {
 			}
 		}
 		if err != nil {
+			// Transient receive failures (ipc.IsTransient) are retried with
+			// exponential backoff up to a bound; everything else — and a
+			// transient fault that never clears — is terminal: the source is
+			// treated as failed and the attributed process (if any) killed.
+			// Messages received alongside the error were already enqueued
+			// above, so no retry re-reads or drops them.
+			if ipc.IsTransient(err) && retries < maxRetries {
+				retries++
+				if tm != nil {
+					tm.retries.Inc()
+				}
+				time.Sleep(ipc.RetryBackoff(retries))
+				continue
+			}
+			if tm != nil {
+				tm.recvErrs.Inc()
+			}
 			v.killAttributed(err)
 			return
 		}
+		retries = 0
 		if !ok {
 			return
 		}

@@ -76,11 +76,27 @@ const (
 	// queue applies backpressure to the drain loop rather than buffering
 	// unboundedly.
 	DefaultQueueDepth = 64
+	// DefaultMaxRecvRetries bounds how many consecutive transient receive
+	// errors a pump drain loop retries (with ipc.RetryBackoff) before
+	// treating the source as terminally failed. The count resets on any
+	// successful receive.
+	DefaultMaxRecvRetries = 8
 )
+
+// shardHealth is the lock-free poisoned-shard flag consulted by the hot
+// delivery path, the kernel watchdog (WedgedFor runs under the kernel lock,
+// so it must not take shard locks), and Health. reason is set exactly once,
+// before the flag flips, so a reader that observes poisoned==true always
+// sees the reason.
+type shardHealth struct {
+	poisoned atomic.Bool
+	reason   atomic.Pointer[string]
+}
 
 // Verifier is the policy-enforcement process.
 type Verifier struct {
 	shards  []shard
+	health  []shardHealth // 1:1 with shards
 	factory PolicyFactory
 	gate    Gate
 
@@ -100,6 +116,11 @@ type Verifier struct {
 	// QueueDepth overrides DefaultQueueDepth for Pump (0 keeps the
 	// default).
 	QueueDepth int
+	// MaxRecvRetries overrides DefaultMaxRecvRetries, the number of times a
+	// pump drain loop retries a transient receive error (ipc.IsTransient)
+	// with backoff before treating the source as terminally failed
+	// (0 keeps the default).
+	MaxRecvRetries int
 
 	totalMessages atomic.Uint64
 
@@ -116,6 +137,9 @@ type verifierMetrics struct {
 	violations *telemetry.Counter
 	kills      *telemetry.Counter
 	syncs      *telemetry.Counter
+	poisons    *telemetry.Counter // shards poisoned by worker panics
+	retries    *telemetry.Counter // transient receive errors retried by drains
+	recvErrs   *telemetry.Counter // terminal receive errors that stopped a drain
 	batchSize  *telemetry.Histogram // deliverShardBatch run lengths
 	queueDepth *telemetry.Histogram // per-shard queue occupancy at enqueue
 	pumpStall  *telemetry.Histogram // ns the drain loop spent in RecvBatch
@@ -142,6 +166,9 @@ func (v *Verifier) EnableTelemetry(m *telemetry.Metrics) {
 		violations: m.CounterLanes("verifier.violations", n),
 		kills:      m.CounterLanes("verifier.kills", n),
 		syncs:      m.CounterLanes("verifier.syncs", n),
+		poisons:    m.Counter("verifier.poisoned_shards"),
+		retries:    m.Counter("verifier.recv_transient_retries"),
+		recvErrs:   m.Counter("verifier.recv_terminal_errors"),
 		batchSize:  m.Histogram("verifier.batch_size"),
 		queueDepth: m.Histogram("verifier.queue_depth"),
 		pumpStall:  m.Histogram("verifier.pump_stall_ns"),
@@ -166,6 +193,7 @@ func NewSharded(factory PolicyFactory, gate Gate, shards int) *Verifier {
 	}
 	v := &Verifier{
 		shards:          make([]shard, shards),
+		health:          make([]shardHealth, shards),
 		factory:         factory,
 		gate:            gate,
 		KillOnViolation: true,
@@ -190,12 +218,20 @@ func (v *Verifier) shardIndex(pid int32) int {
 	return int(h % uint32(len(v.shards)))
 }
 
-// ProcessStarted implements kernel.Listener: allocate a policy context.
+// ProcessStarted implements kernel.Listener: allocate a policy context. A
+// process routed to a poisoned shard is born dead and killed immediately —
+// the shard can no longer validate anything, so admitting the process would
+// let its messages pass unevaluated (fail-open).
 func (v *Verifier) ProcessStarted(pid int32) {
-	s := v.shardFor(pid)
+	si := v.shardIndex(pid)
+	s := &v.shards[si]
+	poisoned := v.health[si].poisoned.Load()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.procs[pid] = &procCtx{pid: pid, policies: v.factory()}
+	s.procs[pid] = &procCtx{pid: pid, policies: v.factory(), dead: poisoned}
+	s.mu.Unlock()
+	if poisoned && v.gate != nil {
+		v.gate.Kill(pid, v.poisonReason(si))
+	}
 }
 
 // ProcessForked implements kernel.Listener: copy the parent's context. The
@@ -277,10 +313,32 @@ func (v *Verifier) DeliverBatch(ms []ipc.Message) {
 	}
 }
 
+// seqViolationReason classifies a failed per-process counter check (§3.1.1)
+// by the relation of the received counter to the last validated one. The
+// three classes are distinct attack/fault signatures — a duplicated message,
+// a replayed or reordered one, and dropped/overwritten messages — and the
+// chaos injector's duplicate/reorder/drop faults rely on being told apart.
+func seqViolationReason(got, last uint64) string {
+	switch {
+	case got == last:
+		return fmt.Sprintf("message counter duplicate: %d delivered twice", got)
+	case got < last:
+		return fmt.Sprintf("message counter replay/reorder: got %d after %d", got, last)
+	default:
+		return fmt.Sprintf("message counter gap: got %d after %d (%d missing)", got, last, got-last-1)
+	}
+}
+
 // deliverShardBatch evaluates a run of messages that all hash to shard si:
 // one lock round for the whole run, with the procCtx lookup cached across
-// consecutive messages from the same process (the dominant pattern).
+// consecutive messages from the same process (the dominant pattern). On a
+// poisoned shard nothing is evaluated: every process in the batch is killed
+// fail-closed instead (see poisonShard).
 func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
+	if v.health[si].poisoned.Load() {
+		v.poisonedDrop(si, ms)
+		return
+	}
 	s := &v.shards[si]
 	var actsBuf [4]gateAction
 	acts := actsBuf[:0]
@@ -295,6 +353,16 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	}
 
 	s.mu.Lock()
+	locked := true
+	// A policy.Handle panic must not leave the shard mutex held: the worker's
+	// recover path (safeDeliver → poisonShard) re-takes it to mark residents
+	// dead, and every other process hashed here would otherwise wedge on a
+	// dead goroutine's lock.
+	defer func() {
+		if locked {
+			s.mu.Unlock()
+		}
+	}()
 	var pc *procCtx
 	var pcPID int32
 	var pcValid bool
@@ -330,7 +398,7 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 		}
 		if checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
 			viol := &policy.Violation{PID: m.PID, Op: m.Op,
-				Reason: fmt.Sprintf("message counter gap: got %d after %d", m.Seq, pc.lastSeq)}
+				Reason: seqViolationReason(m.Seq, pc.lastSeq)}
 			pc.violations = append(pc.violations, viol)
 			violCount++
 			// Integrity violations are always fatal (§3.1.1).
@@ -365,6 +433,7 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			}
 		}
 	}
+	locked = false
 	s.mu.Unlock()
 
 	if delivered > 0 {
@@ -399,6 +468,119 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 			v.gate.NotifySyncReady(a.pid)
 		}
 	}
+}
+
+// safeDeliver is the pipeline worker's delivery entry point: it contains a
+// panic thrown by policy evaluation (or any other bug in the delivery path)
+// to the one shard it happened on. The shard is poisoned — every process
+// resident on it is killed fail-closed, and everything subsequently routed
+// to it dies on arrival — instead of the panic tearing down the whole
+// verifier process and silently un-gating every monitored program.
+func (v *Verifier) safeDeliver(si int, ms []ipc.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			v.poisonShard(si, fmt.Sprintf("verifier shard %d poisoned: worker panic: %v", si, r))
+		}
+	}()
+	v.deliverShardBatch(si, ms)
+}
+
+// poisonShard marks shard si permanently failed: the poisoned flag diverts
+// all future deliveries to the fail-closed drop path, every resident process
+// is killed, and the kernel watchdog (WedgedFor) reports the shard wedged so
+// a process already stalled in SyscallEnter dies at its epoch deadline with
+// an attributable reason. First caller wins; later calls are no-ops.
+func (v *Verifier) poisonShard(si int, reason string) {
+	h := &v.health[si]
+	h.reason.CompareAndSwap(nil, &reason)
+	if h.poisoned.Swap(true) {
+		return // already poisoned
+	}
+	s := &v.shards[si]
+	s.mu.Lock()
+	pids := make([]int32, 0, len(s.procs))
+	for pid, pc := range s.procs {
+		if !pc.dead {
+			pc.dead = true
+			pids = append(pids, pid)
+		}
+	}
+	s.mu.Unlock()
+	if tm := v.tm; tm != nil {
+		tm.poisons.Inc()
+		tm.m.Event("verifier.shard_poisoned", int32(si), uint64(len(pids)))
+	}
+	if v.gate != nil {
+		for _, pid := range pids {
+			v.gate.Kill(pid, v.poisonReason(si))
+		}
+	}
+}
+
+// poisonReason returns the kill reason recorded when shard si was poisoned.
+func (v *Verifier) poisonReason(si int) string {
+	if r := v.health[si].reason.Load(); r != nil {
+		return *r
+	}
+	return fmt.Sprintf("verifier shard %d poisoned", si)
+}
+
+// poisonedDrop is the fail-closed delivery path of a poisoned shard: no
+// message is evaluated (the shard's policy state is suspect), and every
+// not-yet-dead process appearing in the batch is killed — a process whose
+// messages cannot be validated must not be allowed to pass gates.
+func (v *Verifier) poisonedDrop(si int, ms []ipc.Message) {
+	s := &v.shards[si]
+	var killPIDs []int32
+	var dropped uint64
+	s.mu.Lock()
+	for i := range ms {
+		pc := s.procs[ms[i].PID]
+		if pc == nil {
+			continue
+		}
+		dropped++
+		pc.dropped++
+		if !pc.dead {
+			pc.dead = true
+			killPIDs = append(killPIDs, pc.pid)
+		}
+	}
+	s.mu.Unlock()
+	if tm := v.tm; tm != nil && dropped > 0 {
+		tm.dropped.AddAt(si, dropped)
+	}
+	if v.gate != nil {
+		for _, pid := range killPIDs {
+			v.gate.Kill(pid, v.poisonReason(si))
+		}
+	}
+}
+
+// PoisonedShards reports how many shards have been poisoned by contained
+// worker panics. Non-zero means the verifier is running degraded: processes
+// hashed to those shards are being killed fail-closed. Surfaced through
+// supervisor.Health and /healthz.
+func (v *Verifier) PoisonedShards() int {
+	n := 0
+	for i := range v.health {
+		if v.health[i].poisoned.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// WedgedFor implements the kernel's watchdog probe (kernel.Watchdog): it
+// reports whether the verifier can still make validation progress for pid.
+// It reads only atomics — the kernel calls it with its own lock held, so it
+// must never take a shard lock (lock-order inversion with the gate path).
+func (v *Verifier) WedgedFor(pid int32) (bool, string) {
+	si := v.shardIndex(pid)
+	if v.health[si].poisoned.Load() {
+		return true, v.poisonReason(si)
+	}
+	return false, ""
 }
 
 // Pump consumes messages from r until the channel closes, draining bursts

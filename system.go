@@ -3,6 +3,7 @@ package herqules
 import (
 	"context"
 
+	"herqules/internal/kernel"
 	"herqules/internal/obs"
 	"herqules/internal/supervisor"
 	"herqules/internal/telemetry"
@@ -89,6 +90,14 @@ func WithKillOnViolation(kill bool) SystemOption {
 	return func(c *systemConfig) { c.sup.KillOnViolation = kill }
 }
 
+// WithCheckSeq enables per-process message-counter verification (§3.1.1):
+// a gap, duplicate or replay in a monitored process's message stream is
+// treated as a policy violation. Off by default (the paper's measurement
+// configuration); enforcement deployments should enable it.
+func WithCheckSeq(on bool) SystemOption {
+	return func(c *systemConfig) { c.sup.CheckSeq = on }
+}
+
 // WithChannelKind selects the AppendWrite transport the System constructs
 // for processes launched without an explicit channel (default: the
 // shared-memory ring).
@@ -99,6 +108,29 @@ func WithChannelKind(kind ChannelKind) SystemOption {
 // WithShards overrides the verifier shard count (default: GOMAXPROCS).
 func WithShards(n int) SystemOption {
 	return func(c *systemConfig) { c.sup.Shards = n }
+}
+
+// DegradedPolicy selects how the kernel treats a synchronization-epoch
+// expiry — the moment validation is detectably not keeping up (§2.2).
+type DegradedPolicy = kernel.DegradedPolicy
+
+// Degraded policies for WithDegradedPolicy.
+const (
+	// DegradedFailClosed (the default) kills the stalled process at the
+	// epoch deadline, with a distinct wedged-verifier reason when the
+	// verifier shard serving it is known to be dead.
+	DegradedFailClosed = kernel.DegradedFailClosed
+	// DegradedLogOnly records every bypassed epoch (counters, events,
+	// per-process stats) and lets the system call proceed. Fail-open:
+	// measurement and chaos experiments only.
+	DegradedLogOnly = kernel.DegradedLogOnly
+)
+
+// WithDegradedPolicy selects the kernel's behaviour when validation stops
+// making progress for a process (silent channel, wedged or poisoned verifier
+// shard). The default is DegradedFailClosed.
+func WithDegradedPolicy(p DegradedPolicy) SystemOption {
+	return func(c *systemConfig) { c.sup.Degraded = p }
 }
 
 // WithLatencySampling sets the end-to-end latency sampling period: one
