@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench throughput stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency
+.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency
 
 all: check
 
@@ -28,6 +28,7 @@ check:
 	$(MAKE) multiproc-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) bench-smoke
 
 # multiproc-smoke re-runs the concurrent-supervisor tests under the race
 # detector and takes one small-N multiproc scaling measurement.
@@ -64,8 +65,19 @@ stats:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-smoke keeps the hot path honest in CI: a short run of the verifier
+# throughput benchmarks (catching gross regressions and alloc creep via
+# -benchmem) plus a quick shard-scaling ladder, whose JSON lands in
+# BENCH_scaling.json for comparison against the committed full run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkVerifierThroughput' -benchtime 200ms -benchmem .
+	$(GO) run ./cmd/hqbench -exp scaling -quick -out BENCH_scaling.json >/dev/null
+
 throughput:
 	$(GO) run ./cmd/hqbench -exp throughput
+
+scaling:
+	$(GO) run ./cmd/hqbench -exp scaling -out BENCH_scaling.json
 
 multiproc:
 	$(GO) run ./cmd/hqbench -exp multiproc

@@ -18,13 +18,17 @@
 //	hqbench -exp latency        # cost + output of 1-in-N send→validate sampling
 //	hqbench -exp obs            # observability endpoint smoke: scrape /metrics over HTTP
 //	hqbench -exp chaos          # fault-injection soak: fail-closed invariants + reproducibility
+//	hqbench -exp scaling        # shard-scaling ladder: shards x backend msgs/sec
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats/chaos
 //	hqbench -seed N             # fault-schedule seed for the chaos soak
+//	hqbench -quick              # shrink the scaling ladder for smoke runs
+//	hqbench -out FILE           # also write the scaling report as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +39,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
 	seed := flag.Uint64("seed", 0xda0517, "fault-schedule seed for the chaos soak")
+	quick := flag.Bool("quick", false, "shrink the scaling ladder (fewer messages, single rep) for smoke runs")
+	outFile := flag.String("out", "", "write the scaling report as JSON to this file")
 	flag.Parse()
 
 	var scale workload.Scale
@@ -152,6 +158,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(out)
+	}
+	if want("scaling") {
+		ran = true
+		header("Shard-scaling ladder: verifier msgs/sec vs shard count, per backend")
+		scalingMsgs, reps := *msgs, 0
+		if *quick {
+			scalingMsgs, reps = 1<<17, 1
+		}
+		rep := experiments.Scaling(scalingMsgs, reps)
+		fmt.Print(experiments.FormatScaling(rep))
+		if *outFile != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *outFile)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

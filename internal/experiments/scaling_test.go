@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScalingLadderShape checks the ladder produces one row per
+// shard-count × backend rung with sane rates, and that the JSON artifact
+// round-trips with the fields downstream tooling keys on.
+func TestScalingLadderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling ladder is a timed sweep")
+	}
+	rep := Scaling(1<<15, 1)
+	wantRows := 2 * len(scalingShardLadder)
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), wantRows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Rows {
+		if r.MsgsPerSec <= 0 {
+			t.Errorf("%s/%d shards: non-positive rate %f", r.Backend, r.Shards, r.MsgsPerSec)
+		}
+		if r.Messages != 1<<15 {
+			t.Errorf("%s/%d shards: messages = %d, want %d", r.Backend, r.Shards, r.Messages, 1<<15)
+		}
+		seen[r.Backend] = true
+	}
+	if !seen["replay"] || !seen["ring"] {
+		t.Fatalf("missing a backend: %v", seen)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{`"gomaxprocs"`, `"backend"`, `"shards"`, `"msgs_per_sec"`, `"elapsed_ns"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("JSON report missing field %s", field)
+		}
+	}
+
+	out := FormatScaling(rep)
+	if !strings.Contains(out, "replay") || !strings.Contains(out, "ring") {
+		t.Errorf("FormatScaling output missing backends:\n%s", out)
+	}
+}

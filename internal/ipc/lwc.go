@@ -1,7 +1,6 @@
 package ipc
 
 import (
-	"runtime"
 	"sync"
 	"time"
 )
@@ -118,32 +117,3 @@ var (
 	_ BatchReceiver = (*lwcChannel)(nil)
 	_ Pender        = (*lwcChannel)(nil)
 )
-
-// spinIterBudget bounds the cooperative-spin phase of spinWait: past it the
-// wait sleeps out the remainder instead of burning further cycles.
-const spinIterBudget = 256
-
-// spinWait waits for roughly d and returns how many loop iterations it took.
-// The typical LWC switch (~2µs) resolves inside the cooperative-spin phase —
-// runtime.Gosched yields the processor to runnable goroutines instead of hot-
-// looping on time.Now — which keeps the Table 2 calibration intact; any wait
-// that outlives the iteration budget sleeps out the remainder, so the CPU
-// burned per call is bounded by the budget no matter how large d is (the old
-// `for time.Now().Before(deadline) {}` pinned a core for the full duration).
-func spinWait(d time.Duration) (iters int) {
-	deadline := time.Now().Add(d)
-	for {
-		now := time.Now()
-		if !now.Before(deadline) {
-			return iters
-		}
-		iters++
-		if iters <= spinIterBudget {
-			runtime.Gosched()
-			continue
-		}
-		// Budget burnt: hand the remainder to the scheduler. One sleep
-		// normally suffices; the loop re-checks in case Sleep wakes early.
-		time.Sleep(deadline.Sub(now))
-	}
-}

@@ -1,7 +1,6 @@
 package ipc
 
 import (
-	"runtime"
 	"sync/atomic"
 )
 
@@ -64,17 +63,22 @@ func NewSharedRing(capacity int) *Channel {
 	}}
 }
 
-// Send writes m into the next free slot, spinning while the ring is full.
+// Send writes m into the next free slot. A full ring applies backpressure
+// with the iteration-budgeted pollBackoff: the producer yields cooperatively
+// while the verifier is expected to drain imminently, then sleeps in
+// pollSleepQuantum steps — a stalled verifier costs the producer scheduler
+// wakeups, not a pinned core.
 func (r *SharedRing) Send(m Message) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
 	head := r.head.Load()
+	var bo pollBackoff
 	for head-r.tail.Load() >= uint64(len(r.slots)) {
 		if r.closed.Load() {
 			return ErrClosed
 		}
-		runtime.Gosched()
+		bo.pause()
 	}
 	r.seq++
 	m.Seq = r.seq
@@ -90,7 +94,10 @@ func (r *SharedRing) Close() error {
 }
 
 // Recv blocks until a message is available or the ring is closed and empty.
+// The empty-ring wait uses the same budgeted backoff as Send, so a consumer
+// ahead of a stalled producer stops burning its core after the spin budget.
 func (r *SharedRing) Recv() (Message, bool, error) {
+	var bo pollBackoff
 	for {
 		if m, ok, err := r.TryRecv(); ok || err != nil {
 			return m, ok, err
@@ -98,7 +105,7 @@ func (r *SharedRing) Recv() (Message, bool, error) {
 		if r.closed.Load() && r.tail.Load() == r.head.Load() {
 			return Message{}, false, nil
 		}
-		runtime.Gosched()
+		bo.pause()
 	}
 }
 
@@ -117,11 +124,14 @@ func (r *SharedRing) TryRecv() (Message, bool, error) {
 // the ring in one pass, publishing the new read cursor with a single atomic
 // store. The scalar Recv pays two atomic loads and one store per message;
 // here that cost is paid once per burst, which is what lets a drain loop keep
-// up with a writer whose send is a single memory write.
+// up with a writer whose send is a single memory write. The burst is copied
+// with at most two bulk copies (the wrap-around split) instead of a per-slot
+// loop, and the empty-ring wait uses the budgeted backoff shared with Send.
 func (r *SharedRing) RecvBatch(buf []Message) (int, bool, error) {
 	if len(buf) == 0 {
 		return 0, true, nil
 	}
+	var bo pollBackoff
 	for {
 		tail := r.tail.Load()
 		head := r.head.Load()
@@ -130,8 +140,10 @@ func (r *SharedRing) RecvBatch(buf []Message) (int, bool, error) {
 			if n > len(buf) {
 				n = len(buf)
 			}
-			for i := 0; i < n; i++ {
-				buf[i] = r.slots[(tail+uint64(i))&r.mask]
+			i := int(tail & r.mask)
+			c := copy(buf[:n], r.slots[i:])
+			if c < n {
+				copy(buf[c:n], r.slots)
 			}
 			r.tail.Store(tail + uint64(n))
 			return n, true, nil
@@ -139,7 +151,7 @@ func (r *SharedRing) RecvBatch(buf []Message) (int, bool, error) {
 		if r.closed.Load() && r.tail.Load() == r.head.Load() {
 			return 0, false, nil
 		}
-		runtime.Gosched()
+		bo.pause()
 	}
 }
 

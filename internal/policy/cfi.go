@@ -11,22 +11,24 @@ import "herqules/internal/ipc"
 // design supports (Table 3).
 type CFI struct {
 	// table maps pointer address -> expected pointer value. Each entry is
-	// the verifier-side 16-byte pointer-value pair of §5.4.
-	table map[uint64]uint64
+	// the verifier-side 16-byte pointer-value pair of §5.4, held in a flat
+	// open-addressing table because every HQ-CFI message lands here — see
+	// ptrtable.go for why a generic map is too slow for this hot path.
+	table *ptrTable
 	// maxEntries tracks the high-water mark for the §5.4 metrics.
 	maxEntries int
 }
 
 // NewCFI creates an empty pointer-integrity context.
 func NewCFI() *CFI {
-	return &CFI{table: make(map[uint64]uint64)}
+	return &CFI{table: newPtrTable()}
 }
 
 // Name implements Policy.
 func (c *CFI) Name() string { return "hq-cfi" }
 
 // Entries implements Policy.
-func (c *CFI) Entries() int { return len(c.table) }
+func (c *CFI) Entries() int { return c.table.live }
 
 // MaxEntries reports the table's high-water mark.
 func (c *CFI) MaxEntries() int { return c.maxEntries }
@@ -34,9 +36,7 @@ func (c *CFI) MaxEntries() int { return c.maxEntries }
 // Clone implements Policy.
 func (c *CFI) Clone() Policy {
 	n := NewCFI()
-	for k, v := range c.table {
-		n.table[k] = v
-	}
+	c.table.each(func(k, v uint64) { n.table.put(k, v) })
 	n.maxEntries = c.maxEntries
 	return n
 }
@@ -51,7 +51,7 @@ func (c *CFI) Handle(m ipc.Message) *Violation {
 	case ipc.OpPointerCheckInvalidate:
 		return c.check(m, true)
 	case ipc.OpPointerInvalidate:
-		delete(c.table, m.Arg1)
+		c.table.del(m.Arg1)
 	case ipc.OpPointerBlockCopy:
 		c.blockCopy(m.Arg1, m.Arg2, m.Arg3, false)
 	case ipc.OpPointerBlockMove:
@@ -63,14 +63,14 @@ func (c *CFI) Handle(m ipc.Message) *Violation {
 }
 
 func (c *CFI) define(addr, val uint64) {
-	c.table[addr] = val
-	if len(c.table) > c.maxEntries {
-		c.maxEntries = len(c.table)
+	c.table.put(addr, val)
+	if c.table.live > c.maxEntries {
+		c.maxEntries = c.table.live
 	}
 }
 
 func (c *CFI) check(m ipc.Message, invalidate bool) *Violation {
-	stored, ok := c.table[m.Arg1]
+	stored, ok := c.table.get(m.Arg1)
 	if !ok {
 		return &Violation{
 			PID: m.PID, Op: m.Op, Addr: m.Arg1, Value: m.Arg2,
@@ -84,7 +84,7 @@ func (c *CFI) check(m ipc.Message, invalidate bool) *Violation {
 		}
 	}
 	if invalidate {
-		delete(c.table, m.Arg1)
+		c.table.del(m.Arg1)
 	}
 	return nil
 }
@@ -97,14 +97,14 @@ func (c *CFI) check(m ipc.Message, invalidate bool) *Violation {
 func (c *CFI) blockCopy(src, dst, n uint64, move bool) {
 	type ent struct{ off, val uint64 }
 	var found []ent
-	for a, v := range c.table {
+	c.table.each(func(a, v uint64) {
 		if a >= src && a-src < n {
 			found = append(found, ent{off: a - src, val: v})
 			if move {
-				delete(c.table, a)
+				c.table.del(a)
 			}
 		}
-	}
+	})
 	// Pre-existing destination pointers are invalidated.
 	c.blockInvalidate(dst, n)
 	for _, e := range found {
@@ -113,11 +113,11 @@ func (c *CFI) blockCopy(src, dst, n uint64, move bool) {
 }
 
 func (c *CFI) blockInvalidate(addr, n uint64) {
-	for a := range c.table {
+	c.table.each(func(a, _ uint64) {
 		if a >= addr && a-addr < n {
-			delete(c.table, a)
+			c.table.del(a)
 		}
-	}
+	})
 }
 
 var _ Policy = (*CFI)(nil)

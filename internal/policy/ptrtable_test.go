@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPtrTableMatchesMap drives the flat table and a reference Go map with an
+// identical randomized op stream — including the define/invalidate churn the
+// CFI workload is made of — and requires identical observable state at every
+// step. The seed is fixed so a failure reproduces.
+func TestPtrTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9e3779b9))
+	tab := newPtrTable()
+	ref := make(map[uint64]uint64)
+	// Small key space forces collisions, probe chains, tombstone reuse and
+	// rehash growth; keys step by 8 like real pointer addresses.
+	key := func() uint64 { return 0x1000 + 8*uint64(rng.Intn(512)) }
+	for i := 0; i < 200000; i++ {
+		k := key()
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // define
+			v := rng.Uint64()
+			tab.put(k, v)
+			ref[k] = v
+		case 4, 5, 6: // invalidate
+			got := tab.del(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("step %d: del(%#x) = %t, want %t", i, k, got, want)
+			}
+			delete(ref, k)
+		default: // check
+			gotV, gotOK := tab.get(k)
+			wantV, wantOK := ref[k]
+			if gotOK != wantOK || gotV != wantV {
+				t.Fatalf("step %d: get(%#x) = %#x,%t want %#x,%t", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		if tab.live != len(ref) {
+			t.Fatalf("step %d: live = %d, want %d", i, tab.live, len(ref))
+		}
+		if tab.used < tab.live || tab.used*4 > len(tab.ctrl)*3+4 {
+			t.Fatalf("step %d: occupancy invariant broken: live=%d used=%d cap=%d",
+				i, tab.live, tab.used, len(tab.ctrl))
+		}
+	}
+	// Everything still present must be enumerable exactly once.
+	seen := make(map[uint64]uint64)
+	tab.each(func(k, v uint64) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("each visited %#x twice", k)
+		}
+		seen[k] = v
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("each enumerated %d entries, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if seen[k] != v {
+			t.Fatalf("each: key %#x = %#x, want %#x", k, seen[k], v)
+		}
+	}
+}
+
+// TestPtrTableChurnStaysCompact pins the anti-tombstone property the CFI
+// define/invalidate cycle depends on: cycling a bounded working set through
+// the table must not grow it, because end-of-chain deletes collapse their
+// tombstones back to empty slots.
+func TestPtrTableChurnStaysCompact(t *testing.T) {
+	tab := newPtrTable()
+	const working = 1024
+	for i := 0; i < working; i++ {
+		tab.put(uint64(0x1000+8*i), uint64(i))
+	}
+	capAfterFill := len(tab.ctrl)
+	for round := 0; round < 64; round++ {
+		for i := 0; i < working; i++ {
+			k := uint64(0x1000 + 8*i)
+			if !tab.del(k) {
+				t.Fatalf("round %d: del(%#x) missed", round, k)
+			}
+			tab.put(k, uint64(round))
+		}
+	}
+	if len(tab.ctrl) != capAfterFill {
+		t.Fatalf("steady-state churn grew the table: cap %d -> %d", capAfterFill, len(tab.ctrl))
+	}
+	if tab.live != working {
+		t.Fatalf("live = %d, want %d", tab.live, working)
+	}
+}
+
+// TestPtrTableZeroKey covers address zero, which must behave like any other
+// key (flat tables often reserve a zero sentinel; this one must not).
+func TestPtrTableZeroKey(t *testing.T) {
+	tab := newPtrTable()
+	tab.put(0, 42)
+	if v, ok := tab.get(0); !ok || v != 42 {
+		t.Fatalf("get(0) = %d,%t want 42,true", v, ok)
+	}
+	if !tab.del(0) {
+		t.Fatal("del(0) missed")
+	}
+	if _, ok := tab.get(0); ok {
+		t.Fatal("key 0 still present after del")
+	}
+}

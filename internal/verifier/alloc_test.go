@@ -1,0 +1,118 @@
+package verifier
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+)
+
+func counterOnlyFactory() []policy.Policy {
+	return []policy.Policy{policy.NewCounter()}
+}
+
+// TestDrainSteadyStateZeroAlloc proves the zero-copy claim in its strongest
+// form: once warmed up (proc contexts created, arena blocks leased once),
+// pushing messages through the full drain → route → shard-worker → policy
+// path allocates nothing. CheckSeq stays off and telemetry unattached — both
+// are orthogonal features the alloc budget of the hot path proper must not
+// depend on.
+func TestDrainSteadyStateZeroAlloc(t *testing.T) {
+	const nmsgs = 4 * blockSlots // several block turnovers per run
+	msgs := make([]ipc.Message, nmsgs)
+	for i := range msgs {
+		msgs[i] = ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 1}
+	}
+	r := ipc.NewReplay(msgs)
+
+	v := NewSharded(counterOnlyFactory, nil, 1)
+	p := v.newPipeline()
+	defer p.stop()
+
+	var flush sync.WaitGroup
+	run := func() {
+		r.Rewind()
+		p.drain(r, &flush)
+		flush.Wait() // every block reference back in the free list
+	}
+	// Warm up: proc context, the arena's circulating block set, runtime
+	// internals. Steady state starts once the free list is primed.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	blockAllocs := p.arena.allocs.Load()
+
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 0.5 {
+		t.Fatalf("steady-state drain allocated %.2f times per %d messages (%.6f allocs/msg), want 0",
+			allocs, nmsgs, allocs/nmsgs)
+	}
+	if got := p.arena.allocs.Load(); got != blockAllocs {
+		t.Fatalf("arena allocated %d fresh blocks after warm-up, want 0", got-blockAllocs)
+	}
+}
+
+// TestArenaBlocksReturnAfterFlush is the leak check for the refcounted block
+// hand-off: when every routed run has been delivered, every lease and run
+// reference must have been released, leaving no block outstanding.
+func TestArenaBlocksReturnAfterFlush(t *testing.T) {
+	msgs := make([]ipc.Message, 3*blockSlots+17) // deliberately not block-aligned
+	for i := range msgs {
+		msgs[i] = ipc.Message{Op: ipc.OpCounterInc, PID: int32(i % 5), Arg1: 1}
+	}
+
+	v := NewSharded(counterOnlyFactory, nil, 4)
+	ps := v.NewPumpSet()
+	done, err := ps.Attach(ipc.NewReplay(msgs))
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	<-done
+	ps.Close()
+	if n := ps.p.arena.outstanding(); n != 0 {
+		t.Fatalf("%d arena blocks still outstanding after flush", n)
+	}
+}
+
+// TestArenaBlocksReturnOnPoisonedShard pins the same invariant down the
+// fail-closed path: a shard poisoned mid-stream keeps consuming its queue
+// (dropping deliveries), and every one of those dropped batches must still
+// release its block reference — a panic in policy code must not leak arena
+// blocks any more than it may wedge producers.
+func TestArenaBlocksReturnOnPoisonedShard(t *testing.T) {
+	msgs := make([]ipc.Message, 2*blockSlots)
+	for i := range msgs {
+		msgs[i] = ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 1}
+	}
+	msgs[7].Arg1 = 0xdead // detonates bombPolicy early; the rest drains poisoned
+
+	v := NewSharded(bombFactory, newFakeGate(), 1)
+	v.ProcessStarted(1)
+	ps := v.NewPumpSet()
+	done, err := ps.Attach(ipc.NewReplay(msgs))
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	<-done
+	ps.Close()
+	if v.PoisonedShards() == 0 {
+		t.Fatal("shard was not poisoned; test exercised the wrong path")
+	}
+	if n := ps.p.arena.outstanding(); n != 0 {
+		t.Fatalf("%d arena blocks still outstanding after poisoned drain", n)
+	}
+}
+
+// TestShardStatePadding keeps the false-sharing fix honest: the per-shard
+// structs the workers hammer concurrently must stay cache-line multiples, or
+// adjacent shards in the slice start bouncing each other's lines again.
+func TestShardStatePadding(t *testing.T) {
+	if s := unsafe.Sizeof(shard{}); s%cacheLinePad != 0 {
+		t.Errorf("sizeof(shard) = %d, not a multiple of %d", s, cacheLinePad)
+	}
+	if s := unsafe.Sizeof(shardHealth{}); s%cacheLinePad != 0 {
+		t.Errorf("sizeof(shardHealth) = %d, not a multiple of %d", s, cacheLinePad)
+	}
+}

@@ -9,26 +9,43 @@ import (
 )
 
 // pipeline is the sharded delivery fan-out shared by Pump and PumpSet: one
-// bounded queue plus worker goroutine per shard, with batch buffers recycled
-// through a free list so steady-state pumping allocates nothing. Any number
-// of drain loops may route bursts into the same pipeline concurrently; the
-// queues are channels, so enqueueing is safe without further locking.
+// bounded queue plus worker goroutine per shard, fed zero-copy from a batch
+// arena (arena.go). Any number of drain loops may route bursts into the same
+// pipeline concurrently; the queues are channels, so enqueueing is safe
+// without further locking.
+//
+// Hot-path anatomy (see DESIGN.md "Hot path anatomy" for the full story):
+//
+//  1. drain devirtualizes its receiver once — a concrete fast-path loop is
+//     instantiated for *ipc.SharedRing and *ipc.Replay, everything else
+//     (instrumented/chaos wrappers, fd framing) takes the generic
+//     ipc.Receiver loop — so the dominant backend pays no per-burst
+//     interface dispatch.
+//  2. Each burst is received directly into a leased arena block and routed
+//     as (block, start, len) runs of same-shard messages: a message is
+//     written once by RecvBatch and never copied again.
+//  3. Run boundaries are detected by PID change, so the shard hash is paid
+//     once per run, not once per message; a single-shard pipeline routes a
+//     whole burst with no per-message work at all.
 type pipeline struct {
 	v         *Verifier
 	batchSize int
 	queues    []chan batchItem
-	free      chan []ipc.Message
+	arena     *arena
 	workers   sync.WaitGroup
 }
 
-// batchItem is one unit of shard work: a run of same-shard messages plus the
-// flush counter of the source that enqueued it. The counter is decremented
-// only after the batch has been *delivered* to the verifier, which is what
-// lets a per-source waiter distinguish "handed to the workers" from
-// "verified". flush is nil when the caller does not track per-source
-// delivery (the single-source Pump, which flushes via stop instead).
+// batchItem is one unit of shard work: a run of same-shard messages, named
+// by index triplet into a shared arena block, plus the flush counter of the
+// source that enqueued it. The counter is decremented only after the batch
+// has been *delivered* to the verifier, which is what lets a per-source
+// waiter distinguish "handed to the workers" from "verified". flush is nil
+// when the caller does not track per-source delivery (the single-source
+// Pump, which flushes via stop instead).
 type batchItem struct {
-	ms    []ipc.Message
+	blk   *arenaBlock
+	start uint32
+	n     uint32
 	flush *sync.WaitGroup
 }
 
@@ -39,6 +56,9 @@ func (v *Verifier) newPipeline() *pipeline {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
+	if batchSize > blockSlots {
+		batchSize = blockSlots
+	}
 	depth := v.QueueDepth
 	if depth <= 0 {
 		depth = DefaultQueueDepth
@@ -48,7 +68,7 @@ func (v *Verifier) newPipeline() *pipeline {
 		v:         v,
 		batchSize: batchSize,
 		queues:    make([]chan batchItem, nshards),
-		free:      make(chan []ipc.Message, nshards*(depth+1)),
+		arena:     newArena(),
 	}
 	for i := range p.queues {
 		p.queues[i] = make(chan batchItem, depth)
@@ -58,101 +78,110 @@ func (v *Verifier) newPipeline() *pipeline {
 			for item := range q {
 				// safeDeliver contains a delivery panic to this shard
 				// (poisoning it) so the worker keeps consuming its queue:
-				// flush counters still drop and producers never wedge on a
-				// full queue with a dead consumer.
-				v.safeDeliver(si, item.ms)
+				// flush counters still drop, block references still release,
+				// and producers never wedge on a full queue with a dead
+				// consumer. The poisoned/degraded state is checked once per
+				// delivered batch inside deliverShardBatch, never per
+				// message.
+				v.safeDeliver(si, item.blk.msgs[item.start:item.start+item.n])
 				if item.flush != nil {
 					// Deliveries (including any gate.Kill the batch
 					// triggered) are complete before the source's flush
 					// counter drops.
 					item.flush.Done()
 				}
-				select {
-				case p.free <- item.ms:
-				default:
-				}
+				p.arena.release(item.blk)
 			}
 		}(i, p.queues[i])
 	}
 	return p
 }
 
-// grab returns a recycled batch buffer, or a fresh one when none is free.
-func (p *pipeline) grab() []ipc.Message {
-	select {
-	case b := <-p.free:
-		return b[:0]
-	default:
-		return make([]ipc.Message, 0, p.batchSize)
-	}
+// batchSource is the one capability a drain loop needs from its receiver.
+// drainLoop is generic over the concrete type so the dominant backends bind
+// their RecvBatch directly instead of through ipc.Receiver dispatch.
+type batchSource interface {
+	RecvBatch(buf []ipc.Message) (n int, ok bool, err error)
 }
 
-// drain consumes messages from r until the channel closes or fails,
-// partitioning each burst by shard and enqueueing the runs onto the shard
-// queues. It is the per-source half of the pump: each concurrent source runs
-// drain in its own goroutine with its own receive buffer, all feeding the
-// same shard workers. Messages for one process always arrive over one
-// channel and always land in that process's shard queue in receive order, so
-// per-process ordering (and CheckSeq) is preserved under any number of
-// concurrent sources. A receive-side integrity error kills the process the
-// receiver attributes it to and stops only this source's drain.
+// genericSource adapts any ipc.Receiver — wrapped rings (telemetry, chaos),
+// fd framing, scalar-only backends — to batchSource via ipc.RecvBatchFrom.
+type genericSource struct{ r ipc.Receiver }
+
+func (g genericSource) RecvBatch(buf []ipc.Message) (int, bool, error) {
+	return ipc.RecvBatchFrom(g.r, buf)
+}
+
+// drain consumes messages from r until the channel closes or fails. It is
+// the per-source half of the pump: each concurrent source runs drain in its
+// own goroutine with its own arena lease, all feeding the same shard
+// workers. Messages for one process always arrive over one channel and
+// always land in that process's shard queue in receive order, so per-process
+// ordering (and CheckSeq) is preserved under any number of concurrent
+// sources. A receive-side integrity error kills the process the receiver
+// attributes it to and stops only this source's drain.
+//
+// The receiver's concrete type is resolved exactly once, here: the shared
+// ring and the replay stream — the two backends the throughput path lives
+// on — get devirtualized loops, everything else the generic one.
 //
 // flush, when non-nil, counts this source's outstanding batches: incremented
 // per enqueue here, decremented by the shard worker after delivery. When
 // drain has returned AND flush has drained to zero, every message r produced
 // has been evaluated by the verifier.
 func (p *pipeline) drain(r ipc.Receiver, flush *sync.WaitGroup) {
+	switch cr := r.(type) {
+	case *ipc.SharedRing:
+		drainLoop(p, cr, flush)
+	case *ipc.Replay:
+		drainLoop(p, cr, flush)
+	default:
+		drainLoop(p, genericSource{r: r}, flush)
+	}
+}
+
+// drainLoop is the receive half of the hot path: lease an arena block,
+// RecvBatch bursts directly into it, route each burst as same-shard runs.
+// Transient receive failures (ipc.IsTransient) are retried with exponential
+// backoff up to a bound; everything else — and a transient fault that never
+// clears — is terminal: the source is treated as failed and the attributed
+// process (if any) killed. Messages received alongside an error were already
+// routed, so no retry re-reads or drops them.
+func drainLoop[S batchSource](p *pipeline, src S, flush *sync.WaitGroup) {
 	v := p.v
-	buf := make([]ipc.Message, p.batchSize)
-	routed := make([][]ipc.Message, len(p.queues))
 	tm := v.tm
 	maxRetries := v.MaxRecvRetries
 	if maxRetries <= 0 {
 		maxRetries = DefaultMaxRecvRetries
 	}
 	retries := 0
+	blk := p.arena.lease()
+	w := 0
+	defer func() { p.arena.release(blk) }() // the writer lease
 	for {
+		if w+p.batchSize > blockSlots {
+			// Block exhausted: drop the writer lease and fill a fresh one.
+			// In-flight runs keep their references; the block recycles when
+			// the last of them delivers.
+			p.arena.release(blk)
+			blk = p.arena.lease()
+			w = 0
+		}
 		var recvStart time.Time
 		if tm != nil {
 			recvStart = time.Now()
 		}
-		n, ok, err := ipc.RecvBatchFrom(r, buf)
+		n, ok, err := src.RecvBatch(blk.msgs[w : w+p.batchSize])
 		if tm != nil {
 			// Time spent inside RecvBatch is (almost entirely) time the
 			// drain loop stalled waiting for the producer.
 			tm.pumpStall.Observe(uint64(time.Since(recvStart)))
 		}
 		if n > 0 {
-			// Partition the burst by shard, preserving order. buf is
-			// reused for the next burst, so messages are copied into
-			// recycled per-shard batch buffers.
-			for i := 0; i < n; i++ {
-				si := v.shardIndex(buf[i].PID)
-				if routed[si] == nil {
-					routed[si] = p.grab()
-				}
-				routed[si] = append(routed[si], buf[i])
-			}
-			for si, ms := range routed {
-				if ms != nil {
-					if tm != nil {
-						tm.queueDepth.ObserveAt(si, uint64(len(p.queues[si])))
-					}
-					if flush != nil {
-						flush.Add(1)
-					}
-					p.queues[si] <- batchItem{ms: ms, flush: flush}
-					routed[si] = nil
-				}
-			}
+			p.route(blk, w, n, flush)
+			w += n
 		}
 		if err != nil {
-			// Transient receive failures (ipc.IsTransient) are retried with
-			// exponential backoff up to a bound; everything else — and a
-			// transient fault that never clears — is terminal: the source is
-			// treated as failed and the attributed process (if any) killed.
-			// Messages received alongside the error were already enqueued
-			// above, so no retry re-reads or drops them.
 			if ipc.IsTransient(err) && retries < maxRetries {
 				retries++
 				if tm != nil {
@@ -172,6 +201,53 @@ func (p *pipeline) drain(r ipc.Receiver, flush *sync.WaitGroup) {
 			return
 		}
 	}
+}
+
+// route partitions blk.msgs[base:base+n] into runs of same-shard messages
+// and enqueues each run onto its shard queue, preserving order. Work is
+// proportional to the number of runs, not the shard count (the old design
+// copied every message into per-shard buffers and then scanned all shard
+// slots per burst): run boundaries are found by comparing PIDs — the shard
+// hash is only recomputed when the PID changes — and a single-shard pipeline
+// forwards the whole burst as one run with no scan at all. Production
+// sources are per-process channels, so their bursts are single runs; only
+// synthetic multi-PID streams split, at scheduler-quantum granularity.
+func (p *pipeline) route(blk *arenaBlock, base, n int, flush *sync.WaitGroup) {
+	if len(p.queues) == 1 {
+		p.enqueue(0, blk, base, n, flush)
+		return
+	}
+	v := p.v
+	ms := blk.msgs[base : base+n]
+	start := 0
+	curPID := ms[0].PID
+	si := v.shardIndex(curPID)
+	for i := 1; i < len(ms); i++ {
+		pid := ms[i].PID
+		if pid == curPID {
+			continue
+		}
+		curPID = pid
+		// Adjacent runs that hash to the same shard stay one batch item.
+		if ns := v.shardIndex(pid); ns != si {
+			p.enqueue(si, blk, base+start, i-start, flush)
+			start, si = i, ns
+		}
+	}
+	p.enqueue(si, blk, base+start, len(ms)-start, flush)
+}
+
+// enqueue hands one run to shard si's worker, taking the block and flush
+// references that the worker releases after delivery.
+func (p *pipeline) enqueue(si int, blk *arenaBlock, start, n int, flush *sync.WaitGroup) {
+	if tm := p.v.tm; tm != nil {
+		tm.queueDepth.ObserveAt(si, uint64(len(p.queues[si])))
+	}
+	if flush != nil {
+		flush.Add(1)
+	}
+	blk.ref()
+	p.queues[si] <- batchItem{blk: blk, start: uint32(start), n: uint32(n), flush: flush}
 }
 
 // stop closes the shard queues and waits for the workers to deliver

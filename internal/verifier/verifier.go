@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"herqules/internal/ipc"
 	"herqules/internal/policy"
@@ -62,10 +63,18 @@ type procCtx struct {
 	dead bool
 }
 
-// shard owns the contexts of the processes hashed to it.
+// cacheLinePad pads hot per-shard structures that live in slices to
+// cache-line multiples, so neighboring shards' workers never invalidate each
+// other's lines (false sharing). 64 bytes covers x86-64 and most arm64.
+const cacheLinePad = 64
+
+// shard owns the contexts of the processes hashed to it. Shards live in a
+// contiguous slice with one worker goroutine bouncing each shard's mutex;
+// padding keeps adjacent shards on distinct cache lines.
 type shard struct {
 	mu    sync.Mutex
 	procs map[int32]*procCtx
+	_     [cacheLinePad - (unsafe.Sizeof(sync.Mutex{})+unsafe.Sizeof(map[int32]*procCtx(nil)))%cacheLinePad]byte
 }
 
 // Pipeline tuning defaults; Verifier fields of the same name override them.
@@ -89,8 +98,12 @@ const (
 // before the flag flips, so a reader that observes poisoned==true always
 // sees the reason.
 type shardHealth struct {
-	poisoned atomic.Bool
 	reason   atomic.Pointer[string]
+	poisoned atomic.Bool
+	// Padded like shard: health flags sit 1:1 with shards in a slice and are
+	// read once per delivered batch by every worker; a poison write on one
+	// shard must not evict its neighbors' lines.
+	_ [cacheLinePad - (unsafe.Sizeof(atomic.Bool{})+unsafe.Sizeof(atomic.Pointer[string]{}))%cacheLinePad]byte
 }
 
 // Verifier is the policy-enforcement process.
