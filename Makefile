@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency
+.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify
 
 all: check
 
@@ -28,6 +28,7 @@ check:
 	$(MAKE) multiproc-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) verify-smoke
 	$(MAKE) bench-smoke
 
 # multiproc-smoke re-runs the concurrent-supervisor tests under the race
@@ -50,6 +51,19 @@ chaos-smoke:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 -run 'Chaos|Panic|Degraded|Wedged|Seq|Transient|Retry|Frame|Garbage|SpinWait' \
 		./internal/ipc ./internal/verifier ./internal/kernel ./internal/supervisor ./internal/experiments
+
+# verify-smoke model-checks the gate protocol at the 2-proc x 2-shard scope:
+# exhaustive exploration must be clean AND the checker must catch each
+# reverted fix (revert knobs) with a minimal replayable schedule. Seconds,
+# deterministic — safe for CI.
+verify-smoke:
+	$(GO) test -race -count=1 -short ./internal/verify ./internal/dsched
+	$(GO) run ./cmd/hqbench -exp verify -quick
+
+# verify runs the full exploration including the 3-process deep scope
+# (~550k states; takes minutes).
+verify:
+	$(GO) run ./cmd/hqbench -exp verify
 
 # chaos runs the full soak with report output (override: make chaos SEED=99).
 SEED ?= 0xda0517

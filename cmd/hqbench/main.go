@@ -19,6 +19,7 @@
 //	hqbench -exp obs            # observability endpoint smoke: scrape /metrics over HTTP
 //	hqbench -exp chaos          # fault-injection soak: fail-closed invariants + reproducibility
 //	hqbench -exp scaling        # shard-scaling ladder: shards x backend msgs/sec
+//	hqbench -exp verify         # model-check the gate protocol (exhaustive small-scope)
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats/chaos
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
@@ -177,6 +178,19 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *outFile)
+		}
+	}
+	if want("verify") {
+		ran = true
+		header("Gate-protocol model checking: exhaustive small-scope exploration")
+		// The 3-proc deep scope (~550k states, minutes) runs only when
+		// verify is asked for by name without -quick; under -exp all the
+		// smoke scope keeps the total wall time sane.
+		full := *exp == "verify" && !*quick
+		out, err := experiments.Verify(full)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
 		}
 	}
 	if !ran {

@@ -1,0 +1,87 @@
+package dsched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// YieldEvent is one recorded interleaving point.
+type YieldEvent struct {
+	Point Point
+	PID   int32
+	Note  bool // true for Note points, false for Yield points
+}
+
+func (e YieldEvent) String() string {
+	kind := "yield"
+	if e.Note {
+		kind = "note"
+	}
+	return fmt.Sprintf("%s:%s:%d", kind, e.Point, e.PID)
+}
+
+// Recorder is a passive Hooks implementation: it records every point hit,
+// parks nothing, and answers the real clock. Tests install it to assert
+// that the interleaving points a schedule would need actually exist on a
+// code path — the cheap half of the model checker's contract.
+type Recorder struct {
+	mu     sync.Mutex
+	events []YieldEvent
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Yield implements Hooks by recording.
+func (r *Recorder) Yield(p Point, pid int32) { r.record(p, pid, false) }
+
+// Note implements Hooks by recording.
+func (r *Recorder) Note(p Point, pid int32) { r.record(p, pid, true) }
+
+func (r *Recorder) record(p Point, pid int32, note bool) {
+	r.mu.Lock()
+	r.events = append(r.events, YieldEvent{Point: p, PID: pid, Note: note})
+	r.mu.Unlock()
+}
+
+// Now implements Hooks with the real clock.
+func (r *Recorder) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Hooks with a real timer.
+func (r *Recorder) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []YieldEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]YieldEvent(nil), r.events...)
+}
+
+// Count reports how many times point p was hit (Yield or Note).
+func (r *Recorder) Count(p Point) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Point == p {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the recorded sequence, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var _ Hooks = (*Recorder)(nil)

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"herqules/internal/verify"
+)
+
+// Verify runs the gate-protocol model checker (internal/verify) and formats
+// the evidence both ways:
+//
+//  1. Soundness of the system: the default 2-proc × 2-shard scope — every
+//     transition family enabled, §3.1.1 counter checking on — is explored
+//     EXHAUSTIVELY (the state space closes under the configured bounds) and
+//     must be clean.
+//  2. Soundness of the checker: each fixed lifecycle race is re-introduced
+//     through its revert knob (kernel.UnsafeLateNotify,
+//     kernel.UnsafeEpochTimer) or its mitigating feature is disabled
+//     (CheckSeq off under reorder), and the checker must report the expected
+//     invariant violation with a minimal replayable schedule. A checker that
+//     cannot fail proves nothing.
+//
+// full additionally explores the 3-process scope (~550k states, minutes);
+// the smoke scope (~11k states) finishes in seconds.
+func Verify(full bool) (string, error) {
+	var b strings.Builder
+	var firstErr error
+	fail := func(format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf(format, args...)
+		}
+		fmt.Fprintf(&b, "  FAIL: "+format+"\n", args...)
+	}
+
+	clean := func(label string, cfg verify.Config) {
+		start := time.Now()
+		res := verify.Check(cfg)
+		fmt.Fprintf(&b, "%-44s %8d states %9d transitions %8s",
+			label, res.StatesExplored, res.TransitionsApplied,
+			time.Since(start).Round(time.Millisecond))
+		switch {
+		case !res.Clean():
+			fmt.Fprintf(&b, "  VIOLATED\n%s", res.Violations[0])
+			fail("%s: %d violation(s)", label, len(res.Violations))
+		case res.Truncated:
+			fmt.Fprintf(&b, "  TRUNCATED\n")
+			fail("%s: exploration truncated; scope did not close", label)
+		default:
+			fmt.Fprintf(&b, "  CLEAN (exhaustive)\n")
+		}
+	}
+
+	catches := func(label string, cfg verify.Config, wantInv string) {
+		res := verify.Check(cfg)
+		if res.Clean() {
+			fail("%s: explored clean, expected a %s violation", label, wantInv)
+			return
+		}
+		v := res.Violations[0]
+		if v.Invariant != wantInv {
+			fail("%s: caught %s, expected %s", label, v.Invariant, wantInv)
+			return
+		}
+		fmt.Fprintf(&b, "%-44s caught %s, minimal schedule: [%s]\n",
+			label, v.Invariant, strings.Join(v.Schedule, " "))
+	}
+
+	b.WriteString("Exhaustive exploration (all fixes in place):\n")
+	clean("2 procs x 2 shards, all families, CheckSeq", verify.Defaults())
+	if full {
+		cfg := verify.Defaults()
+		cfg.Procs = 3
+		cfg.MaxDepth = 30
+		cfg.MaxStates = 5_000_000
+		clean("3 procs x 2 shards, all families, CheckSeq", cfg)
+	} else {
+		b.WriteString("  (3-proc scope skipped; run without -quick for the full exploration)\n")
+	}
+
+	b.WriteString("\nDetector checks (one fix reverted at a time):\n")
+	catches("registration notify-after-visible",
+		verify.Config{UnsafeLateNotify: true, CheckSeq: true, MaxDepth: 8, MaxStates: 2000},
+		verify.InvLostMessage)
+	catches("epoch watchdog armed-once + strict After",
+		verify.Config{Expire: true, UnsafeEpochTimer: true, CheckSeq: true, MaxDepth: 8, MaxStates: 2000},
+		verify.InvLiveness)
+	catches("message reorder without CheckSeq",
+		verify.Config{Reorder: true, CheckSeq: false, MaxDepth: 12, MaxStates: 4000},
+		verify.InvGate)
+
+	if firstErr == nil {
+		b.WriteString("\nverify: PASS — protocol clean under exhaustive exploration; checker demonstrably catches each reverted fix\n")
+	}
+	return b.String(), firstErr
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"herqules/internal/dsched"
 	"herqules/internal/telemetry"
 )
 
@@ -145,18 +146,44 @@ type ProcStats struct {
 	StallNs telemetry.HistogramSnapshot `json:"syscall_stall_ns"`
 }
 
+// pendingReg is the bookkeeping for a process whose verifier context is
+// being created but whose kernel context is not yet visible (the
+// register-before-visible window). A kill arriving in that window — a
+// poisoned shard kills at birth — is buffered here and applied the moment
+// the context is inserted, so exactly-one-kill holds across the hand-off.
+type pendingReg struct {
+	killed bool
+	reason string
+}
+
 // Kernel is the kernel-module model.
 type Kernel struct {
-	mu       sync.Mutex
-	procs    map[int32]*proc
-	nextPID  int32
-	listener Listener
-	watchdog Watchdog
-	degraded DegradedPolicy
+	mu          sync.Mutex
+	procs       map[int32]*proc
+	registering map[int32]*pendingReg // allocated PIDs not yet visible in procs
+	nextPID     int32
+	listener    Listener
+	watchdog    Watchdog
+	degraded    DegradedPolicy
 
 	// Epoch is the synchronization timeout (§2.2). Zero means
 	// DefaultEpoch.
 	Epoch time.Duration
+
+	// UnsafeLateNotify restores the pre-fix Register/Fork ordering — context
+	// visible first, verifier notified after — reopening the window where a
+	// message from the new process reaches a verifier with no policy context
+	// for it. Exists only so the model checker (internal/verify) can
+	// demonstrate it still catches that race; never set it in production.
+	// Must be set before concurrent use, like Epoch.
+	UnsafeLateNotify bool
+
+	// UnsafeEpochTimer restores the pre-fix epoch-watchdog shape — a timer
+	// armed once at the epoch plus a strict time.After comparison — whose
+	// tick-boundary race (broadcast lands before the comparison flips, waiter
+	// re-waits with no future wake-up) the checker must be able to reproduce.
+	// Never set it in production. Must be set before concurrent use.
+	UnsafeEpochTimer bool
 
 	tm *kernelMetrics
 }
@@ -200,9 +227,10 @@ func (k *Kernel) EnableTelemetry(m *telemetry.Metrics) {
 // attached; system calls then fail closed only on explicit Kill).
 func New(listener Listener) *Kernel {
 	return &Kernel{
-		procs:    make(map[int32]*proc),
-		nextPID:  100,
-		listener: listener,
+		procs:       make(map[int32]*proc),
+		registering: make(map[int32]*pendingReg),
+		nextPID:     100,
+		listener:    listener,
 	}
 }
 
@@ -241,23 +269,42 @@ func (k *Kernel) DegradedMode() DegradedPolicy {
 // Register allocates a kernel context for a process that enabled HerQules
 // (edge 1a of Figure 1) and notifies the verifier (edge 1b). It returns the
 // new PID.
+//
+// Ordering matters: the verifier is notified BEFORE the context becomes
+// visible in the process table. The old ordering (visible first, notify
+// after the lock dropped) left a window where a message from the new
+// process could reach a verifier that had no policy context for it and be
+// dropped as unregistered. Register-before-visible closes that window
+// without holding k.mu across the listener call — the listener may call
+// back into Kill (a poisoned shard kills at birth), which takes k.mu; such
+// kills land in the registering buffer and are applied at insertion.
 func (k *Kernel) Register() int32 {
 	k.mu.Lock()
 	k.nextPID++
 	pid := k.nextPID
-	p := &proc{pid: pid}
-	p.cond = sync.NewCond(&k.mu)
-	k.procs[pid] = p
 	l := k.listener
+	if k.UnsafeLateNotify {
+		k.insertLocked(pid)
+		k.mu.Unlock()
+		dsched.Yield(dsched.PointRegisterVisible, pid)
+		if l != nil {
+			l.ProcessStarted(pid)
+		}
+		return pid
+	}
+	k.registering[pid] = &pendingReg{}
 	k.mu.Unlock()
 	if l != nil {
 		l.ProcessStarted(pid)
 	}
+	dsched.Yield(dsched.PointRegisterVisible, pid)
+	k.finishRegister(pid)
 	return pid
 }
 
 // Fork allocates a context for a child of parent (fork/clone interception,
 // §3.3) and notifies the verifier so it can duplicate the policy context.
+// Same notify-before-visible ordering as Register, for the same race.
 func (k *Kernel) Fork(parent int32) (int32, error) {
 	k.mu.Lock()
 	pp, ok := k.procs[parent]
@@ -268,11 +315,21 @@ func (k *Kernel) Fork(parent int32) (int32, error) {
 	pp.stats.Forks++
 	k.nextPID++
 	child := k.nextPID
-	cp := &proc{pid: child}
-	cp.cond = sync.NewCond(&k.mu)
-	k.procs[child] = cp
 	l := k.listener
 	tm := k.tm
+	if k.UnsafeLateNotify {
+		k.insertLocked(child)
+		k.mu.Unlock()
+		if tm != nil {
+			tm.forks.Inc()
+		}
+		dsched.Yield(dsched.PointForkVisible, child)
+		if l != nil {
+			l.ProcessForked(parent, child)
+		}
+		return child, nil
+	}
+	k.registering[child] = &pendingReg{}
 	k.mu.Unlock()
 	if tm != nil {
 		tm.forks.Inc()
@@ -280,7 +337,49 @@ func (k *Kernel) Fork(parent int32) (int32, error) {
 	if l != nil {
 		l.ProcessForked(parent, child)
 	}
+	dsched.Yield(dsched.PointForkVisible, child)
+	k.finishRegister(child)
 	return child, nil
+}
+
+// insertLocked creates pid's context in the process table. Caller holds
+// k.mu.
+func (k *Kernel) insertLocked(pid int32) *proc {
+	p := &proc{pid: pid}
+	p.cond = sync.NewCond(&k.mu)
+	k.procs[pid] = p
+	return p
+}
+
+// finishRegister makes a notified PID visible, applying any kill that was
+// buffered while the context was in flight (and only then telling the
+// KillListener, preserving exactly-one-kill).
+func (k *Kernel) finishRegister(pid int32) {
+	k.mu.Lock()
+	pr := k.registering[pid]
+	delete(k.registering, pid)
+	p := k.insertLocked(pid)
+	var killedNow bool
+	var reason string
+	if pr != nil && pr.killed {
+		killedNow = true
+		reason = pr.reason
+		p.killed = true
+		p.killReason = reason
+		p.stats.KilledByAll = reason
+	}
+	l := k.listener
+	tm := k.tm
+	k.mu.Unlock()
+	if killedNow {
+		if tm != nil {
+			tm.kills.Inc()
+			tm.m.Event("kernel.kill", pid, 0)
+		}
+		if kl, ok := l.(KillListener); ok {
+			kl.ProcessKilled(pid, reason)
+		}
+	}
 }
 
 // Exit tears down the context for pid and notifies the verifier. Goroutines
@@ -298,6 +397,7 @@ func (k *Kernel) Exit(pid int32) {
 	l := k.listener
 	tm := k.tm
 	k.mu.Unlock()
+	dsched.Yield(dsched.PointExitNotify, pid)
 	if tm != nil {
 		tm.exits.Inc()
 		tm.m.Event("kernel.exit", pid, 0)
@@ -321,9 +421,11 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		return fmt.Errorf("kernel: syscall from unregistered pid %d: %w", pid, ErrProcessExited)
 	}
 	p.stats.Syscalls++
+	// Liveness stamp is unconditional: /procs reports this figure whether or
+	// not a telemetry registry is wired.
+	p.stats.LastSyscallUnixNanos = time.Now().UnixNano()
 	if tm != nil {
 		tm.syscalls.Inc()
-		p.stats.LastSyscallUnixNanos = time.Now().UnixNano()
 	}
 	if p.killed {
 		reason := p.killReason
@@ -342,14 +444,22 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		if epoch == 0 {
 			epoch = DefaultEpoch
 		}
-		deadline := time.Now().Add(epoch)
-		timer := time.AfterFunc(epoch, func() {
+		// One clock drives expiry: the deadline is the single authority, the
+		// timer exists only to wake this waiter, and it is re-armed for
+		// exactly the remainder before every wait. The pre-fix shape (kept
+		// behind UnsafeEpochTimer so the checker can reproduce it) armed the
+		// timer once and compared strictly — a broadcast landing a tick
+		// before the comparison flipped re-entered Wait with no future
+		// wake-up and stalled far past the epoch.
+		deadline := dsched.Now().Add(epoch)
+		timer := dsched.AfterFunc(epoch, func() {
 			k.mu.Lock()
 			p.cond.Broadcast()
 			k.mu.Unlock()
 		})
 		for !p.syncReady && !p.killed && !p.exited {
-			if time.Now().After(deadline) {
+			now := dsched.Now()
+			if k.epochExpired(now, deadline) {
 				// No synchronization message within the epoch (§2.2).
 				// Ask the watchdog whether the silence has a positive
 				// attribution — a verifier that can no longer make
@@ -379,6 +489,10 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 				p.stats.KilledByAll = reason
 				break
 			}
+			if !k.UnsafeEpochTimer {
+				timer.Reset(deadline.Sub(now))
+			}
+			dsched.Note(dsched.PointGateBlocked, pid)
 			p.cond.Wait()
 		}
 		timer.Stop()
@@ -434,6 +548,17 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 	return nil
 }
 
+// epochExpired decides whether the gate's deadline has passed. The fixed
+// comparison is inclusive (the instant the timer fires IS the expiry), so a
+// wake-up at exactly the deadline always observes expiry. The strict
+// pre-fix comparison is kept behind UnsafeEpochTimer for the checker.
+func (k *Kernel) epochExpired(now, deadline time.Time) bool {
+	if k.UnsafeEpochTimer {
+		return now.After(deadline)
+	}
+	return !now.Before(deadline)
+}
+
 // NotifySyncReady is called by the verifier (edge 4b of Figure 1) when it
 // has processed a System-Call message for pid with no outstanding
 // violations.
@@ -453,7 +578,19 @@ func (k *Kernel) NotifySyncReady(pid int32) {
 func (k *Kernel) Kill(pid int32, reason string) {
 	k.mu.Lock()
 	p, ok := k.procs[pid]
-	if !ok || p.killed {
+	if !ok {
+		// The context may be mid-registration: the verifier already knows
+		// the pid (notify-before-visible) and can legitimately kill it —
+		// e.g. its shard is poisoned and fails closed at birth. Buffer the
+		// kill; finishRegister applies it and notifies the KillListener.
+		if pr, reg := k.registering[pid]; reg && !pr.killed {
+			pr.killed = true
+			pr.reason = reason
+		}
+		k.mu.Unlock()
+		return
+	}
+	if p.killed {
 		k.mu.Unlock()
 		return
 	}
@@ -464,6 +601,7 @@ func (k *Kernel) Kill(pid int32, reason string) {
 	l := k.listener
 	tm := k.tm
 	k.mu.Unlock()
+	dsched.Yield(dsched.PointKillNotify, pid)
 	if tm != nil {
 		tm.kills.Inc()
 		tm.m.Event("kernel.kill", pid, 0)
@@ -504,6 +642,29 @@ func (k *Kernel) Killed(pid int32) (bool, string) {
 		return p.killed, p.killReason
 	}
 	return false, ""
+}
+
+// Registered reports whether pid currently has a visible kernel context. A
+// pid in the notify-before-visible window reports false: it is known to the
+// verifier but not yet to the process table.
+func (k *Kernel) Registered(pid int32) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	_, ok := k.procs[pid]
+	return ok
+}
+
+// SyncReady reports the state of pid's synchronization variable (§3.3):
+// true when a System-Call message has been validated and the next gated
+// call will not stall. False for unknown pids. Exposed for the model
+// checker's state fingerprint.
+func (k *Kernel) SyncReady(pid int32) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p, ok := k.procs[pid]; ok {
+		return p.syncReady
+	}
+	return false
 }
 
 // Stats returns a copy of the per-process statistics.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"herqules/internal/compiler"
+	"herqules/internal/dsched"
 	"herqules/internal/fpga"
 	"herqules/internal/ipc"
 	"herqules/internal/kernel"
@@ -292,6 +293,9 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 	s.inflight.Add(1)
 	s.launched++
 	s.mu.Unlock()
+	// Interleaving point: admitted (Shutdown will wait for us) but no kernel
+	// context yet.
+	dsched.Yield(dsched.PointLaunchAdmitted, 0)
 
 	admitFailed := func(err error) (*Proc, error) {
 		s.mu.Lock()
@@ -435,6 +439,9 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		}
 		final.FinishedUnixNanos = time.Now().UnixNano()
 
+		// Interleaving point: the program's channel is fully drained and its
+		// outcome frozen, but the kernel context still exists.
+		dsched.Yield(dsched.PointProcFinished, pid)
 		s.k.Exit(pid)
 
 		proc.out = out
@@ -468,6 +475,9 @@ func (s *System) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.down = true
 	s.mu.Unlock()
+	// Interleaving point: admission is closed but in-flight work has not been
+	// waited for.
+	dsched.Yield(dsched.PointShutdownBegin, 0)
 
 	done := make(chan struct{})
 	go func() {

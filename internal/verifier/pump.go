@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"herqules/internal/dsched"
 	"herqules/internal/ipc"
 )
 
@@ -76,6 +77,10 @@ func (v *Verifier) newPipeline() *pipeline {
 		go func(si int, q chan batchItem) {
 			defer p.workers.Done()
 			for item := range q {
+				// Interleaving point: the run is dequeued but not yet
+				// delivered — the window a lifecycle event (exit, kill,
+				// poison) can slip into. Per batch, not per message.
+				dsched.Yield(dsched.PointShardDeliver, item.blk.msgs[item.start].PID)
 				// safeDeliver contains a delivery panic to this shard
 				// (poisoning it) so the worker keeps consuming its queue:
 				// flush counters still drop, block references still release,
@@ -240,6 +245,9 @@ func (p *pipeline) route(blk *arenaBlock, base, n int, flush *sync.WaitGroup) {
 // enqueue hands one run to shard si's worker, taking the block and flush
 // references that the worker releases after delivery.
 func (p *pipeline) enqueue(si int, blk *arenaBlock, start, n int, flush *sync.WaitGroup) {
+	// Interleaving point: the run is routed but not yet queued. The drain
+	// goroutine holds no locks here. Per run, not per message.
+	dsched.Yield(dsched.PointPumpHandoff, blk.msgs[start].PID)
 	if tm := p.v.tm; tm != nil {
 		tm.queueDepth.ObserveAt(si, uint64(len(p.queues[si])))
 	}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"herqules/internal/dsched"
 	"herqules/internal/ipc"
 	"herqules/internal/policy"
 	"herqules/internal/telemetry"
@@ -240,7 +241,14 @@ func (v *Verifier) ProcessStarted(pid int32) {
 	s := &v.shards[si]
 	poisoned := v.health[si].poisoned.Load()
 	s.mu.Lock()
-	s.procs[pid] = &procCtx{pid: pid, policies: v.factory(), dead: poisoned}
+	// seqValid from birth: the sender-side counter starts at registration
+	// (§3.1.1, every IPC backend stamps the first Send with Seq 1), so the
+	// expected next Seq is known before any message arrives. Leaving the
+	// baseline to the first *observed* message would let a reordered or
+	// dropped first message establish a bogus baseline and pass CheckSeq —
+	// a blind spot the model checker (internal/verify) flushes out as a
+	// gate-invariant violation.
+	s.procs[pid] = &procCtx{pid: pid, policies: v.factory(), dead: poisoned, seqValid: true}
 	s.mu.Unlock()
 	if poisoned && v.gate != nil {
 		v.gate.Kill(pid, v.poisonReason(si))
@@ -267,7 +275,9 @@ func (v *Verifier) ProcessForked(parent, child int32) {
 	}
 	cs := v.shardFor(child)
 	cs.mu.Lock()
-	cs.procs[child] = &procCtx{pid: child, policies: policies}
+	// The child gets its own channel, whose counter restarts at 1 — same
+	// known-baseline rule as ProcessStarted.
+	cs.procs[child] = &procCtx{pid: child, policies: policies, seqValid: true}
 	cs.mu.Unlock()
 }
 
@@ -348,6 +358,12 @@ func seqViolationReason(got, last uint64) string {
 // poisoned shard nothing is evaluated: every process in the batch is killed
 // fail-closed instead (see poisonShard).
 func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
+	if len(ms) > 0 {
+		// Observation point for the model checker: the poison check below is
+		// the first act of a delivery round. Once per batch, never per
+		// message.
+		dsched.Note(dsched.PointPoisonCheck, ms[0].PID)
+	}
 	if v.health[si].poisoned.Load() {
 		v.poisonedDrop(si, ms)
 		return
@@ -529,6 +545,20 @@ func (v *Verifier) poisonShard(si int, reason string) {
 		}
 	}
 }
+
+// PoisonShard marks shard si permanently failed exactly as a contained
+// worker panic would (see poisonShard): future deliveries fail closed,
+// residents are killed, WedgedFor reports the shard wedged. Exported for
+// the model checker (internal/verify), which explores shard poisoning as an
+// explicit lifecycle transition rather than by throwing a real panic.
+func (v *Verifier) PoisonShard(si int, reason string) {
+	v.poisonShard(si, reason)
+}
+
+// ShardOf reports the shard index pid's messages validate on — the public
+// name for the PID-hash routing, so tests and the model checker can pick
+// PIDs that do (or do not) share a shard without duplicating the hash.
+func (v *Verifier) ShardOf(pid int32) int { return v.shardIndex(pid) }
 
 // poisonReason returns the kill reason recorded when shard si was poisoned.
 func (v *Verifier) poisonReason(si int) string {

@@ -1,0 +1,325 @@
+// Package verify is a small-scope model checker for the HerQules gate
+// protocol: it exhaustively enumerates interleavings of process lifecycle
+// events — launch, fork, exit, explicit kill, epoch expiry, shard poison,
+// message delivery (optionally reordered) — against the REAL kernel and
+// verifier, driven deterministically through the internal/dsched schedule
+// hooks, and asserts the paper's core invariants in every reachable state:
+//
+//   - gate invariant (§2.2/§3.3): no process passes a syscall gate before
+//     every message it sent prior to that gate has been validated;
+//   - no-lost-message: a message delivered for a live, healthy process is
+//     always evaluated (a silently ignored message is how the gate
+//     invariant dies without ever looking violated);
+//   - exactly-one-kill: a killed process produces exactly one
+//     KillListener notification, never zero, never two;
+//   - no-leaked-context: once a process has exited, the verifier holds no
+//     policy context for it;
+//   - gate liveness: a gate whose epoch deadline fires resolves — it is
+//     killed (fail-closed) or resumed, never stalled forever.
+//
+// The checker is stateless in the Godefroid sense: each explored node is
+// reconstructed by replaying its transition prefix against a fresh world
+// (fresh kernel + verifier + scheduler), so there is no undo logic to trust.
+// A seen-set over canonical state fingerprints prunes converging
+// interleavings. On violation the failing schedule is minimized by greedy
+// delta-debugging and reported in a form Replay accepts verbatim — see
+// DESIGN.md "Checking the gate invariant" for how to re-run one.
+//
+// The small-scope hypothesis (Sotoudeh & Yedidia; the zeonica verify
+// harness) is the design bet: protocol bugs in this plane show up with 2–3
+// processes and 2 shards or not at all.
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Config bounds the explored scope. The zero value is NOT useful — use
+// Defaults() or a scenario from Scenarios() — but any field left zero is
+// filled with its default.
+type Config struct {
+	// Procs is the maximum number of processes alive over a run (launches
+	// plus forks). Default 2; the full exploration uses 3.
+	Procs int
+	// Shards is the verifier shard count. Default 2.
+	Shards int
+	// MaxSends bounds the non-sync messages each process may send. Default 1.
+	MaxSends int
+	// MaxGates bounds the gate (syscall) attempts per process. Default 1.
+	MaxGates int
+
+	// Transition families. Launch, visibility, send, deliver and gate are
+	// always enabled; these opt the rest in.
+	Fork    bool // fork a live process (children count toward Procs)
+	Exit    bool // voluntary exit (requires a drained queue, as the supervisor guarantees)
+	Kill    bool // external kill (supervisor shutdown sweep)
+	Expire  bool // fire the epoch timer of a blocked gate at exactly its deadline
+	Poison  bool // poison a verifier shard (contained worker panic)
+	Reorder bool // deliver the second pending message before the first
+
+	// CheckSeq mirrors verifier.CheckSeq (§3.1.1 counter verification).
+	// With Reorder on and CheckSeq off, the gate invariant is violated by
+	// design — the configuration used to prove the checker can fail.
+	CheckSeq bool
+
+	// UnsafeLateNotify / UnsafeEpochTimer set the kernel's pre-fix revert
+	// knobs, so tests can demonstrate the checker catches each fixed race.
+	UnsafeLateNotify bool
+	UnsafeEpochTimer bool
+
+	// MaxDepth bounds schedule length (default 24). MaxStates bounds unique
+	// explored states (default 200000). Hitting either sets
+	// Result.Truncated. MaxViolations stops the search after that many
+	// violations (default 1 — the first minimal counterexample is the
+	// useful one).
+	MaxDepth      int
+	MaxStates     int
+	MaxViolations int
+
+	// AwaitTimeout is the real-time bound on waiting for a woken goroutine
+	// to emit its next event; exceeding it is itself reported as a lost
+	// wake-up. Default 2s.
+	AwaitTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.MaxSends <= 0 {
+		c.MaxSends = 1
+	}
+	if c.MaxGates <= 0 {
+		c.MaxGates = 1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 24
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 200000
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 1
+	}
+	if c.AwaitTimeout <= 0 {
+		c.AwaitTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Defaults is the base 2-proc × 2-shard scope with every transition family
+// enabled and CheckSeq on — the configuration `hqbench -exp verify` runs.
+func Defaults() Config {
+	return Config{
+		Fork: true, Exit: true, Kill: true, Expire: true, Poison: true,
+		Reorder: true, CheckSeq: true,
+	}.withDefaults()
+}
+
+// Invariant names reported in Violation.Invariant.
+const (
+	InvGate        = "gate-invariant"    // gate passed before prior messages validated
+	InvLostMessage = "no-lost-message"   // delivered message silently ignored
+	InvOneKill     = "exactly-one-kill"  // 0 or 2+ kill notifications for one kill
+	InvLeak        = "no-leaked-context" // verifier context survives exit
+	InvLiveness    = "gate-liveness"     // gate stalled past its epoch deadline
+	InvStamp       = "liveness-stamp"    // gate passed without stamping LastSyscall
+	InvModel       = "model"             // the harness itself lost sync with the code
+)
+
+// Violation is one invariant failure, carrying the minimized schedule that
+// reproduces it from an empty world.
+type Violation struct {
+	Invariant string
+	Detail    string
+	Schedule  []string
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %s violated: %s\n", v.Invariant, v.Detail)
+	b.WriteString("replayable schedule (verify.Replay):\n")
+	for i, t := range v.Schedule {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, t)
+	}
+	return b.String()
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	StatesExplored     int
+	TransitionsApplied int
+	Truncated          bool
+	Violations         []*Violation
+}
+
+// Clean reports whether the exploration finished with no violations.
+func (r *Result) Clean() bool { return len(r.Violations) == 0 }
+
+func (r *Result) String() string {
+	var b strings.Builder
+	status := "CLEAN"
+	if !r.Clean() {
+		status = fmt.Sprintf("%d VIOLATION(S)", len(r.Violations))
+	}
+	fmt.Fprintf(&b, "verify: %s — %d states, %d transitions", status, r.StatesExplored, r.TransitionsApplied)
+	if r.Truncated {
+		b.WriteString(" (truncated by depth/state bound)")
+	}
+	b.WriteByte('\n')
+	for _, v := range r.Violations {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Check explores the configured scope exhaustively (up to the bounds) and
+// returns what it found. Violating schedules are minimized before being
+// reported.
+func Check(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	c := &checker{cfg: cfg, seen: make(map[string]bool), res: &Result{}}
+	c.explore(nil)
+	return c.res
+}
+
+// Replay applies schedule to a fresh world under cfg and returns the first
+// violation encountered (nil if the schedule runs clean). An error means the
+// schedule itself is invalid — a transition was not enabled when its turn
+// came — which distinguishes a stale schedule from a healthy protocol.
+func Replay(cfg Config, schedule []string) (*Violation, error) {
+	cfg = cfg.withDefaults()
+	w := newWorld(cfg)
+	defer w.teardown()
+	for i, tr := range schedule {
+		viol, err := w.apply(tr)
+		if err != nil {
+			return nil, fmt.Errorf("verify: schedule step %d (%s): %w", i+1, tr, err)
+		}
+		if viol == nil {
+			viol = w.checkInvariants()
+		}
+		if viol != nil {
+			viol.Schedule = append([]string(nil), schedule[:i+1]...)
+			return viol, nil
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	cfg  Config
+	seen map[string]bool
+	res  *Result
+}
+
+func (c *checker) stopped() bool {
+	return len(c.res.Violations) >= c.cfg.MaxViolations ||
+		c.res.StatesExplored >= c.cfg.MaxStates
+}
+
+// explore is the stateless DFS: the node named by prefix is reconstructed
+// by replay, its enabled transitions enumerated, and each successor world
+// rebuilt from scratch — replay is the only state-restoration mechanism, so
+// there is no undo code whose correctness the checker would itself depend
+// on.
+func (c *checker) explore(prefix []string) {
+	if c.stopped() {
+		return
+	}
+	if len(prefix) >= c.cfg.MaxDepth {
+		c.res.Truncated = true
+		return
+	}
+	w := newWorld(c.cfg)
+	for _, tr := range prefix {
+		if _, err := w.apply(tr); err != nil {
+			// A prefix that explored cleanly must replay cleanly; anything
+			// else means nondeterminism leaked into the harness.
+			c.report(&Violation{Invariant: InvModel,
+				Detail: fmt.Sprintf("prefix replay diverged at %q: %v", tr, err)}, prefix)
+			w.teardown()
+			return
+		}
+	}
+	enabled := w.enabled()
+	w.teardown()
+
+	for _, tr := range enabled {
+		if c.stopped() {
+			return
+		}
+		next := append(append(make([]string, 0, len(prefix)+1), prefix...), tr)
+		w2 := newWorld(c.cfg)
+		replayOK := true
+		for _, pt := range prefix {
+			if _, err := w2.apply(pt); err != nil {
+				replayOK = false
+				break
+			}
+		}
+		if !replayOK {
+			w2.teardown()
+			continue
+		}
+		viol, err := w2.apply(tr)
+		c.res.TransitionsApplied++
+		if err != nil {
+			w2.teardown()
+			continue
+		}
+		if viol == nil {
+			viol = w2.checkInvariants()
+		}
+		if viol != nil {
+			w2.teardown()
+			c.report(viol, next)
+			continue
+		}
+		fp := w2.fingerprint()
+		w2.teardown()
+		if c.seen[fp] {
+			continue
+		}
+		c.seen[fp] = true
+		c.res.StatesExplored++
+		c.explore(next)
+	}
+}
+
+func (c *checker) report(v *Violation, schedule []string) {
+	v.Schedule = minimize(c.cfg, schedule, v.Invariant)
+	c.res.Violations = append(c.res.Violations, v)
+}
+
+// minimize greedily delta-debugs a violating schedule: repeatedly drop any
+// single transition whose removal still reproduces a violation of the same
+// invariant, until no single removal does. The result is 1-minimal — every
+// remaining transition is necessary.
+func minimize(cfg Config, schedule []string, invariant string) []string {
+	sched := append([]string(nil), schedule...)
+	for changed := true; changed; {
+		changed = false
+		for i := range sched {
+			cand := make([]string, 0, len(sched)-1)
+			cand = append(cand, sched[:i]...)
+			cand = append(cand, sched[i+1:]...)
+			if reproduces(cfg, cand, invariant) {
+				sched = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return sched
+}
+
+func reproduces(cfg Config, schedule []string, invariant string) bool {
+	v, err := Replay(cfg, schedule)
+	return err == nil && v != nil && v.Invariant == invariant
+}

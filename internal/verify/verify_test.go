@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBaseScopeClean explores the always-on families (launch, visibility,
+// send, deliver, gate) at the default 2-proc × 2-shard scope with all fixes
+// in place: no reachable interleaving violates an invariant.
+func TestBaseScopeClean(t *testing.T) {
+	res := Check(Config{CheckSeq: true})
+	if !res.Clean() {
+		t.Fatalf("base scope not clean:\n%s", res)
+	}
+	if res.StatesExplored == 0 {
+		t.Fatal("exploration visited no states")
+	}
+	t.Logf("base scope: %d states, %d transitions", res.StatesExplored, res.TransitionsApplied)
+}
+
+// TestLifecycleScopeClean adds the lifecycle families — fork, exit, kill,
+// epoch expiry, shard poison — still clean. This is the scope that exercises
+// the two fixed races (registration-window kill buffering, epoch timer
+// re-arm) from every reachable direction.
+func TestLifecycleScopeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle exploration is the slow half; run without -short")
+	}
+	cfg := Config{
+		Fork: true, Exit: true, Kill: true, Expire: true, Poison: true,
+		CheckSeq:  true,
+		MaxDepth:  10,
+		MaxStates: 3000,
+	}
+	res := Check(cfg)
+	if !res.Clean() {
+		t.Fatalf("lifecycle scope not clean:\n%s", res)
+	}
+	t.Logf("lifecycle scope: %d states, %d transitions, truncated=%v",
+		res.StatesExplored, res.TransitionsApplied, res.Truncated)
+}
+
+// TestReorderWithCheckSeqClean: with §3.1.1 counter verification on, a
+// reordered delivery is caught as an integrity violation (fatal kill), so
+// the gate invariant holds in every interleaving — including sync-overtakes-
+// data, which the registration-time seq baseline fix is what makes fatal.
+func TestReorderWithCheckSeqClean(t *testing.T) {
+	cfg := Config{Reorder: true, CheckSeq: true, MaxDepth: 12, MaxStates: 4000}
+	res := Check(cfg)
+	if !res.Clean() {
+		t.Fatalf("reorder under CheckSeq not clean:\n%s", res)
+	}
+}
+
+// TestCheckerCatchesReorderWithoutCheckSeq proves the checker can fail: with
+// counter verification off, delivering the sync ahead of a data message lets
+// the gate pass before that message is validated — the gate invariant
+// violation the paper's counter exists to prevent.
+func TestCheckerCatchesReorderWithoutCheckSeq(t *testing.T) {
+	cfg := Config{Reorder: true, CheckSeq: false, MaxDepth: 12, MaxStates: 4000}
+	res := Check(cfg)
+	if res.Clean() {
+		t.Fatal("reorder without CheckSeq explored clean; the checker cannot detect a gate violation")
+	}
+	v := res.Violations[0]
+	if v.Invariant != InvGate {
+		t.Fatalf("violation invariant = %s, want %s\n%s", v.Invariant, InvGate, v)
+	}
+	// The minimized schedule must actually replay to the same violation.
+	rv, err := Replay(cfg, v.Schedule)
+	if err != nil {
+		t.Fatalf("minimized schedule does not replay: %v", err)
+	}
+	if rv == nil || rv.Invariant != InvGate {
+		t.Fatalf("minimized schedule replayed to %v, want %s", rv, InvGate)
+	}
+	t.Logf("minimal gate-violation schedule:\n%s", v)
+}
+
+// TestCheckerCatchesLateNotifyRace re-introduces the pre-fix registration
+// ordering (kernel context visible before the verifier is notified) via the
+// UnsafeLateNotify knob: a message sent in the registration window is
+// silently ignored by the verifier, and the checker reports the lost
+// message with a minimal schedule.
+func TestCheckerCatchesLateNotifyRace(t *testing.T) {
+	cfg := Config{UnsafeLateNotify: true, CheckSeq: true, MaxDepth: 8, MaxStates: 2000}
+	res := Check(cfg)
+	if res.Clean() {
+		t.Fatal("UnsafeLateNotify explored clean; the registration race is not being caught")
+	}
+	v := res.Violations[0]
+	if v.Invariant != InvLostMessage {
+		t.Fatalf("violation invariant = %s, want %s\n%s", v.Invariant, InvLostMessage, v)
+	}
+	// Greedy minimization must reduce this to its 3-step essence:
+	// launch (park in the window), send, deliver.
+	if len(v.Schedule) != 3 {
+		t.Errorf("minimal schedule has %d steps, want 3:\n%s", len(v.Schedule), v)
+	}
+	for i, want := range []string{"launch:", "send:", "deliver:"} {
+		if i < len(v.Schedule) && !strings.HasPrefix(v.Schedule[i], want) {
+			t.Errorf("schedule step %d = %q, want prefix %q", i+1, v.Schedule[i], want)
+		}
+	}
+}
+
+// TestCheckerCatchesEpochTimerStall re-introduces the pre-fix epoch watchdog
+// (timer armed once, waiter re-checks with a strict After) via
+// UnsafeEpochTimer: firing the timer at exactly the deadline broadcasts
+// once, the waiter re-enters its wait with no future wake-up, and the gate
+// stalls forever — the liveness violation the re-arm fix removes.
+func TestCheckerCatchesEpochTimerStall(t *testing.T) {
+	cfg := Config{Expire: true, UnsafeEpochTimer: true, CheckSeq: true,
+		MaxDepth: 8, MaxStates: 2000}
+	res := Check(cfg)
+	if res.Clean() {
+		t.Fatal("UnsafeEpochTimer explored clean; the timer stall is not being caught")
+	}
+	v := res.Violations[0]
+	if v.Invariant != InvLiveness {
+		t.Fatalf("violation invariant = %s, want %s\n%s", v.Invariant, InvLiveness, v)
+	}
+	t.Logf("minimal stall schedule:\n%s", v)
+}
+
+// TestExpireScopeCleanWithFix is the counterpart: same scope, fixed timer —
+// expiry at the exact deadline resolves the gate (fail-closed kill), clean.
+func TestExpireScopeCleanWithFix(t *testing.T) {
+	cfg := Config{Expire: true, CheckSeq: true, MaxDepth: 8, MaxStates: 2000}
+	res := Check(cfg)
+	if !res.Clean() {
+		t.Fatalf("expire scope with fixed timer not clean:\n%s", res)
+	}
+}
+
+// TestReplayRecordedSchedule replays a schedule recorded from a real
+// violating run (the UnsafeLateNotify lost-message counterexample) and
+// asserts Replay reproduces the violation deterministically — the workflow a
+// developer follows when the checker prints a schedule.
+func TestReplayRecordedSchedule(t *testing.T) {
+	cfg := Config{UnsafeLateNotify: true, CheckSeq: true}
+	v, err := Replay(cfg, []string{"launch:A", "send:A", "deliver:A"})
+	if err != nil {
+		t.Fatalf("recorded schedule failed to replay: %v", err)
+	}
+	if v == nil {
+		t.Fatal("recorded schedule replayed clean; want lost-message violation")
+	}
+	if v.Invariant != InvLostMessage {
+		t.Fatalf("replayed invariant = %s, want %s", v.Invariant, InvLostMessage)
+	}
+	// The same schedule against the FIXED kernel is clean: the verifier
+	// learns the pid before the registration window opens.
+	fixed := Config{CheckSeq: true}
+	if v, err := Replay(fixed, []string{"launch:A", "send:A", "deliver:A"}); err != nil || v != nil {
+		t.Fatalf("fixed kernel replay: violation=%v err=%v, want clean", v, err)
+	}
+}
+
+// TestReplayStaleScheduleErrors: a schedule referencing state that does not
+// exist must error (not panic, not report a bogus violation) — this is how
+// Replay distinguishes a stale schedule from a healthy protocol.
+func TestReplayStaleScheduleErrors(t *testing.T) {
+	if _, err := Replay(Config{CheckSeq: true}, []string{"visible:A"}); err == nil {
+		t.Fatal("stale schedule (visible before launch) replayed without error")
+	}
+	if _, err := Replay(Config{CheckSeq: true}, []string{"launch:A", "frobnicate:A"}); err == nil {
+		t.Fatal("unknown transition replayed without error")
+	}
+}

@@ -1,0 +1,723 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"herqules/internal/dsched"
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/policy"
+	"herqules/internal/verifier"
+)
+
+// Process lifecycle phases as the model tracks them. The two *window*
+// phases are the interleaving targets: a process mid-registration (verifier
+// notified, kernel context pending — or the reverse under UnsafeLateNotify)
+// and a process mid-exit (kernel context gone, verifier context pending
+// teardown).
+const (
+	phaseWindow     = iota // between launch/fork and visibility
+	phaseLive              // fully registered
+	phaseExitWindow        // kernel context torn down, verifier not yet notified
+	phaseExited            // fully gone
+)
+
+// wproc is the model's view of one process, paired with the real contexts
+// the kernel and verifier hold for it.
+type wproc struct {
+	name string
+	pid  int32
+
+	phase int
+	task  *dsched.Task // in-flight lifecycle task (launch, fork or exit)
+	gate  *dsched.Task // in-flight SyscallEnter
+
+	gateBlocked bool
+	gatesDone   int
+	// wantAtPass is the total message count (sends + the sync) enqueued
+	// before the current gate: the gate invariant demands all of them be
+	// validated by the time the gate passes.
+	wantAtPass uint64
+
+	nextSeq uint64 // next message counter (§3.1.1), starting at 1
+	sends   int    // non-sync sends so far
+	queue   []ipc.Message
+
+	// expectValidated counts messages delivered while the process was
+	// healthy (not killed, shard not poisoned): each must appear in
+	// verifier.Messages or it was silently lost.
+	expectValidated uint64
+
+	killed bool // model-side: any kill has been issued for this pid
+}
+
+// gateTap interposes the verifier's Gate (kernel) interface so the
+// controller OBSERVES, rather than predicts, which processes a delivery
+// woke or killed — the checker then awaits exactly those gate goroutines.
+type gateTap struct {
+	k *kernel.Kernel
+
+	mu    sync.Mutex
+	syncs []int32
+	kills []int32
+}
+
+func (g *gateTap) NotifySyncReady(pid int32) {
+	g.mu.Lock()
+	g.syncs = append(g.syncs, pid)
+	g.mu.Unlock()
+	g.k.NotifySyncReady(pid)
+}
+
+func (g *gateTap) Kill(pid int32, reason string) {
+	g.mu.Lock()
+	g.kills = append(g.kills, pid)
+	g.mu.Unlock()
+	g.k.Kill(pid, reason)
+}
+
+func (g *gateTap) drain() (syncs, kills []int32) {
+	g.mu.Lock()
+	syncs, kills = g.syncs, g.kills
+	g.syncs, g.kills = nil, nil
+	g.mu.Unlock()
+	return
+}
+
+// tapListener interposes the kernel→verifier listener to count
+// ProcessKilled notifications per pid (the exactly-one-kill invariant) while
+// forwarding everything to the real verifier.
+type tapListener struct {
+	v *verifier.Verifier
+
+	mu        sync.Mutex
+	killCount map[int32]int
+}
+
+func (l *tapListener) ProcessStarted(pid int32)          { l.v.ProcessStarted(pid) }
+func (l *tapListener) ProcessForked(parent, child int32) { l.v.ProcessForked(parent, child) }
+func (l *tapListener) ProcessExited(pid int32)           { l.v.ProcessExited(pid) }
+
+func (l *tapListener) ProcessKilled(pid int32, reason string) {
+	l.mu.Lock()
+	l.killCount[pid]++
+	l.mu.Unlock()
+	l.v.ProcessKilled(pid, reason)
+}
+
+func (l *tapListener) kills(pid int32) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.killCount[pid]
+}
+
+// world is one concrete instance of the system under check: a real kernel
+// and verifier wired through the taps, a deterministic scheduler installed
+// over the dsched hooks, and the model's bookkeeping. Worlds are built,
+// driven by a transition sequence, and torn down; they are never reused.
+type world struct {
+	cfg Config
+	s   *dsched.Scheduler
+	k   *kernel.Kernel
+	v   *verifier.Verifier
+	tap *gateTap
+	lis *tapListener
+
+	procs    map[string]*wproc
+	order    []string
+	poisoned map[int]bool
+}
+
+func newWorld(cfg Config) *world {
+	s := dsched.NewScheduler()
+	dsched.Install(s)
+	k := kernel.New(nil)
+	k.UnsafeLateNotify = cfg.UnsafeLateNotify
+	k.UnsafeEpochTimer = cfg.UnsafeEpochTimer
+	tap := &gateTap{k: k}
+	v := verifier.NewSharded(func() []policy.Policy { return nil }, tap, cfg.Shards)
+	v.CheckSeq = cfg.CheckSeq
+	v.KillOnViolation = true
+	lis := &tapListener{v: v, killCount: make(map[int32]int)}
+	k.SetListener(lis)
+	k.SetWatchdog(v)
+	return &world{
+		cfg: cfg, s: s, k: k, v: v, tap: tap, lis: lis,
+		procs:    make(map[string]*wproc),
+		poisoned: make(map[int]bool),
+	}
+}
+
+// teardown drives every in-flight goroutine to completion (parked lifecycle
+// tasks are stepped out, blocked gates killed and awaited) and uninstalls
+// the scheduler. Best-effort: a goroutine that cannot be released is
+// exactly the liveness bug the checker reports through other channels.
+func (w *world) teardown() {
+	for _, name := range w.order {
+		p := w.procs[name]
+		if p.task != nil && !p.task.Done() {
+			for i := 0; i < 8 && !p.task.Done(); i++ {
+				if ev := w.s.Step(p.task); ev.Kind == dsched.EventDone {
+					break
+				}
+			}
+		}
+	}
+	for _, name := range w.order {
+		p := w.procs[name]
+		if p.gateBlocked && p.gate != nil && !p.gate.Done() {
+			w.k.Kill(p.pid, "verify: world teardown")
+			w.s.Await(p.gate, w.cfg.AwaitTimeout)
+		}
+	}
+	dsched.Uninstall()
+}
+
+// procNames supplies deterministic process names in creation order.
+var procNames = []string{"A", "B", "C", "D", "E", "F"}
+
+func (w *world) nextName() string {
+	if len(w.order) < len(procNames) {
+		return procNames[len(w.order)]
+	}
+	return fmt.Sprintf("P%d", len(w.order))
+}
+
+// enabled enumerates the transitions applicable in the current state, in a
+// fixed deterministic order (process creation order, fixed family order).
+func (w *world) enabled() []string {
+	var en []string
+	if len(w.order) < w.cfg.Procs {
+		en = append(en, "launch:"+w.nextName())
+	}
+	for _, name := range w.order {
+		p := w.procs[name]
+		switch p.phase {
+		case phaseWindow:
+			en = append(en, "visible:"+name)
+		case phaseExitWindow:
+			en = append(en, "exitdone:"+name)
+		}
+		threadFree := p.gate == nil && p.task == nil
+		if (p.phase == phaseWindow || p.phase == phaseLive) && !p.killed &&
+			p.sends < w.cfg.MaxSends && p.gate == nil {
+			en = append(en, "send:"+name)
+		}
+		if len(p.queue) > 0 && p.phase != phaseExited {
+			en = append(en, "deliver:"+name)
+			if w.cfg.Reorder && len(p.queue) > 1 {
+				en = append(en, "deliver:"+name+"@1")
+			}
+		}
+		if p.phase == phaseLive && threadFree && !p.killed && p.gatesDone < w.cfg.MaxGates {
+			en = append(en, "gate:"+name)
+		}
+		if w.cfg.Expire && p.gateBlocked && w.s.TimerArmed(p.pid) {
+			en = append(en, "expire:"+name)
+		}
+		if w.cfg.Kill && (p.phase == phaseWindow || p.phase == phaseLive) && !p.killed {
+			en = append(en, "kill:"+name)
+		}
+		if w.cfg.Exit && p.phase == phaseLive && threadFree && len(p.queue) == 0 {
+			en = append(en, "exit:"+name)
+		}
+		if w.cfg.Fork && p.phase == phaseLive && threadFree && !p.killed &&
+			len(w.order) < w.cfg.Procs {
+			en = append(en, "fork:"+name+">"+w.nextName())
+		}
+	}
+	if w.cfg.Poison {
+		for si := 0; si < w.cfg.Shards; si++ {
+			if !w.poisoned[si] {
+				en = append(en, "poison:"+strconv.Itoa(si))
+			}
+		}
+	}
+	return en
+}
+
+// apply executes one transition. It returns a Violation when the transition
+// itself trips an invariant (gate-pass checks, liveness), or an error when
+// the transition is not enabled in this state (a stale or over-minimized
+// schedule).
+func (w *world) apply(tr string) (*Violation, error) {
+	op, arg, _ := strings.Cut(tr, ":")
+	switch op {
+	case "launch":
+		return w.applyLaunch(arg)
+	case "visible":
+		return w.applyVisible(arg)
+	case "send":
+		return w.applySend(arg)
+	case "deliver":
+		name, idxs, reordered := strings.Cut(arg, "@")
+		idx := 0
+		if reordered {
+			var err error
+			if idx, err = strconv.Atoi(idxs); err != nil {
+				return nil, fmt.Errorf("bad deliver index %q", idxs)
+			}
+		}
+		return w.applyDeliver(name, idx)
+	case "gate":
+		return w.applyGate(arg)
+	case "expire":
+		return w.applyExpire(arg)
+	case "kill":
+		return w.applyKill(arg)
+	case "exit":
+		return w.applyExit(arg)
+	case "exitdone":
+		return w.applyExitDone(arg)
+	case "fork":
+		parent, child, ok := strings.Cut(arg, ">")
+		if !ok {
+			return nil, fmt.Errorf("bad fork transition %q", tr)
+		}
+		return w.applyFork(parent, child)
+	case "poison":
+		si, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad poison shard %q", arg)
+		}
+		return w.applyPoison(si)
+	default:
+		return nil, fmt.Errorf("unknown transition %q", tr)
+	}
+}
+
+// runOut steps a lifecycle task through any remaining yield points until it
+// completes. Bounded: a task still parked after the bound is a model
+// desynchronization, not a protocol state worth exploring.
+func (w *world) runOut(t *dsched.Task, what string) *Violation {
+	for i := 0; i < 8; i++ {
+		ev := w.s.Step(t)
+		switch ev.Kind {
+		case dsched.EventDone:
+			return nil
+		case dsched.EventParked:
+			continue
+		default:
+			return &Violation{Invariant: InvModel,
+				Detail: fmt.Sprintf("%s emitted %v while running out", what, ev)}
+		}
+	}
+	return &Violation{Invariant: InvModel,
+		Detail: fmt.Sprintf("%s still parked after 8 steps", what)}
+}
+
+func (w *world) proc(name string) (*wproc, error) {
+	p, ok := w.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("no process %q", name)
+	}
+	return p, nil
+}
+
+func (w *world) applyLaunch(name string) (*Violation, error) {
+	if len(w.order) >= w.cfg.Procs {
+		return nil, fmt.Errorf("launch: proc bound reached")
+	}
+	if _, exists := w.procs[name]; exists || name != w.nextName() {
+		return nil, fmt.Errorf("launch: name %q not next", name)
+	}
+	p := &wproc{name: name, nextSeq: 1, phase: phaseWindow}
+	k := w.k
+	p.task = w.s.Go("launch:"+name, 0, func() error {
+		k.Register()
+		return nil
+	})
+	ev := w.s.Step(p.task)
+	if ev.Kind == dsched.EventDone {
+		// Register completed without parking — the register-visible yield
+		// point is gone; the model can no longer see the window.
+		return &Violation{Invariant: InvModel,
+			Detail: "Register did not park at register-visible"}, nil
+	}
+	if ev.Kind != dsched.EventParked ||
+		(ev.Point != dsched.PointRegisterVisible) {
+		return &Violation{Invariant: InvModel,
+			Detail: fmt.Sprintf("launch parked at %v, want register-visible", ev)}, nil
+	}
+	p.pid = ev.PID
+	w.procs[name] = p
+	w.order = append(w.order, name)
+	return nil, nil
+}
+
+func (w *world) applyVisible(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.phase != phaseWindow || p.task == nil {
+		return nil, fmt.Errorf("visible: %s not in registration window", name)
+	}
+	// The tail of registration may park again (e.g. a poisoned-shard birth
+	// kill yields at kill-notify); run it out — the interleaving of interest
+	// was the window itself, already explored via the other transitions.
+	if v := w.runOut(p.task, "registration of "+name); v != nil {
+		return v, nil
+	}
+	p.task = nil
+	p.phase = phaseLive
+	w.syncModelKills()
+	return nil, w.noteTapWakes()
+}
+
+func (w *world) applySend(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.killed || p.gate != nil || p.sends >= w.cfg.MaxSends ||
+		(p.phase != phaseWindow && p.phase != phaseLive) {
+		return nil, fmt.Errorf("send: not enabled for %s", name)
+	}
+	p.queue = append(p.queue, ipc.Message{Op: ipc.OpCounterInc, PID: p.pid, Arg1: 1, Seq: p.nextSeq})
+	p.nextSeq++
+	p.sends++
+	return nil, nil
+}
+
+func (w *world) applyDeliver(name string, idx int) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(p.queue) || p.phase == phaseExited {
+		return nil, fmt.Errorf("deliver: index %d not available for %s", idx, name)
+	}
+	if idx > 0 && !w.cfg.Reorder {
+		return nil, fmt.Errorf("deliver: reorder disabled")
+	}
+	m := p.queue[idx]
+	p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
+	healthy := !p.killed && !w.poisoned[w.v.ShardOf(p.pid)]
+	if healthy {
+		p.expectValidated++
+	}
+	w.v.Deliver(m)
+	return w.awaitTapWakes()
+}
+
+func (w *world) applyGate(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.phase != phaseLive || p.killed || p.gate != nil || p.task != nil ||
+		p.gatesDone >= w.cfg.MaxGates {
+		return nil, fmt.Errorf("gate: not enabled for %s", name)
+	}
+	// The program sends its System-Call message and immediately enters the
+	// gated syscall (§3.3). The sync message rides the same queue as data
+	// messages — delivery order is a separate transition.
+	p.queue = append(p.queue, ipc.Message{Op: ipc.OpSyscall, PID: p.pid, Seq: p.nextSeq})
+	p.nextSeq++
+	p.wantAtPass = p.nextSeq - 1
+	pid := p.pid
+	k := w.k
+	p.gate = w.s.Go("gate:"+name, pid, func() error {
+		return k.SyscallEnter(pid, 1)
+	})
+	ev := w.s.Step(p.gate)
+	switch ev.Kind {
+	case dsched.EventBlocked:
+		p.gateBlocked = true
+		return nil, nil
+	case dsched.EventDone:
+		return w.gateResolved(p), nil
+	default:
+		return &Violation{Invariant: InvModel,
+			Detail: fmt.Sprintf("gate of %s parked unexpectedly: %v", name, ev)}, nil
+	}
+}
+
+func (w *world) applyExpire(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Expire || !p.gateBlocked || !w.s.TimerArmed(p.pid) {
+		return nil, fmt.Errorf("expire: not enabled for %s", name)
+	}
+	w.s.FireTimer(p.pid)
+	ev, ok := w.s.Await(p.gate, w.cfg.AwaitTimeout)
+	if !ok {
+		return &Violation{Invariant: InvLiveness,
+			Detail: fmt.Sprintf("gate of %s emitted nothing after its epoch deadline fired", name)}, nil
+	}
+	switch ev.Kind {
+	case dsched.EventDone:
+		w.syncModelKills()
+		return w.gateResolved(p), nil
+	case dsched.EventBlocked:
+		// The deadline broadcast landed and the waiter went back to sleep
+		// with no future wake-up — the pre-fix epoch-timer stall.
+		return &Violation{Invariant: InvLiveness,
+			Detail: fmt.Sprintf("gate of %s re-blocked at its epoch deadline (timer fired, waiter re-waited: stall)", name)}, nil
+	default:
+		return &Violation{Invariant: InvModel,
+			Detail: fmt.Sprintf("gate of %s parked after expiry: %v", name, ev)}, nil
+	}
+}
+
+func (w *world) applyKill(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Kill || p.killed || (p.phase != phaseWindow && p.phase != phaseLive) {
+		return nil, fmt.Errorf("kill: not enabled for %s", name)
+	}
+	w.k.Kill(p.pid, "verify: external kill")
+	p.killed = true
+	if p.gateBlocked {
+		ev, ok := w.s.Await(p.gate, w.cfg.AwaitTimeout)
+		if !ok {
+			return &Violation{Invariant: InvLiveness,
+				Detail: fmt.Sprintf("gate of %s not woken by kill", name)}, nil
+		}
+		if ev.Kind == dsched.EventDone {
+			return w.gateResolved(p), nil
+		}
+		return &Violation{Invariant: InvLiveness,
+			Detail: fmt.Sprintf("gate of killed %s re-blocked: %v", name, ev)}, nil
+	}
+	return nil, nil
+}
+
+func (w *world) applyExit(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Exit || p.phase != phaseLive || p.gate != nil || p.task != nil ||
+		len(p.queue) != 0 {
+		return nil, fmt.Errorf("exit: not enabled for %s", name)
+	}
+	pid := p.pid
+	k := w.k
+	p.task = w.s.Go("exit:"+name, 0, func() error {
+		k.Exit(pid)
+		return nil
+	})
+	ev := w.s.Step(p.task)
+	if ev.Kind != dsched.EventParked || ev.Point != dsched.PointExitNotify {
+		return &Violation{Invariant: InvModel,
+			Detail: fmt.Sprintf("exit of %s did not park at exit-notify: %v", name, ev)}, nil
+	}
+	p.phase = phaseExitWindow
+	return nil, nil
+}
+
+func (w *world) applyExitDone(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.phase != phaseExitWindow || p.task == nil {
+		return nil, fmt.Errorf("exitdone: %s not mid-exit", name)
+	}
+	if v := w.runOut(p.task, "exit of "+name); v != nil {
+		return v, nil
+	}
+	p.task = nil
+	p.phase = phaseExited
+	return nil, nil
+}
+
+func (w *world) applyFork(parent, child string) (*Violation, error) {
+	pp, err := w.proc(parent)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Fork || pp.phase != phaseLive || pp.killed || pp.gate != nil ||
+		pp.task != nil || len(w.order) >= w.cfg.Procs || child != w.nextName() {
+		return nil, fmt.Errorf("fork: not enabled for %s>%s", parent, child)
+	}
+	ppid := pp.pid
+	k := w.k
+	cp := &wproc{name: child, nextSeq: 1, phase: phaseWindow}
+	cp.task = w.s.Go("fork:"+parent, 0, func() error {
+		_, ferr := k.Fork(ppid)
+		return ferr
+	})
+	ev := w.s.Step(cp.task)
+	if ev.Kind != dsched.EventParked || ev.Point != dsched.PointForkVisible {
+		return &Violation{Invariant: InvModel,
+			Detail: fmt.Sprintf("fork %s>%s did not park at fork-visible: %v", parent, child, ev)}, nil
+	}
+	cp.pid = ev.PID
+	w.procs[child] = cp
+	w.order = append(w.order, child)
+	return nil, nil
+}
+
+func (w *world) applyPoison(si int) (*Violation, error) {
+	if !w.cfg.Poison || si < 0 || si >= w.cfg.Shards || w.poisoned[si] {
+		return nil, fmt.Errorf("poison: shard %d not available", si)
+	}
+	w.poisoned[si] = true
+	w.v.PoisonShard(si, fmt.Sprintf("verify: shard %d poisoned", si))
+	return w.awaitTapWakes()
+}
+
+// gateResolved consumes a finished gate task: on a pass (nil error), the
+// gate invariant and the liveness stamp are checked at the exact instant
+// enforcement let the process proceed.
+func (w *world) gateResolved(p *wproc) *Violation {
+	err := p.gate.Err()
+	p.gate = nil
+	p.gateBlocked = false
+	p.gatesDone++
+	w.syncModelKills()
+	if err != nil {
+		// A failed gate is a kill or an exit, not a pass; the global
+		// invariants (exactly-one-kill etc.) cover it.
+		return nil
+	}
+	if got := w.v.Messages(p.pid); got < p.wantAtPass {
+		return &Violation{Invariant: InvGate,
+			Detail: fmt.Sprintf("process %s passed its gate with %d of %d prior messages validated",
+				p.name, got, p.wantAtPass)}
+	}
+	if st, ok := w.k.Stats(p.pid); !ok || st.LastSyscallUnixNanos == 0 {
+		return &Violation{Invariant: InvStamp,
+			Detail: fmt.Sprintf("process %s passed its gate without a liveness stamp", p.name)}
+	}
+	return nil
+}
+
+// syncModelKills folds observed kernel/listener kill state into the model's
+// per-process killed flags. It deliberately does NOT drain the gate tap:
+// tap events (sync wake-ups) belong to awaitTapWakes, which must see them to
+// know which blocked gates to await.
+func (w *world) syncModelKills() {
+	for _, name := range w.order {
+		p := w.procs[name]
+		if !p.killed {
+			if killed, _ := w.k.Killed(p.pid); killed || w.lis.kills(p.pid) > 0 {
+				p.killed = true
+			}
+		}
+	}
+}
+
+// awaitTapWakes collects the gate events that a delivery's observed effects
+// (sync notifications, kills routed through the tap) must have produced:
+// every blocked gate whose pid was synced or killed is awaited and
+// resolved. Returning without awaiting would let the next transition race
+// the woken goroutine.
+func (w *world) awaitTapWakes() (*Violation, error) {
+	w.syncModelKills()
+	syncs, kills := w.tap.drain()
+	woken := make(map[int32]bool)
+	for _, pid := range syncs {
+		woken[pid] = true
+	}
+	for _, pid := range kills {
+		woken[pid] = true
+		if p := w.byPID(pid); p != nil {
+			p.killed = true
+		}
+	}
+	for _, name := range w.order {
+		p := w.procs[name]
+		if p.killed {
+			woken[p.pid] = true
+		}
+	}
+	for _, name := range w.order {
+		p := w.procs[name]
+		if !p.gateBlocked || p.gate == nil || !woken[p.pid] {
+			continue
+		}
+		ev, ok := w.s.Await(p.gate, w.cfg.AwaitTimeout)
+		if !ok {
+			return &Violation{Invariant: InvLiveness,
+				Detail: fmt.Sprintf("gate of %s not woken by sync/kill", name)}, nil
+		}
+		if ev.Kind == dsched.EventDone {
+			if v := w.gateResolved(p); v != nil {
+				return v, nil
+			}
+			continue
+		}
+		// Re-blocked: a sync that did not release the gate (e.g. the sync
+		// raced a pending violation). Legal; leave it blocked.
+	}
+	return nil, nil
+}
+
+// noteTapWakes is awaitTapWakes for transitions that cannot block a gate
+// (visibility completion): it only folds kill observations.
+func (w *world) noteTapWakes() error {
+	w.syncModelKills()
+	return nil
+}
+
+func (w *world) byPID(pid int32) *wproc {
+	for _, name := range w.order {
+		if p := w.procs[name]; p.pid == pid {
+			return p
+		}
+	}
+	return nil
+}
+
+// checkInvariants evaluates the global invariants after a transition.
+func (w *world) checkInvariants() *Violation {
+	for _, name := range w.order {
+		p := w.procs[name]
+		if n := w.lis.kills(p.pid); n > 1 {
+			return &Violation{Invariant: InvOneKill,
+				Detail: fmt.Sprintf("process %s produced %d kill notifications", name, n)}
+		}
+		if p.phase == phaseExited {
+			if _, ok := w.v.ProcStats(p.pid); ok {
+				return &Violation{Invariant: InvLeak,
+					Detail: fmt.Sprintf("verifier still holds a context for exited process %s", name)}
+			}
+			continue
+		}
+		if !p.killed && !w.poisoned[w.v.ShardOf(p.pid)] {
+			if got := w.v.Messages(p.pid); got < p.expectValidated {
+				return &Violation{Invariant: InvLostMessage,
+					Detail: fmt.Sprintf("process %s: %d messages delivered but only %d validated (message silently lost)",
+						name, p.expectValidated, got)}
+			}
+		}
+	}
+	return nil
+}
+
+// fingerprint canonicalizes the world state for the DFS seen-set. It reads
+// both model bookkeeping and real kernel/verifier state, so two schedules
+// that converge to the same protocol state — regardless of how they got
+// there — are explored once.
+func (w *world) fingerprint() string {
+	var b strings.Builder
+	for _, name := range w.order {
+		p := w.procs[name]
+		fmt.Fprintf(&b, "%s|ph%d|k%t|sr%t|gb%t|gd%d|sq%d|ev%d|vm%d|q",
+			name, p.phase, p.killed, w.k.SyncReady(p.pid), p.gateBlocked,
+			p.gatesDone, p.nextSeq, p.expectValidated, w.v.Messages(p.pid))
+		for _, m := range p.queue {
+			fmt.Fprintf(&b, "%d.%d,", m.Op, m.Seq)
+		}
+		b.WriteByte(';')
+	}
+	for si := 0; si < w.cfg.Shards; si++ {
+		if w.poisoned[si] {
+			b.WriteByte('!')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
