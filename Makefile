@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify
+.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify policy-smoke policies
 
 all: check
 
@@ -28,6 +28,7 @@ check:
 	$(MAKE) multiproc-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) policy-smoke
 	$(MAKE) verify-smoke
 	$(MAKE) bench-smoke
 
@@ -51,6 +52,19 @@ chaos-smoke:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 -run 'Chaos|Panic|Degraded|Wedged|Seq|Transient|Retry|Frame|Garbage|SpinWait' \
 		./internal/ipc ./internal/verifier ./internal/kernel ./internal/supervisor ./internal/experiments
+
+# policy-smoke exercises the pluggable policy engine: the registry/conformance
+# and per-policy unit tests under the race detector, then the full detection
+# matrix (every registered policy against every injected fault class, with
+# kill attribution checked) plus a quick overhead sweep via hqbench.
+policy-smoke:
+	$(GO) test -race -count=1 -run 'Conformance|Registry|Temporal|Hmac|HMAC|Seal|Policy' \
+		./internal/policy ./internal/ipc ./internal/verifier ./internal/supervisor .
+	$(GO) run ./cmd/hqbench -exp policies -quick >/dev/null
+
+# policies prints the full detection matrix and per-policy overhead table.
+policies:
+	$(GO) run ./cmd/hqbench -exp policies
 
 # verify-smoke model-checks the gate protocol at the 2-proc x 2-shard scope:
 # exhaustive exploration must be clean AND the checker must catch each

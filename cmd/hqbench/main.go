@@ -20,6 +20,7 @@
 //	hqbench -exp chaos          # fault-injection soak: fail-closed invariants + reproducibility
 //	hqbench -exp scaling        # shard-scaling ladder: shards x backend msgs/sec
 //	hqbench -exp verify         # model-check the gate protocol (exhaustive small-scope)
+//	hqbench -exp policies       # policy registry: detection matrix + per-policy overhead
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats/chaos
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, policies, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
@@ -188,6 +189,15 @@ func main() {
 		// smoke scope keeps the total wall time sane.
 		full := *exp == "verify" && !*quick
 		out, err := experiments.Verify(full)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want("policies") {
+		ran = true
+		header("Policy registry: fault-detection matrix and per-policy drain overhead")
+		out, err := experiments.Policies(*msgs, *quick)
 		fmt.Print(out)
 		if err != nil {
 			fatal(err)

@@ -104,7 +104,7 @@ func ExampleNewCounterPolicy() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	counter := hq.NewCounterPolicy()
+	counter := hq.NewCounterPolicy().(*hq.CounterPolicy)
 	if _, err := hq.Run(ins, hq.RunOptions{
 		Policies: func() []hq.Policy { return []hq.Policy{counter} },
 	}); err != nil {

@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	counter := hq.NewCounterPolicy()
+	counter := hq.NewCounterPolicy().(*hq.CounterPolicy)
 	out, err := hq.Run(ins, hq.RunOptions{
 		Policies: func() []hq.Policy {
 			return []hq.Policy{hq.NewCFIPolicy(), counter}

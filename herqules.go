@@ -37,6 +37,27 @@
 // plane — Prometheus /metrics with per-PID attribution and sampled
 // send → validate latency, /healthz, /procs, /trace, /debug/pprof — with
 // WithHTTPAddr; see DESIGN.md's "Observability" section.
+//
+// # Policy selection
+//
+// Policies are registered by name (Policies() lists the registry) and
+// selected as data rather than constructed in code:
+//
+//	sys := herqules.NewSystem(herqules.WithPolicies("cfi", "memsafety", "hmac"))
+//
+// or, for the single-shot path, RunOptions.PolicyNames. The per-policy
+// constructors remain for compatibility but are deprecated; migrate as
+// follows:
+//
+//	NewCFIPolicy()        →  WithPolicies("cfi")        / PolicyNames: []string{"cfi"}
+//	NewMemSafetyPolicy()  →  WithPolicies("memsafety")  / ... "memsafety"
+//	NewCounterPolicy()    →  WithPolicies("counter")    / ... "counter"
+//	NewDFIPolicy()        →  WithPolicies("dfi")        / ... "dfi"
+//	(no old equivalent)      WithPolicies("temporal")   — temporal memory safety
+//	(no old equivalent)      WithPolicies("hmac")       — MAC-authenticated messages
+//
+// A custom factory (hand-built sets, unregistered policy implementations)
+// still plugs in through WithPolicyFactory or RunOptions.Policies.
 package herqules
 
 import (
@@ -93,9 +114,9 @@ type RunOptions = core.Options
 type Outcome = core.Outcome
 
 // Run executes an instrumented program under the HerQules framework:
-// kernel module, verifier with the default policy set (CFI pointer
-// integrity, memory safety, event counter), and — when RunOptions.Channel
-// is set — a real concurrent AppendWrite transport.
+// kernel module, verifier with the registry default policy set (cfi +
+// memsafety + counter + dfi; override with RunOptions.PolicyNames), and —
+// when RunOptions.Channel is set — a real concurrent AppendWrite transport.
 //
 // Run is the documented compatibility wrapper over the resident runtime: it
 // stands up a throwaway single-tenant System, launches exactly one process,
@@ -110,24 +131,57 @@ func Run(ins *Instrumented, opts RunOptions) (*Outcome, error) {
 // Policy is a verifier-side execution policy.
 type Policy = policy.Policy
 
-// Violation is a failed policy check.
+// Violation is a failed policy check. Violation.Policy carries the registry
+// name of the policy that raised it.
 type Violation = policy.Violation
+
+// CounterPolicy is the concrete event-counter policy; assert a Policy
+// obtained from the registry (or Verifier.Policy lookups) to this type to
+// read counts: p.(*herqules.CounterPolicy).Count(class).
+type CounterPolicy = policy.Counter
+
+// Policies lists the registered policy names, sorted — the valid inputs to
+// WithPolicies, PolicySet and RunOptions.PolicyNames.
+func Policies() []string { return policy.Names() }
+
+// PolicySet resolves registry names into a PolicyFactory, validating every
+// name up front. This is the error-returning counterpart of WithPolicies for
+// callers that take policy names from configuration or flags.
+func PolicySet(names ...string) (PolicyFactory, error) {
+	f, err := policy.SetFactory(names...)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
 
 // NewCFIPolicy returns the pointer-integrity policy of the case study
 // (§4.1).
-func NewCFIPolicy() Policy { return policy.NewCFI() }
+//
+// Deprecated: select policies by registry name instead — WithPolicies("cfi")
+// or RunOptions.PolicyNames; see the package-doc migration table.
+func NewCFIPolicy() Policy { return policy.MustSet("cfi")[0] }
 
 // NewMemSafetyPolicy returns the §4.2 allocation-tracking policy.
-func NewMemSafetyPolicy() Policy { return policy.NewMemSafety() }
+//
+// Deprecated: use WithPolicies("memsafety") or RunOptions.PolicyNames.
+func NewMemSafetyPolicy() Policy { return policy.MustSet("memsafety")[0] }
 
-// NewCounterPolicy returns the §2 event-counter policy.
-func NewCounterPolicy() *policy.Counter { return policy.NewCounter() }
+// NewCounterPolicy returns the §2 event-counter policy. It now returns the
+// Policy interface; assert to *CounterPolicy to read counts.
+//
+// Deprecated: use WithPolicies("counter") or RunOptions.PolicyNames.
+func NewCounterPolicy() Policy { return policy.MustSet("counter")[0] }
 
 // NewDFIPolicy returns the §4.3 data-flow integrity policy (enable the
 // matching instrumentation with Options.DFI).
-func NewDFIPolicy() Policy { return policy.NewDFI() }
+//
+// Deprecated: use WithPolicies("dfi") or RunOptions.PolicyNames.
+func NewDFIPolicy() Policy { return policy.MustSet("dfi")[0] }
 
-// PolicyFactory builds a policy set per monitored process.
+// PolicyFactory builds a policy set per monitored process. Construct one
+// from registry names with PolicySet, or write your own for unregistered
+// policy implementations.
 type PolicyFactory = verifier.PolicyFactory
 
 // Channel is a bidirectionally wired AppendWrite/IPC transport.

@@ -100,7 +100,7 @@ func TestCounterPolicyThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cnt := NewCounterPolicy()
+	cnt := NewCounterPolicy().(*CounterPolicy)
 	_, err = Run(ins, RunOptions{
 		Policies: func() []Policy { return []Policy{cnt} },
 	})

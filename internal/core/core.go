@@ -61,9 +61,15 @@ type Options struct {
 	// continue rather than trap — the §5 performance methodology.
 	ContinueChecks bool
 
-	// Policies builds the verifier policy set per process; nil installs
-	// CFI + memory-safety + counter.
+	// Policies builds the verifier policy set per process; nil installs the
+	// registry default set, policy.DefaultSet (cfi + memsafety + counter +
+	// dfi). PolicyNames takes precedence when both are set.
 	Policies verifier.PolicyFactory
+
+	// PolicyNames selects the policy set by registry name — e.g.
+	// []string{"cfi", "memsafety", "hmac"}; herqules.Policies() lists the
+	// registry. An unknown name fails the run before anything launches.
+	PolicyNames []string
 
 	// MaxInstructions bounds execution (0: vm default).
 	MaxInstructions uint64
@@ -88,8 +94,16 @@ func DefaultPolicies() []policy.Policy { return supervisor.DefaultPolicies() }
 // single-tenant supervisor.System is stood up, the program is launched into
 // it, and the system is torn down once the program exits.
 func Run(ins *compiler.Instrumented, opts Options) (*Outcome, error) {
+	factory := opts.Policies
+	if len(opts.PolicyNames) > 0 {
+		f, err := policy.SetFactory(opts.PolicyNames...)
+		if err != nil {
+			return nil, err
+		}
+		factory = f
+	}
 	sys := supervisor.New(supervisor.Config{
-		Policies:        opts.Policies,
+		Policies:        factory,
 		KillOnViolation: opts.KillOnViolation,
 		Metrics:         opts.Metrics,
 	})

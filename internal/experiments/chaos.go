@@ -12,6 +12,7 @@ import (
 	"herqules/internal/ipc"
 	"herqules/internal/kernel"
 	"herqules/internal/mir"
+	"herqules/internal/policy"
 	"herqules/internal/supervisor"
 	"herqules/internal/telemetry"
 	"herqules/internal/vm"
@@ -103,7 +104,8 @@ func chaosAttributable(reason string, hadViolations bool) bool {
 		"message counter",                // CheckSeq (§3.1.1)
 		"synchronization epoch expired",  // §2.2 deadline, incl. wedged detail
 		"message integrity violated",     // receiver-attributed framing error
-		"poisoned",                       // shard poisoned by contained panic
+		"message authentication",         // hmac sealer: MAC mismatch or stream position
+		"poisoned",                       // shard poisoned by a delivery-path failure
 	} {
 		if strings.Contains(reason, marker) {
 			return true
@@ -267,6 +269,124 @@ func chaosSoak(seed uint64, procs int, cleanIns, attackIns *compiler.Instrumente
 	return rep, nil
 }
 
+// chaosHmacReport summarizes the authenticated-channel phase.
+type chaosHmacReport struct {
+	procs, cleanOK, killed int
+	faults                 chaos.Counts
+	elapsed                time.Duration
+}
+
+// chaosHmacSoak runs the authenticated-channel phase: clean processes only,
+// under the default policy set extended with the hmac sealer, with the
+// injector limited to the two faults that tamper with sealed messages in
+// transit — duplication and payload bit-flips. Fail-closed here must mean
+// *integrity* kills: every death is attributed by the hmac policy as a
+// message-authentication failure, never misread as a sequence-counter gap
+// (the sealer runs before CheckSeq, so it gets first claim on a tampered
+// message) and never a silent drop — a tampered stream that nobody kills
+// shows up as a clean process with wrong output, which is also asserted.
+func chaosHmacSoak(seed uint64, procs int, cleanIns *compiler.Instrumented) (*chaosHmacReport, error) {
+	names := append(append([]string{}, policy.DefaultSet...), "hmac")
+	factory, err := policy.SetFactory(names...)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hmac policy set: %w", err)
+	}
+	sys := supervisor.New(supervisor.Config{
+		Policies:        factory,
+		KillOnViolation: true,
+		CheckSeq:        true,
+		Epoch:           chaosEpoch,
+	})
+	// Higher per-fault rates than the main soak: only two fault classes are
+	// armed and both are fatal for the stream that draws one, so these rates
+	// leave a mix of authenticated-killed and untouched-surviving processes.
+	inj := chaos.NewInjector(seed,
+		chaos.WithDuplicate(0.002),
+		chaos.WithCorrupt(0.002),
+	)
+
+	rep := &chaosHmacReport{procs: procs}
+	start := time.Now()
+	handles := make([]*supervisor.Proc, procs)
+	for i := 0; i < procs; i++ {
+		raw := ipc.NewSharedRing(1 << 12)
+		ch := &ipc.Channel{
+			Sender:   inj.Sender(raw.Sender),
+			Receiver: inj.Receiver(raw.Receiver),
+			Props:    raw.Props,
+		}
+		p, err := sys.Launch(cleanIns, supervisor.LaunchOptions{Channel: ch})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: hmac launch %d: %w", i, err)
+		}
+		handles[i] = p
+	}
+
+	var invariantErrs []string
+	for i, p := range handles {
+		out, err := p.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: hmac wait %d: %w", i, err)
+		}
+		if !out.Killed {
+			rep.cleanOK++
+			if out.Err != nil {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("hmac clean %d (pid %d): error %v", i, out.PID, out.Err))
+			} else if len(out.Output) != 1 || out.Output[0] != 42 {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("hmac clean %d (pid %d): output %v, want [42] (silent tamper?)",
+						i, out.PID, out.Output))
+			}
+			continue
+		}
+		rep.killed++
+		if !strings.Contains(out.KillReason, "message authentication") {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("hmac kill %d (pid %d) not attributed to authentication: %q",
+					i, out.PID, out.KillReason))
+		}
+		if strings.Contains(out.KillReason, "message counter") {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("hmac kill %d (pid %d) misattributed to the sequence counter: %q",
+					i, out.PID, out.KillReason))
+		}
+		authViol := false
+		for _, viol := range out.PolicyViolations {
+			if viol.Policy == "hmac" {
+				authViol = true
+				break
+			}
+		}
+		if !authViol {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("hmac kill %d (pid %d): no recorded violation attributed to the hmac policy",
+					i, out.PID))
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := sys.Shutdown(sctx); err != nil {
+		return nil, fmt.Errorf("chaos: hmac shutdown: %w", err)
+	}
+	rep.elapsed = time.Since(start)
+	rep.faults = inj.Counts()
+	if rep.faults.Duplicated+rep.faults.Corrupted == 0 {
+		invariantErrs = append(invariantErrs, "hmac fault schedule fired nothing: phase proved nothing")
+	}
+	if rep.faults.Duplicated+rep.faults.Corrupted > 0 && rep.killed == 0 {
+		invariantErrs = append(invariantErrs,
+			fmt.Sprintf("hmac: %d tamper faults fired but no process was killed (silent drop?)",
+				rep.faults.Duplicated+rep.faults.Corrupted))
+	}
+	if len(invariantErrs) > 0 {
+		return rep, fmt.Errorf("chaos: hmac phase: %d invariant violation(s):\n  %s",
+			len(invariantErrs), strings.Join(invariantErrs, "\n  "))
+	}
+	return rep, nil
+}
+
 // chaosDeterminism runs the reproducibility phase: clean processes only,
 // with every kill path off — KillOnViolation false, CheckSeq false (counter
 // violations are always fatal, §3.1.1, so they must not be evaluated here)
@@ -346,6 +466,15 @@ func Chaos(seed uint64, procs int) (string, error) {
 		return "", err
 	}
 
+	hmacProcs := 8
+	if hmacProcs > procs {
+		hmacProcs = procs
+	}
+	hrep, err := chaosHmacSoak(seed, hmacProcs, cleanIns)
+	if err != nil {
+		return "", err
+	}
+
 	detProcs := 4
 	if detProcs > procs {
 		detProcs = procs
@@ -388,9 +517,13 @@ func Chaos(seed uint64, procs int) (string, error) {
 		rep.cleanOK, rep.cleanKilled, rep.violatorsKilled, rep.violators, rep.kills,
 		rep.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "faults:      %v (schedule hash %#016x)\n", rep.faults, rep.scheduleHash)
+	fmt.Fprintf(&sb, "hmac:        %d clean procs, %d finished, %d killed as authentication failures (dup=%d corrupt=%d), elapsed %v\n",
+		hrep.procs, hrep.cleanOK, hrep.killed, hrep.faults.Duplicated, hrep.faults.Corrupted,
+		hrep.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "determinism: 2×%d clean procs, hash %#016x == %#016x, faults %v\n",
 		detProcs, h1, h2, c1)
 	sb.WriteString("invariants:  no violator passed a gate; one kill per killed process; " +
-		"clean deaths attributable; no goroutine leak; schedule reproducible\n")
+		"clean deaths attributable; tampered sealed streams die as authentication, " +
+		"never counter gaps or silent drops; no goroutine leak; schedule reproducible\n")
 	return sb.String(), nil
 }

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+	"herqules/internal/verifier"
+)
+
+// This file implements `hqbench -exp policies`: a RIPE-style detection
+// matrix over the policy registry (which injected fault does each policy
+// catch, and is the kill attributed to the right policy?) plus the
+// throughput overhead each policy adds to a cfi-only baseline.
+
+// policyKillGate records kernel kills so matrix cells can assert both that a
+// fault was caught and what reason the kernel would have seen.
+type policyKillGate struct {
+	mu    sync.Mutex
+	kills map[int32]string
+}
+
+func (g *policyKillGate) NotifySyncReady(pid int32) {}
+func (g *policyKillGate) Kill(pid int32, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.kills[pid]; !ok {
+		g.kills[pid] = reason
+	}
+}
+func (g *policyKillGate) reason(pid int32) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.kills[pid]
+}
+
+// sealStream stamps each message with its stream ordinal and the MAC an
+// ipc.SealSender would have produced, in place.
+func sealStream(ms []ipc.Message, key ipc.MacKey) {
+	for i := range ms {
+		ms[i].Seq = uint64(i + 1)
+		ms[i].Mac = ipc.MacSeal(key, ms[i], ms[i].Seq)
+	}
+}
+
+func incStream(n int) []ipc.Message {
+	ms := make([]ipc.Message, n)
+	for i := range ms {
+		ms[i] = ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 1}
+	}
+	return ms
+}
+
+// policyInjector produces one faulty message stream for the matrix. When the
+// verifying set contains the hmac sealer the clean stream is sealed under the
+// victim's key first and the fault applied afterwards — transport faults
+// tamper with sealed bytes, they do not get to re-seal.
+type policyInjector struct {
+	name   string
+	detail string
+	build  func(sealed bool, victim, foreign ipc.MacKey) []ipc.Message
+	// caughtBy is the set of registry policies that must detect this fault;
+	// every other policy must pass the stream clean.
+	caughtBy map[string]bool
+}
+
+func policyInjectors() []policyInjector {
+	sealIf := func(on bool, ms []ipc.Message, key ipc.MacKey) []ipc.Message {
+		if on {
+			sealStream(ms, key)
+		}
+		return ms
+	}
+	return []policyInjector{
+		{
+			name:   "clean",
+			detail: "well-formed stream, no fault",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				return sealIf(sealed, incStream(4), victim)
+			},
+			caughtBy: map[string]bool{},
+		},
+		{
+			name:   "ptr-corrupt",
+			detail: "function-pointer check against overwritten value",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				return sealIf(sealed, []ipc.Message{
+					{Op: ipc.OpPointerDefine, PID: 1, Arg1: 0x1000, Arg2: 0x4000},
+					{Op: ipc.OpPointerCheck, PID: 1, Arg1: 0x1000, Arg2: 0xbad},
+				}, victim)
+			},
+			caughtBy: map[string]bool{"cfi": true},
+		},
+		{
+			name:   "uaf",
+			detail: "access inside a freed allocation",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				return sealIf(sealed, []ipc.Message{
+					{Op: ipc.OpAllocCreate, PID: 1, Arg1: 0x1000, Arg2: 64},
+					{Op: ipc.OpAllocDestroy, PID: 1, Arg1: 0x1000},
+					{Op: ipc.OpAllocCheck, PID: 1, Arg1: 0x1010},
+				}, victim)
+			},
+			caughtBy: map[string]bool{"memsafety": true, "temporal": true},
+		},
+		{
+			name:   "double-free",
+			detail: "second destroy of the same allocation",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				return sealIf(sealed, []ipc.Message{
+					{Op: ipc.OpAllocCreate, PID: 1, Arg1: 0x1000, Arg2: 64},
+					{Op: ipc.OpAllocDestroy, PID: 1, Arg1: 0x1000},
+					{Op: ipc.OpAllocDestroy, PID: 1, Arg1: 0x1000},
+				}, victim)
+			},
+			caughtBy: map[string]bool{"memsafety": true, "temporal": true},
+		},
+		{
+			name:   "bitflip",
+			detail: "transport flips one payload bit post-seal",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				ms := sealIf(sealed, incStream(4), victim)
+				ms[2].Arg1 ^= 1 << 5 // after sealing: the tag no longer matches
+				return ms
+			},
+			caughtBy: map[string]bool{"hmac": true},
+		},
+		{
+			name:   "replay-dup",
+			detail: "transport delivers one sealed message twice",
+			build: func(sealed bool, victim, _ ipc.MacKey) []ipc.Message {
+				ms := sealIf(sealed, incStream(4), victim)
+				out := append([]ipc.Message{}, ms[:2]...)
+				out = append(out, ms[1]) // replayed: same ordinal, same tag
+				return append(out, ms[2:]...)
+			},
+			caughtBy: map[string]bool{"hmac": true},
+		},
+		{
+			name:   "splice",
+			detail: "message from another process's stream, PID rewritten",
+			build: func(sealed bool, victim, foreign ipc.MacKey) []ipc.Message {
+				ms := sealIf(sealed, incStream(4), victim)
+				sp := ipc.Message{Op: ipc.OpCounterInc, PID: 2, Arg1: 0x5eed, Seq: 3}
+				if sealed {
+					sp.Mac = ipc.MacSeal(foreign, sp, sp.Seq) // the other process's key
+				}
+				sp.PID = 1 // attacker redirects it onto the victim's stream
+				ms[2] = sp
+				return ms
+			},
+			caughtBy: map[string]bool{"hmac": true},
+		},
+	}
+}
+
+// PolicyMatrixCell is one (policy, injector) measurement.
+type PolicyMatrixCell struct {
+	Policy, Injector string
+	Caught, Expected bool
+	Reason           string // kill reason when caught
+}
+
+// DetectionMatrix runs every injected fault against every registered policy
+// in isolation (single-policy verifier, kill-on-violation, CheckSeq off so
+// sequence enforcement cannot mask attribution) and returns the cells plus
+// an error listing every miss, false positive, or misattributed violation.
+func DetectionMatrix() ([]PolicyMatrixCell, error) {
+	names := policy.Names()
+	var cells []PolicyMatrixCell
+	var faults []string
+	for _, inj := range policyInjectors() {
+		for _, name := range names {
+			cell, err := runMatrixCell(name, inj)
+			cells = append(cells, cell)
+			if err != nil {
+				faults = append(faults, err.Error())
+			}
+		}
+	}
+	if len(faults) > 0 {
+		return cells, fmt.Errorf("policies: %d detection-matrix failure(s):\n  %s",
+			len(faults), strings.Join(faults, "\n  "))
+	}
+	return cells, nil
+}
+
+func runMatrixCell(name string, inj policyInjector) (PolicyMatrixCell, error) {
+	factory, err := policy.SetFactory(name)
+	if err != nil {
+		return PolicyMatrixCell{}, fmt.Errorf("%s/%s: %v", name, inj.name, err)
+	}
+	g := &policyKillGate{kills: make(map[int32]string)}
+	v := verifier.New(factory, g)
+	v.KillOnViolation = true
+	kr := policy.NewKeyringSeeded(0xbadc0de)
+	v.SetKeyring(kr)
+	kr.Program(1) // the kernel programs keys before the process is visible
+	kr.Program(2)
+	v.ProcessStarted(1)
+
+	sealed := name == "hmac"
+	victim, _ := kr.Key(1)
+	foreign, _ := kr.Key(2)
+	for _, m := range inj.build(sealed, victim, foreign) {
+		v.Deliver(m)
+	}
+
+	viols := v.Violations(1)
+	cell := PolicyMatrixCell{
+		Policy: name, Injector: inj.name,
+		Caught:   len(viols) > 0,
+		Expected: inj.caughtBy[name],
+		Reason:   g.reason(1),
+	}
+	switch {
+	case cell.Expected && !cell.Caught:
+		return cell, fmt.Errorf("%s missed %s", name, inj.name)
+	case !cell.Expected && cell.Caught:
+		return cell, fmt.Errorf("%s false positive on %s: %v", name, inj.name, viols[0])
+	case cell.Caught:
+		for _, viol := range viols {
+			if viol.Policy != name {
+				return cell, fmt.Errorf("%s caught %s but attributed it to %q", name, inj.name, viol.Policy)
+			}
+		}
+		if cell.Reason == "" {
+			return cell, fmt.Errorf("%s caught %s but no kill reached the gate", name, inj.name)
+		}
+		if name == "hmac" && !strings.Contains(cell.Reason, "message authentication") {
+			return cell, fmt.Errorf("hmac kill for %s not attributed as authentication: %q", inj.name, cell.Reason)
+		}
+	}
+	return cell, nil
+}
+
+// PolicyOverheadRow is the drain throughput of cfi plus one extra policy,
+// against the cfi-only baseline.
+type PolicyOverheadRow struct {
+	Set        string
+	Messages   int
+	Elapsed    time.Duration
+	MsgsPerSec float64
+	Overhead   float64 // percent vs the cfi-only baseline
+}
+
+// policyOverhead measures the sharded drain rate for cfi-only and for
+// cfi+<each other registered policy>, over identical replayed streams of
+// pointer-integrity traffic. The hmac row drains a properly sealed copy of
+// the stream, so it pays the full verify-and-strip cost on every message.
+func policyOverhead(messages, reps int) []PolicyOverheadRow {
+	const procs = 4
+	base := throughputStream(procs, messages)
+	kr := policy.NewKeyringSeeded(0x5ea1)
+	for pid := 1; pid <= procs; pid++ {
+		kr.Program(int32(pid))
+	}
+	sealedCopy := func() []ipc.Message {
+		ms := append([]ipc.Message(nil), base...)
+		for i := range ms {
+			key, _ := kr.Key(ms[i].PID)
+			ms[i].Mac = ipc.MacSeal(key, ms[i], ms[i].Seq) // Seq already per-PID consecutive
+		}
+		return ms
+	}
+
+	sets := [][]string{{"cfi"}}
+	for _, name := range policy.Names() {
+		if name != "cfi" {
+			sets = append(sets, []string{"cfi", name})
+		}
+	}
+
+	type setRun struct {
+		factory func() []policy.Policy
+		replay  *ipc.Replay
+		min     time.Duration
+	}
+	runs := make([]setRun, len(sets))
+	for i, set := range sets {
+		stream := base
+		if set[len(set)-1] == "hmac" {
+			stream = sealedCopy()
+		}
+		factory, err := policy.SetFactory(set...)
+		if err != nil {
+			panic(err) // unreachable: set names come straight from the registry
+		}
+		runs[i] = setRun{factory: factory, replay: ipc.NewReplay(stream)}
+	}
+
+	// Reps are round-robined across the sets (rep 0 is an untimed warm-up)
+	// rather than run set-by-set: process-wide warm-up — clock ramp, page
+	// faults, allocator growth — otherwise lands entirely on the first set
+	// measured, which is the baseline every other row is compared against.
+	for rep := 0; rep <= reps; rep++ {
+		for i := range runs {
+			v := verifier.NewSharded(runs[i].factory, nil, 0)
+			v.SetKeyring(kr)
+			for pid := 1; pid <= procs; pid++ {
+				v.ProcessStarted(int32(pid))
+			}
+			runs[i].replay.Rewind()
+			start := time.Now()
+			v.Pump(runs[i].replay)
+			elapsed := time.Since(start)
+			if rep == 1 || (rep > 1 && elapsed < runs[i].min) {
+				runs[i].min = elapsed
+			}
+		}
+	}
+
+	rows := make([]PolicyOverheadRow, 0, len(sets))
+	var baseline float64
+	for i, set := range sets {
+		rate := float64(messages) / runs[i].min.Seconds()
+		row := PolicyOverheadRow{
+			Set: strings.Join(set, "+"), Messages: messages,
+			Elapsed: runs[i].min, MsgsPerSec: rate,
+		}
+		if baseline == 0 {
+			baseline = rate
+		} else {
+			row.Overhead = (baseline/rate - 1) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Policies runs the detection matrix and the overhead sweep behind
+// `hqbench -exp policies` and `make policy-smoke`.
+func Policies(messages int, quick bool) (string, error) {
+	if messages <= 0 {
+		messages = 1 << 19
+	}
+	reps := 3
+	if quick {
+		messages, reps = 1<<18, 2
+	}
+
+	cells, merr := DetectionMatrix()
+
+	var sb strings.Builder
+	names := policy.Names()
+	sort.Strings(names)
+	injors := policyInjectors()
+	sb.WriteString("Detection matrix (rows: injected fault; CAUGHT must match the policy's contract):\n")
+	fmt.Fprintf(&sb, "%-12s", "fault")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %-10s", n)
+	}
+	sb.WriteString("\n")
+	byKey := make(map[string]PolicyMatrixCell, len(cells))
+	for _, c := range cells {
+		byKey[c.Policy+"/"+c.Injector] = c
+	}
+	for _, inj := range injors {
+		fmt.Fprintf(&sb, "%-12s", inj.name)
+		for _, n := range names {
+			c := byKey[n+"/"+inj.name]
+			mark := "-"
+			switch {
+			case c.Caught && c.Expected:
+				mark = "CAUGHT"
+			case c.Caught && !c.Expected:
+				mark = "FALSE+"
+			case !c.Caught && c.Expected:
+				mark = "MISS!"
+			}
+			fmt.Fprintf(&sb, " %-10s", mark)
+		}
+		fmt.Fprintf(&sb, "  (%s)\n", inj.detail)
+	}
+	if merr != nil {
+		sb.WriteString("\n")
+		sb.WriteString(merr.Error())
+		sb.WriteString("\n")
+		return sb.String(), merr
+	}
+
+	sb.WriteString("\nThroughput overhead vs cfi-only baseline (sharded drain, identical streams):\n")
+	fmt.Fprintf(&sb, "%-16s %12s %12s %10s\n", "set", "messages", "msgs/sec", "overhead")
+	for _, r := range policyOverhead(messages, reps) {
+		oh := "baseline"
+		if r.Overhead != 0 || r.Set != "cfi" {
+			oh = fmt.Sprintf("%+.1f%%", r.Overhead)
+		}
+		fmt.Fprintf(&sb, "%-16s %12d %12.0f %10s\n", r.Set, r.Messages, r.MsgsPerSec, oh)
+	}
+	sb.WriteString("\nregistry: " + strings.Join(policy.Names(), ", ") + "\n")
+	return sb.String(), nil
+}

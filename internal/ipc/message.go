@@ -100,24 +100,33 @@ func (o Op) String() string {
 func (o Op) Valid() bool { return o < numOps }
 
 // MessageSize is the wire size of an encoded message in bytes: a 4-byte
-// operation code, a 4-byte process identifier, three 8-byte arguments and an
-// 8-byte sequence counter. The paper's FPGA message is 32 bytes (two
-// arguments); we widen to three so block operations (src, dst, size) fit in a
-// single message across every backend (see DESIGN.md, "Known deviations").
-const MessageSize = 40
+// operation code, a 4-byte process identifier, three 8-byte arguments, an
+// 8-byte sequence counter and an 8-byte authentication tag. The paper's FPGA
+// message is 32 bytes (two arguments); we widen to three so block operations
+// (src, dst, size) fit in a single message across every backend, and carry a
+// MAC slot so the CCFI-style authenticated-channel mode needs no second wire
+// format (see DESIGN.md, "Known deviations").
+const MessageSize = 48
 
 // Message is the fixed-size structure transmitted by AppendWrite (§3.1). PID
 // identifies the sending process; on the FPGA backend it is populated from a
 // kernel-managed register, which gives message authenticity. Seq is the
-// per-message counter used to detect dropped messages.
+// per-message counter used to detect dropped messages. Mac is zero on
+// unauthenticated channels; under the hmac policy it carries the SipHash tag
+// computed by SealSender over the message body and sequence number.
 type Message struct {
 	Op               Op
 	PID              int32
 	Arg1, Arg2, Arg3 uint64
 	Seq              uint64
+	Mac              uint64
 }
 
 func (m Message) String() string {
+	if m.Mac != 0 {
+		return fmt.Sprintf("{%s pid=%d args=%#x,%#x,%#x seq=%d mac=%#x}",
+			m.Op, m.PID, m.Arg1, m.Arg2, m.Arg3, m.Seq, m.Mac)
+	}
 	return fmt.Sprintf("{%s pid=%d args=%#x,%#x,%#x seq=%d}",
 		m.Op, m.PID, m.Arg1, m.Arg2, m.Arg3, m.Seq)
 }
@@ -132,6 +141,7 @@ func (m Message) Encode(buf []byte) int {
 	putU64(buf[16:], m.Arg2)
 	putU64(buf[24:], m.Arg3)
 	putU64(buf[32:], m.Seq)
+	putU64(buf[40:], m.Mac)
 	return MessageSize
 }
 
@@ -147,6 +157,7 @@ func DecodeMessage(buf []byte) (Message, error) {
 		Arg2: getU64(buf[16:]),
 		Arg3: getU64(buf[24:]),
 		Seq:  getU64(buf[32:]),
+		Mac:  getU64(buf[40:]),
 	}
 	if !m.Op.Valid() {
 		return Message{}, fmt.Errorf("ipc: invalid op code %d", uint32(m.Op))

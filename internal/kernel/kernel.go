@@ -146,6 +146,21 @@ type ProcStats struct {
 	StallNs telemetry.HistogramSnapshot `json:"syscall_stall_ns"`
 }
 
+// KeyProgrammer is the kernel's hook into the message-authentication keyring
+// (policy.Keyring implements it). When attached, the kernel programs a fresh
+// key the moment it allocates a PID — before the verifier is notified and
+// before the process becomes visible — copies it across fork, and drops it at
+// exit. This models the paper's kernel-managed PID register extended to a
+// keyed channel: the monitored process never chooses its own key.
+type KeyProgrammer interface {
+	// Program generates and stores a key for a newly registered pid.
+	Program(pid int32)
+	// Inherit copies the parent's key to a forked child.
+	Inherit(parent, child int32)
+	// Drop forgets pid's key at exit.
+	Drop(pid int32)
+}
+
 // pendingReg is the bookkeeping for a process whose verifier context is
 // being created but whose kernel context is not yet visible (the
 // register-before-visible window). A kill arriving in that window — a
@@ -165,6 +180,7 @@ type Kernel struct {
 	listener    Listener
 	watchdog    Watchdog
 	degraded    DegradedPolicy
+	keys        KeyProgrammer
 
 	// Epoch is the synchronization timeout (§2.2). Zero means
 	// DefaultEpoch.
@@ -242,6 +258,14 @@ func (k *Kernel) SetListener(l Listener) {
 	k.mu.Unlock()
 }
 
+// SetKeyring attaches the message-authentication keyring. Must be set before
+// any process registers (like Epoch), so every PID has a key from birth.
+func (k *Kernel) SetKeyring(kp KeyProgrammer) {
+	k.mu.Lock()
+	k.keys = kp
+	k.mu.Unlock()
+}
+
 // SetWatchdog attaches a verifier-liveness probe consulted at epoch
 // deadlines. wd.WedgedFor is called with the kernel lock held, so it must not
 // take locks the verifier's delivery path also holds (see Watchdog).
@@ -283,9 +307,13 @@ func (k *Kernel) Register() int32 {
 	k.nextPID++
 	pid := k.nextPID
 	l := k.listener
+	keys := k.keys
 	if k.UnsafeLateNotify {
 		k.insertLocked(pid)
 		k.mu.Unlock()
+		if keys != nil {
+			keys.Program(pid)
+		}
 		dsched.Yield(dsched.PointRegisterVisible, pid)
 		if l != nil {
 			l.ProcessStarted(pid)
@@ -294,6 +322,11 @@ func (k *Kernel) Register() int32 {
 	}
 	k.registering[pid] = &pendingReg{}
 	k.mu.Unlock()
+	// The key exists before the verifier hears about the process, so its
+	// ProcessStarted hooks (the hmac policy caching its key) cannot race it.
+	if keys != nil {
+		keys.Program(pid)
+	}
 	if l != nil {
 		l.ProcessStarted(pid)
 	}
@@ -317,9 +350,13 @@ func (k *Kernel) Fork(parent int32) (int32, error) {
 	child := k.nextPID
 	l := k.listener
 	tm := k.tm
+	keys := k.keys
 	if k.UnsafeLateNotify {
 		k.insertLocked(child)
 		k.mu.Unlock()
+		if keys != nil {
+			keys.Inherit(parent, child)
+		}
 		if tm != nil {
 			tm.forks.Inc()
 		}
@@ -331,6 +368,9 @@ func (k *Kernel) Fork(parent int32) (int32, error) {
 	}
 	k.registering[child] = &pendingReg{}
 	k.mu.Unlock()
+	if keys != nil {
+		keys.Inherit(parent, child)
+	}
 	if tm != nil {
 		tm.forks.Inc()
 	}
@@ -396,7 +436,11 @@ func (k *Kernel) Exit(pid int32) {
 	delete(k.procs, pid)
 	l := k.listener
 	tm := k.tm
+	keys := k.keys
 	k.mu.Unlock()
+	if keys != nil {
+		keys.Drop(pid)
+	}
 	dsched.Yield(dsched.PointExitNotify, pid)
 	if tm != nil {
 		tm.exits.Inc()

@@ -10,6 +10,7 @@ import "herqules/internal/ipc"
 // HQ-CFI detect use-after-free on control-flow pointers, which no prior CFI
 // design supports (Table 3).
 type CFI struct {
+	Hooks
 	// table maps pointer address -> expected pointer value. Each entry is
 	// the verifier-side 16-byte pointer-value pair of §5.4, held in a flat
 	// open-addressing table because every HQ-CFI message lands here — see
@@ -25,7 +26,7 @@ func NewCFI() *CFI {
 }
 
 // Name implements Policy.
-func (c *CFI) Name() string { return "hq-cfi" }
+func (c *CFI) Name() string { return "cfi" }
 
 // Entries implements Policy.
 func (c *CFI) Entries() int { return c.table.live }

@@ -8,6 +8,7 @@ import "herqules/internal/ipc"
 // it in the verifier behind append-only messages makes it trustworthy even
 // after total program compromise.
 type Counter struct {
+	Hooks
 	counts map[uint64]uint64
 	// Limit, when non-zero, turns the counter into a watchdog: exceeding
 	// it for any class is a violation (e.g. "this program must not call
@@ -21,7 +22,7 @@ func NewCounter() *Counter {
 }
 
 // Name implements Policy.
-func (c *Counter) Name() string { return "hq-counter" }
+func (c *Counter) Name() string { return "counter" }
 
 // Entries implements Policy.
 func (c *Counter) Entries() int { return len(c.counts) }

@@ -21,6 +21,7 @@ const LoaderWriter = 0
 // variable, say — is a violation even when the corrupted value is pure data
 // that control-flow integrity would never examine.
 type DFI struct {
+	Hooks
 	// sets maps set id -> allowed writer ids.
 	sets map[uint64]map[uint64]bool
 	// last maps address -> the id of its most recent writer.
@@ -37,7 +38,7 @@ func NewDFI() *DFI {
 }
 
 // Name implements Policy.
-func (d *DFI) Name() string { return "hq-dfi" }
+func (d *DFI) Name() string { return "dfi" }
 
 // Entries implements Policy.
 func (d *DFI) Entries() int { return len(d.last) }

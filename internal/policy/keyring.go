@@ -1,0 +1,98 @@
+package policy
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+
+	"herqules/internal/ipc"
+)
+
+// Keyring holds the per-process message-authentication keys of the hmac
+// policy. The kernel programs a key at process registration (the moment it
+// programs the PID register on the hardware backends), copies it across fork,
+// and drops it at exit; the sender-side sealing wrapper and the verifier-side
+// hmac policy both read it. One keyring belongs to one System.
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[int32]ipc.MacKey
+	// rng is a splitmix64 state for deterministic keyrings (chaos replay
+	// and tests); zero means crypto/rand.
+	rng uint64
+}
+
+// NewKeyring creates a keyring generating keys from crypto/rand.
+func NewKeyring() *Keyring {
+	return &Keyring{keys: make(map[int32]ipc.MacKey)}
+}
+
+// NewKeyringSeeded creates a keyring generating keys from a deterministic
+// stream seeded by seed, for reproducible chaos schedules and tests.
+func NewKeyringSeeded(seed uint64) *Keyring {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Keyring{keys: make(map[int32]ipc.MacKey), rng: seed}
+}
+
+func (kr *Keyring) genKey() ipc.MacKey {
+	if kr.rng != 0 {
+		return ipc.MacKey{K0: kr.next(), K1: kr.next()}
+	}
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for an authenticity policy.
+		panic("policy: keyring entropy unavailable: " + err.Error())
+	}
+	return ipc.MacKey{
+		K0: binary.LittleEndian.Uint64(b[0:8]),
+		K1: binary.LittleEndian.Uint64(b[8:16]),
+	}
+}
+
+// next advances the splitmix64 stream. Callers hold mu.
+func (kr *Keyring) next() uint64 {
+	kr.rng += 0x9e3779b97f4a7c15
+	z := kr.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Program generates and stores a key for pid. It is idempotent: reprogramming
+// a live pid keeps its existing key, so a racing reader never observes a key
+// change mid-stream.
+func (kr *Keyring) Program(pid int32) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	if _, ok := kr.keys[pid]; ok {
+		return
+	}
+	kr.keys[pid] = kr.genKey()
+}
+
+// Inherit copies the parent's key to the forked child (§3.4: the child's
+// policy state starts as a copy of the parent's — including its channel key,
+// since the child inherits the parent's channel mapping at fork).
+func (kr *Keyring) Inherit(parent, child int32) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	if k, ok := kr.keys[parent]; ok {
+		kr.keys[child] = k
+	}
+}
+
+// Drop forgets pid's key at process exit.
+func (kr *Keyring) Drop(pid int32) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	delete(kr.keys, pid)
+}
+
+// Key reports pid's programmed key.
+func (kr *Keyring) Key(pid int32) (ipc.MacKey, bool) {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	k, ok := kr.keys[pid]
+	return k, ok
+}

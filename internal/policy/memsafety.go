@@ -12,6 +12,7 @@ import (
 // live (temporal safety). Unlike CFI, this eliminates the corruption rather
 // than catching its use.
 type MemSafety struct {
+	Hooks
 	// allocs is sorted by base address; intervals never overlap.
 	allocs     []interval
 	maxEntries int
@@ -25,7 +26,7 @@ func NewMemSafety() *MemSafety {
 }
 
 // Name implements Policy.
-func (p *MemSafety) Name() string { return "hq-memsafety" }
+func (p *MemSafety) Name() string { return "memsafety" }
 
 // Entries implements Policy.
 func (p *MemSafety) Entries() int { return len(p.allocs) }

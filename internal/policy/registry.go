@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Factory constructs one fresh policy instance. Every monitored process gets
+// its own instances (policies are per-process state), so factories must not
+// share mutable state between calls.
+type Factory func() Policy
+
+// registry maps policy name -> factory. Registration happens from init
+// functions and (rarely) test setup; lookups happen on every process start.
+// A plain map with no lock is deliberate: all Register calls complete before
+// any concurrent reads, matching the stdlib database/sql driver registry.
+var registry = map[string]Factory{}
+
+// Register makes a policy constructible by name. The name must equal the
+// Name() of the policies the factory produces, be non-empty, and be unique;
+// violations are programming errors and panic.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("policy: Register with empty name")
+	}
+	if f == nil {
+		panic("policy: Register with nil factory for " + name)
+	}
+	if _, dup := registry[name]; dup {
+		panic("policy: Register called twice for " + name)
+	}
+	registry[name] = f
+}
+
+// Names lists every registered policy name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New constructs one registered policy by name.
+func New(name string) (Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// NewSet constructs one instance of each named policy, in the given chain
+// order. Order matters: Sealers authenticate messages before later policies
+// see them, and the first violating policy in the chain is the one a kill is
+// attributed to.
+func NewSet(names ...string) ([]Policy, error) {
+	set := make([]Policy, 0, len(names))
+	for _, n := range names {
+		p, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, p)
+	}
+	return set, nil
+}
+
+// MustSet is NewSet for statically known names; it panics on an unknown one.
+func MustSet(names ...string) []Policy {
+	set, err := NewSet(names...)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// SetFactory validates names eagerly and returns a factory producing a fresh
+// instance of each per call — the shape the verifier consumes (one call per
+// monitored process).
+func SetFactory(names ...string) (func() []Policy, error) {
+	for _, n := range names {
+		if _, ok := registry[n]; !ok {
+			return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+				n, strings.Join(Names(), ", "))
+		}
+	}
+	ns := append([]string(nil), names...)
+	return func() []Policy { return MustSet(ns...) }, nil
+}
+
+// DefaultSet is the policy set installed when a caller asks for none: every
+// paper policy, in chain order.
+var DefaultSet = []string{"cfi", "memsafety", "counter", "dfi"}
+
+func init() {
+	Register("cfi", func() Policy { return NewCFI() })
+	Register("memsafety", func() Policy { return NewMemSafety() })
+	Register("counter", func() Policy { return NewCounter() })
+	Register("dfi", func() Policy { return NewDFI() })
+	Register("temporal", func() Policy { return NewTemporal() })
+	// The hmac sealer is registered unbound; the verifier binds the system
+	// keyring via KeyBinder before the instance sees any message.
+	Register("hmac", func() Policy { return NewHMAC(nil) })
+}

@@ -1,0 +1,147 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"herqules/internal/ipc"
+)
+
+func TestTemporalUseAfterFree(t *testing.T) {
+	p := NewTemporal()
+	if v := p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64)); v != nil {
+		t.Fatalf("create: %v", v)
+	}
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x1010)); v != nil {
+		t.Fatalf("check of live allocation: %v", v)
+	}
+	if v := p.Handle(msg(ipc.OpAllocDestroy, 0x1000)); v != nil {
+		t.Fatalf("destroy: %v", v)
+	}
+	v := p.Handle(msg(ipc.OpAllocCheck, 0x1010))
+	if v == nil {
+		t.Fatal("access inside freed region passed: use-after-free undetected")
+	}
+	if !strings.Contains(v.Reason, "use-after-free") {
+		t.Errorf("reason %q does not name use-after-free", v.Reason)
+	}
+}
+
+func TestTemporalDoubleFree(t *testing.T) {
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	p.Handle(msg(ipc.OpAllocDestroy, 0x1000))
+	v := p.Handle(msg(ipc.OpAllocDestroy, 0x1000))
+	if v == nil {
+		t.Fatal("second free of same region passed")
+	}
+	if !strings.Contains(v.Reason, "double free") {
+		t.Errorf("reason %q does not name double free", v.Reason)
+	}
+}
+
+func TestTemporalInvalidFree(t *testing.T) {
+	p := NewTemporal()
+	if v := p.Handle(msg(ipc.OpAllocDestroy, 0xdead)); v == nil {
+		t.Error("free of never-allocated address passed")
+	}
+	// Freeing an interior pointer is also invalid: destroy requires the base.
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	if v := p.Handle(msg(ipc.OpAllocDestroy, 0x1010)); v == nil {
+		t.Error("free of interior pointer passed")
+	}
+}
+
+func TestTemporalAddressReuseIsClean(t *testing.T) {
+	// The allocator handing out freed address space again is normal; the new
+	// generation supersedes the tombstone and accesses are clean again.
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	p.Handle(msg(ipc.OpAllocDestroy, 0x1000))
+	if v := p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64)); v != nil {
+		t.Fatalf("reuse of freed space rejected: %v", v)
+	}
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x1010)); v != nil {
+		t.Errorf("access to recycled allocation flagged: %v", v)
+	}
+	if got := p.Entries(); got != 1 {
+		t.Errorf("Entries = %d after reuse, want 1", got)
+	}
+}
+
+func TestTemporalOverlapLiveIsViolation(t *testing.T) {
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	if v := p.Handle(msg(ipc.OpAllocCreate, 0x1020, 64)); v == nil {
+		t.Error("allocation overlapping a live region passed")
+	}
+}
+
+func TestTemporalUnknownAddressIsNotOurs(t *testing.T) {
+	// Purely temporal: an address outside every known generation is the
+	// spatial policy's problem, not a UAF.
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x9000)); v != nil {
+		t.Errorf("address outside all generations flagged: %v", v)
+	}
+}
+
+func TestTemporalExtendMovesGeneration(t *testing.T) {
+	// Extend (realloc) retires the old generation and creates a new one: the
+	// old base becomes a tombstone — accessing it is a UAF.
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	if v := p.Handle(ipc.Message{Op: ipc.OpAllocExtend, PID: 1, Arg1: 0x1000, Arg2: 0x2000, Arg3: 128}); v != nil {
+		t.Fatalf("extend: %v", v)
+	}
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x1010)); v == nil {
+		t.Error("access through stale pre-realloc pointer passed")
+	}
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x2010)); v != nil {
+		t.Errorf("access to reallocated region flagged: %v", v)
+	}
+}
+
+func TestTemporalDestroyAll(t *testing.T) {
+	p := NewTemporal()
+	p.Handle(msg(ipc.OpAllocCreate, 0x1000, 64))
+	p.Handle(msg(ipc.OpAllocCreate, 0x2000, 64))
+	if v := p.Handle(msg(ipc.OpAllocDestroyAll, 0x0, 0x10000)); v != nil {
+		t.Fatalf("destroy-all: %v", v)
+	}
+	if got := p.Entries(); got != 0 {
+		t.Errorf("Entries = %d after destroy-all, want 0", got)
+	}
+	if v := p.Handle(msg(ipc.OpAllocCheck, 0x2010)); v == nil {
+		t.Error("access after destroy-all passed")
+	}
+	if v := p.Handle(msg(ipc.OpAllocDestroyAll, 0x0, 0x10000)); v == nil {
+		t.Error("destroy-all with nothing live passed")
+	}
+}
+
+func TestTemporalTombstoneEviction(t *testing.T) {
+	// Long-running churn must not grow memory without bound: past the cap
+	// the oldest tombstones are evicted, and a UAF against an evicted
+	// generation degrades to not-found (spatial policy's problem) rather
+	// than a leak.
+	p := NewTemporal()
+	for i := 0; i < maxTombstones+100; i++ {
+		base := uint64(0x1000 + i*0x100)
+		if v := p.Handle(msg(ipc.OpAllocCreate, base, 16)); v != nil {
+			t.Fatalf("create %d: %v", i, v)
+		}
+		if v := p.Handle(msg(ipc.OpAllocDestroy, base)); v != nil {
+			t.Fatalf("destroy %d: %v", i, v)
+		}
+	}
+	if dead := len(p.regions) - p.live; dead > maxTombstones {
+		t.Errorf("tombstones = %d, want <= %d", dead, maxTombstones)
+	}
+	// The newest tombstone is still attributable.
+	last := uint64(0x1000 + (maxTombstones+99)*0x100)
+	if v := p.Handle(msg(ipc.OpAllocCheck, last)); v == nil {
+		t.Error("UAF against newest tombstone undetected")
+	}
+}

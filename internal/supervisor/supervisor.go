@@ -49,7 +49,9 @@ var ErrShutdown = errors.New("supervisor: system is shut down")
 // transport, GOMAXPROCS verifier shards, no telemetry.
 type Config struct {
 	// Policies builds the verifier policy set per monitored process; nil
-	// installs CFI + memory-safety + counter + DFI (DefaultPolicies).
+	// installs the registry default set, policy.DefaultSet (currently
+	// cfi + memsafety + counter + dfi). Construct registry-backed factories
+	// with policy.SetFactory("cfi", "hmac", ...).
 	Policies verifier.PolicyFactory
 
 	// KillOnViolation controls the verifier (§3.4). The paper disables it
@@ -96,11 +98,10 @@ type Config struct {
 	LatencySampleEvery int
 }
 
-// DefaultPolicies installs the standard policy set.
+// DefaultPolicies installs the standard policy set, resolved through the
+// policy registry (policy.DefaultSet).
 func DefaultPolicies() []policy.Policy {
-	return []policy.Policy{
-		policy.NewCFI(), policy.NewMemSafety(), policy.NewCounter(), policy.NewDFI(),
-	}
+	return policy.MustSet(policy.DefaultSet...)
 }
 
 // Outcome is the result of one monitored execution under a System.
@@ -186,6 +187,13 @@ type System struct {
 	pumps *verifier.PumpSet
 	base  telemetry.Snapshot // registry state at construction, for Stats
 
+	// keys is the per-process message-authentication keyring, created only
+	// when the configured policy set contains a Sealer (the hmac policy):
+	// the kernel programs keys at registration and Launch seals each
+	// process's sender under its key. Nil otherwise — an unauthenticated
+	// system pays zero MAC cost.
+	keys *policy.Keyring
+
 	mu       sync.Mutex
 	procs    map[int32]*Proc // running
 	inflight sync.WaitGroup  // one per admitted Launch
@@ -249,6 +257,17 @@ func New(cfg Config) *System {
 		m:       cfg.Metrics,
 		procs:   make(map[int32]*Proc),
 		records: make(map[int32]*procRecord),
+	}
+	// Probe one throwaway policy set for a Sealer: a set containing the hmac
+	// policy turns on the authenticated-channel machinery (keyring in the
+	// kernel, sealing wrapper in Launch, verify-and-strip in the verifier).
+	for _, p := range factory() {
+		if _, ok := p.(policy.Sealer); ok {
+			s.keys = policy.NewKeyring()
+			v.SetKeyring(s.keys)
+			k.SetKeyring(s.keys)
+			break
+		}
 	}
 	if s.m != nil {
 		if cfg.LatencySampleEvery >= 0 {
@@ -329,6 +348,14 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		if reg, ok := ch.Sender.(ipc.PIDRegister); ok {
 			reg.SetPID(pid)
 		}
+		// Authenticated mode: seal every send under the key the kernel
+		// programmed for this pid at Register. The wrapper goes on after
+		// any telemetry shim, so the MAC binds the final message contents.
+		if s.keys != nil {
+			if key, ok := s.keys.Key(pid); ok {
+				ch.Sender = ipc.SealSender(ch.Sender, key)
+			}
+		}
 	}
 
 	cfg := ins.VMConfig()
@@ -368,6 +395,19 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		// aborting the program; persistent failure degrades to a terminal
 		// error the VM surfaces.
 		cfg.Emit = func(m ipc.Message) error { return ipc.SendWithRetry(sender, m, 0) }
+	} else if s.keys != nil {
+		// Inline delivery under the authenticated mode: the sealing wrapper
+		// assigns the sequence numbers a channel backend would have, so the
+		// hmac policy's stream-position check holds on the inline path too.
+		if key, ok := s.keys.Key(pid); ok {
+			sealed := ipc.SealSender(ipc.SenderFunc(func(m ipc.Message) error {
+				s.v.Deliver(m)
+				return nil
+			}), key)
+			cfg.Emit = sealed.Send
+		} else {
+			cfg.Emit = func(m ipc.Message) error { s.v.Deliver(m); return nil }
+		}
 	} else {
 		cfg.Emit = func(m ipc.Message) error { s.v.Deliver(m); return nil }
 	}

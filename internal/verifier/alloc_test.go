@@ -79,17 +79,22 @@ func TestArenaBlocksReturnAfterFlush(t *testing.T) {
 // TestArenaBlocksReturnOnPoisonedShard pins the same invariant down the
 // fail-closed path: a shard poisoned mid-stream keeps consuming its queue
 // (dropping deliveries), and every one of those dropped batches must still
-// release its block reference — a panic in policy code must not leak arena
-// blocks any more than it may wedge producers.
+// release its block reference — a dead shard must not leak arena blocks any
+// more than it may wedge producers. Policy panics no longer poison (they
+// kill only the offending process), so the poison is injected directly, as
+// a delivery-machinery failure would.
 func TestArenaBlocksReturnOnPoisonedShard(t *testing.T) {
 	msgs := make([]ipc.Message, 2*blockSlots)
 	for i := range msgs {
 		msgs[i] = ipc.Message{Op: ipc.OpCounterInc, PID: 1, Arg1: 1}
 	}
-	msgs[7].Arg1 = 0xdead // detonates bombPolicy early; the rest drains poisoned
 
-	v := NewSharded(bombFactory, newFakeGate(), 1)
+	v := NewSharded(counterOnlyFactory, newFakeGate(), 1)
 	v.ProcessStarted(1)
+	v.PoisonShard(0, "verifier shard 0 poisoned: injected delivery-path failure")
+	if v.PoisonedShards() == 0 {
+		t.Fatal("shard was not poisoned; test exercised the wrong path")
+	}
 	ps := v.NewPumpSet()
 	done, err := ps.Attach(ipc.NewReplay(msgs))
 	if err != nil {
@@ -97,9 +102,6 @@ func TestArenaBlocksReturnOnPoisonedShard(t *testing.T) {
 	}
 	<-done
 	ps.Close()
-	if v.PoisonedShards() == 0 {
-		t.Fatal("shard was not poisoned; test exercised the wrong path")
-	}
 	if n := ps.p.arena.outstanding(); n != 0 {
 		t.Fatalf("%d arena blocks still outstanding after poisoned drain", n)
 	}

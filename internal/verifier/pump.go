@@ -81,13 +81,15 @@ func (v *Verifier) newPipeline() *pipeline {
 				// delivered — the window a lifecycle event (exit, kill,
 				// poison) can slip into. Per batch, not per message.
 				dsched.Yield(dsched.PointShardDeliver, item.blk.msgs[item.start].PID)
-				// safeDeliver contains a delivery panic to this shard
-				// (poisoning it) so the worker keeps consuming its queue:
-				// flush counters still drop, block references still release,
-				// and producers never wedge on a full queue with a dead
-				// consumer. The poisoned/degraded state is checked once per
-				// delivered batch inside deliverShardBatch, never per
-				// message.
+				// safeDeliver contains a delivery-machinery panic to this
+				// shard (poisoning it) so the worker keeps consuming its
+				// queue: flush counters still drop, block references still
+				// release, and producers never wedge on a full queue with a
+				// dead consumer. (A panic inside a *policy* never reaches
+				// here — deliverSegment converts it into a kill of the
+				// offending process and resumes the batch.) The
+				// poisoned/degraded state is checked once per delivered
+				// batch inside deliverShardBatch, never per message.
 				v.safeDeliver(si, item.blk.msgs[item.start:item.start+item.n])
 				if item.flush != nil {
 					// Deliveries (including any gate.Kill the batch

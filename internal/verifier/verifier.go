@@ -49,8 +49,16 @@ type PolicyFactory func() []policy.Policy
 
 // procCtx is the verifier-side context for one monitored process.
 type procCtx struct {
-	pid        int32
+	pid int32
+	// policies is the full attached set in chain order, the view Entries,
+	// Policy and fork cloning iterate. sealers/chain are the same instances
+	// split by role for the delivery path: sealers authenticate and strip
+	// each message first (policy.Sealer), then the sequence check runs, then
+	// the rest of the chain handles the message. When no sealer is attached,
+	// chain aliases policies and the split costs nothing.
 	policies   []policy.Policy
+	sealers    []policy.Sealer
+	chain      []policy.Policy
 	violations []*policy.Violation
 	messages   uint64
 	dropped    uint64 // messages dropped after the context went dead
@@ -138,8 +146,17 @@ type Verifier struct {
 
 	totalMessages atomic.Uint64
 
+	// keyring, when set, is bound to every KeyBinder policy (the hmac
+	// sealer) as process contexts are created.
+	keyring *policy.Keyring
+
 	tm *verifierMetrics
 }
+
+// SetKeyring attaches the message-authentication keyring consulted by
+// KeyBinder policies (the hmac sealer). Must be called before any process
+// registers, like EnableTelemetry.
+func (v *Verifier) SetKeyring(kr *policy.Keyring) { v.keyring = kr }
 
 // verifierMetrics caches the verifier's telemetry instruments; the
 // per-message counters are striped one lane per shard so concurrent shard
@@ -232,14 +249,60 @@ func (v *Verifier) shardIndex(pid int32) int {
 	return int(h % uint32(len(v.shards)))
 }
 
-// ProcessStarted implements kernel.Listener: allocate a policy context. A
-// process routed to a poisoned shard is born dead and killed immediately —
-// the shard can no longer validate anything, so admitting the process would
-// let its messages pass unevaluated (fail-open).
+// newProcCtx builds a context around an already-prepared policy set,
+// splitting sealers from the rest of the chain once at birth so the delivery
+// path never type-asserts per message.
+func newProcCtx(pid int32, policies []policy.Policy, dead bool) *procCtx {
+	pc := &procCtx{pid: pid, policies: policies, dead: dead, seqValid: true}
+	hasSealer := false
+	for _, p := range policies {
+		if _, ok := p.(policy.Sealer); ok {
+			hasSealer = true
+			break
+		}
+	}
+	if !hasSealer {
+		pc.chain = policies
+		return pc
+	}
+	for _, p := range policies {
+		if sl, ok := p.(policy.Sealer); ok {
+			pc.sealers = append(pc.sealers, sl)
+		} else {
+			pc.chain = append(pc.chain, p)
+		}
+	}
+	return pc
+}
+
+// bindKeyring hands the system keyring to every KeyBinder policy in the set.
+func (v *Verifier) bindKeyring(policies []policy.Policy) {
+	if v.keyring == nil {
+		return
+	}
+	for _, p := range policies {
+		if kb, ok := p.(policy.KeyBinder); ok {
+			kb.BindKeyring(v.keyring)
+		}
+	}
+}
+
+// ProcessStarted implements kernel.Listener: allocate a policy context. The
+// policy set is constructed, bound to the keyring, and given its
+// ProcessStarted hook outside the shard lock — policy construction may be
+// arbitrarily expensive and the hooks may take the keyring lock. A process
+// routed to a poisoned shard is born dead and killed immediately — the shard
+// can no longer validate anything, so admitting the process would let its
+// messages pass unevaluated (fail-open).
 func (v *Verifier) ProcessStarted(pid int32) {
 	si := v.shardIndex(pid)
 	s := &v.shards[si]
 	poisoned := v.health[si].poisoned.Load()
+	policies := v.factory()
+	v.bindKeyring(policies)
+	for _, p := range policies {
+		p.ProcessStarted(pid)
+	}
 	s.mu.Lock()
 	// seqValid from birth: the sender-side counter starts at registration
 	// (§3.1.1, every IPC backend stamps the first Send with Seq 1), so the
@@ -248,7 +311,7 @@ func (v *Verifier) ProcessStarted(pid int32) {
 	// dropped first message establish a bogus baseline and pass CheckSeq —
 	// a blind spot the model checker (internal/verify) flushes out as a
 	// gate-invariant violation.
-	s.procs[pid] = &procCtx{pid: pid, policies: v.factory(), dead: poisoned, seqValid: true}
+	s.procs[pid] = newProcCtx(pid, policies, poisoned)
 	s.mu.Unlock()
 	if poisoned && v.gate != nil {
 		v.gate.Kill(pid, v.poisonReason(si))
@@ -258,7 +321,8 @@ func (v *Verifier) ProcessStarted(pid int32) {
 // ProcessForked implements kernel.Listener: copy the parent's context. The
 // parent and child may hash to different shards; the parent's shard lock is
 // released before the child's is taken, so no two shard locks are ever held
-// at once (no lock-order deadlock).
+// at once (no lock-order deadlock). The clones' ProcessForked hooks run
+// between the two lock rounds, before any child message can be delivered.
 func (v *Verifier) ProcessForked(parent, child int32) {
 	ps := v.shardFor(parent)
 	ps.mu.Lock()
@@ -271,13 +335,23 @@ func (v *Verifier) ProcessForked(parent, child int32) {
 	}
 	ps.mu.Unlock()
 	if policies == nil {
+		// Unknown parent: treat the child as a fresh registration.
 		policies = v.factory()
+		v.bindKeyring(policies)
+		for _, p := range policies {
+			p.ProcessStarted(child)
+		}
+	} else {
+		v.bindKeyring(policies)
+		for _, p := range policies {
+			p.ProcessForked(parent, child)
+		}
 	}
 	cs := v.shardFor(child)
 	cs.mu.Lock()
 	// The child gets its own channel, whose counter restarts at 1 — same
 	// known-baseline rule as ProcessStarted.
-	cs.procs[child] = &procCtx{pid: child, policies: policies, seqValid: true}
+	cs.procs[child] = newProcCtx(child, policies, false)
 	cs.mu.Unlock()
 }
 
@@ -352,6 +426,24 @@ func seqViolationReason(got, last uint64) string {
 	}
 }
 
+// deliverState is the per-batch evaluation state shared between
+// deliverShardBatch and its deliverSegment resumption loop. It lives on
+// deliverShardBatch's stack (passed by pointer, never retained), so the
+// engine dispatch adds no per-message allocation.
+type deliverState struct {
+	delivered, dropped, violCount, killCount, syncCount uint64
+	checkSeq, killOnViolation                           bool
+	sampler                                             *telemetry.LatencySampler
+	sendLatency                                         *telemetry.Histogram
+	pc                                                  *procCtx
+	pcPID                                               int32
+	pcValid                                             bool
+	// i is the cursor into the batch; a segment that dies mid-message leaves
+	// it pointing at the offending message so the recover path can attribute
+	// and skip it.
+	i int
+}
+
 // deliverShardBatch evaluates a run of messages that all hash to shard si:
 // one lock round for the whole run, with the procCtx lookup cached across
 // consecutive messages from the same process (the dominant pattern). On a
@@ -371,117 +463,55 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	s := &v.shards[si]
 	var actsBuf [4]gateAction
 	acts := actsBuf[:0]
-	var delivered, dropped, violCount, killCount, syncCount uint64
-	checkSeq, killOnViolation := v.CheckSeq, v.KillOnViolation
+	st := deliverState{
+		checkSeq:        v.CheckSeq,
+		killOnViolation: v.KillOnViolation,
+	}
 	// Latency sampling: hoisted so the per-message cost of a non-sampled
 	// message is one nil check plus one mask-and-branch.
-	var sampler *telemetry.LatencySampler
-	var sendLatency *telemetry.Histogram
 	if tm := v.tm; tm != nil {
-		sampler, sendLatency = tm.sampler, tm.sendLatency
+		st.sampler, st.sendLatency = tm.sampler, tm.sendLatency
 	}
 
 	s.mu.Lock()
 	locked := true
-	// A policy.Handle panic must not leave the shard mutex held: the worker's
-	// recover path (safeDeliver → poisonShard) re-takes it to mark residents
-	// dead, and every other process hashed here would otherwise wedge on a
-	// dead goroutine's lock.
+	// A panic escaping deliverSegment (a delivery-path bug, not a policy
+	// panic — those are contained per policy inside the segment) must not
+	// leave the shard mutex held: the worker's recover path (safeDeliver →
+	// poisonShard) re-takes it to mark residents dead, and every other
+	// process hashed here would otherwise wedge on a dead goroutine's lock.
 	defer func() {
 		if locked {
 			s.mu.Unlock()
 		}
 	}()
-	var pc *procCtx
-	var pcPID int32
-	var pcValid bool
-	for i := range ms {
-		m := &ms[i]
-		if !pcValid || m.PID != pcPID {
-			pc = s.procs[m.PID]
-			pcPID, pcValid = m.PID, true
-		}
-		if pc == nil {
-			// Message from an unregistered process: ignore. Authenticity
-			// is the kernel's job (PID register, §3.1.1); an unknown PID
-			// means the process never enabled HerQules.
-			continue
-		}
-		if pc.dead {
-			// The process is already being killed: drop instead of
-			// evaluating, so one fatal violation yields exactly one kill
-			// action and the context stops accumulating state.
-			dropped++
-			pc.dropped++
-			continue
-		}
-		delivered++
-		pc.messages++
-		if sampler != nil && sampler.Sampled(m.Seq) {
-			// This message was stamped at send time (1-in-N): record the
-			// end-to-end send → validate latency. A miss means the stream
-			// never passed an instrumented sender (inline or replayed).
-			if lat, ok := sampler.Take(m.PID, m.Seq); ok {
-				sendLatency.ObserveAt(si, uint64(lat))
-			}
-		}
-		if checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
-			viol := &policy.Violation{PID: m.PID, Op: m.Op,
-				Reason: seqViolationReason(m.Seq, pc.lastSeq)}
-			pc.violations = append(pc.violations, viol)
-			violCount++
-			// Integrity violations are always fatal (§3.1.1).
-			pc.dead = true
-			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: viol.Reason})
-			killCount++
-			continue
-		}
-		pc.lastSeq, pc.seqValid = m.Seq, true
-
-		var violated *policy.Violation
-		for _, p := range pc.policies {
-			if viol := p.Handle(*m); viol != nil {
-				violated = viol
-				pc.violations = append(pc.violations, viol)
-				violCount++
-			}
-		}
-		if violated != nil && killOnViolation {
-			pc.dead = true
-			acts = append(acts, gateAction{pid: m.PID, kill: true, reason: violated.Reason})
-			killCount++
-			continue
-		}
-		if m.Op == ipc.OpSyscall {
-			// A System-Call message indicates all outstanding messages
-			// have been processed; resume the syscall unless a prior
-			// violation is pending and fatal (§2.2).
-			if len(pc.violations) == 0 || !killOnViolation {
-				acts = append(acts, gateAction{pid: m.PID})
-				syncCount++
-			}
-		}
+	// In the panic-free common case deliverSegment consumes the whole batch
+	// in one call; after a contained policy panic it resumes past the
+	// offending message, so one misbehaving policy costs its own process,
+	// not the rest of the batch and not the shard.
+	for st.i < len(ms) {
+		acts = v.deliverSegment(s, si, ms, &st, acts)
 	}
 	locked = false
 	s.mu.Unlock()
 
-	if delivered > 0 {
-		v.totalMessages.Add(delivered)
+	if st.delivered > 0 {
+		v.totalMessages.Add(st.delivered)
 	}
 	if tm := v.tm; tm != nil {
-		tm.messages.AddAt(si, delivered)
+		tm.messages.AddAt(si, st.delivered)
 		tm.batchSize.ObserveAt(si, uint64(len(ms)))
-		if dropped > 0 {
-			tm.dropped.AddAt(si, dropped)
+		if st.dropped > 0 {
+			tm.dropped.AddAt(si, st.dropped)
 		}
-		if violCount > 0 {
-			tm.violations.AddAt(si, violCount)
+		if st.violCount > 0 {
+			tm.violations.AddAt(si, st.violCount)
 		}
-		if killCount > 0 {
-			tm.kills.AddAt(si, killCount)
+		if st.killCount > 0 {
+			tm.kills.AddAt(si, st.killCount)
 		}
-		if syncCount > 0 {
-			tm.syncs.AddAt(si, syncCount)
+		if st.syncCount > 0 {
+			tm.syncs.AddAt(si, st.syncCount)
 		}
 	}
 	if v.gate == nil {
@@ -499,9 +529,159 @@ func (v *Verifier) deliverShardBatch(si int, ms []ipc.Message) {
 	}
 }
 
-// safeDeliver is the pipeline worker's delivery entry point: it contains a
-// panic thrown by policy evaluation (or any other bug in the delivery path)
-// to the one shard it happened on. The shard is poisoned — every process
+// deliverSegment runs the engine over ms[st.i:] under the shard lock held by
+// deliverShardBatch. Chain order per message: sealers authenticate and strip
+// first (a failure is always fatal — an unauthenticated message proves
+// nothing about its claimed process), then the sequence check, then every
+// remaining policy's Handle. The first violating policy is the one the kill
+// is attributed to via Violation.Policy.
+//
+// A panic inside a policy's Unseal or Handle is contained to that policy's
+// process: the recover below converts it into an attributed violation and
+// kill, marks the context dead, and returns with the cursor past the
+// offending message so deliverShardBatch resumes the batch. Panics outside
+// policy code (cur == nil) are delivery-path bugs and re-panic into
+// safeDeliver's shard-poisoning containment.
+//
+// cur — the policy whose Unseal/Handle is executing right now, nil outside
+// policy code — is the panic-attribution anchor. It is a local captured by
+// the deferred recover (not a deliverState field) so that the interface
+// method calls on it in the cold recover path don't make escape analysis
+// treat the whole deliverState as leaking, which would heap-allocate the
+// gate-action buffer once per batch.
+// The gate-action list is threaded through as a parameter and (named)
+// result rather than living in deliverState: appending through a pointed-to
+// struct field would make escape analysis move the caller's stack buffer to
+// the heap, reintroducing a per-batch allocation on the zero-alloc drain.
+func (v *Verifier) deliverSegment(s *shard, si int, ms []ipc.Message, st *deliverState, acts []gateAction) (out []gateAction) {
+	out = acts
+	var cur policy.Policy
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if cur == nil || st.pc == nil {
+			panic(r)
+		}
+		name := cur.Name()
+		viol := &policy.Violation{PID: st.pc.pid, Op: ms[st.i].Op, Policy: name,
+			Reason: fmt.Sprintf("policy %q panicked: %v", name, r)}
+		st.pc.violations = append(st.pc.violations, viol)
+		st.violCount++
+		st.pc.dead = true
+		out = append(out, gateAction{pid: st.pc.pid, kill: true, reason: viol.Reason})
+		st.killCount++
+		st.i++ // resume after the detonating message
+	}()
+	for ; st.i < len(ms); st.i++ {
+		m := &ms[st.i]
+		if !st.pcValid || m.PID != st.pcPID {
+			st.pc = s.procs[m.PID]
+			st.pcPID, st.pcValid = m.PID, true
+		}
+		pc := st.pc
+		if pc == nil {
+			// Message from an unregistered process: ignore. Authenticity
+			// is the kernel's job (PID register, §3.1.1); an unknown PID
+			// means the process never enabled HerQules.
+			continue
+		}
+		if pc.dead {
+			// The process is already being killed: drop instead of
+			// evaluating, so one fatal violation yields exactly one kill
+			// action and the context stops accumulating state.
+			st.dropped++
+			pc.dropped++
+			continue
+		}
+		st.delivered++
+		pc.messages++
+		var sealViol *policy.Violation
+		for _, sl := range pc.sealers {
+			cur = sl
+			var unsealed ipc.Message
+			unsealed, sealViol = sl.Unseal(*m)
+			cur = nil
+			if sealViol != nil {
+				break
+			}
+			*m = unsealed
+		}
+		if sealViol != nil {
+			if sealViol.Policy == "" {
+				sealViol.Policy = "sealer"
+			}
+			pc.violations = append(pc.violations, sealViol)
+			st.violCount++
+			// Authentication failures are always fatal, like §3.1.1
+			// counter violations: the message cannot be trusted to belong
+			// to the process, so continuing to evaluate would validate an
+			// attacker-controlled stream.
+			pc.dead = true
+			out = append(out, gateAction{pid: m.PID, kill: true, reason: sealViol.Reason})
+			st.killCount++
+			continue
+		}
+		if st.sampler != nil && st.sampler.Sampled(m.Seq) {
+			// This message was stamped at send time (1-in-N): record the
+			// end-to-end send → validate latency. A miss means the stream
+			// never passed an instrumented sender (inline or replayed).
+			if lat, ok := st.sampler.Take(m.PID, m.Seq); ok {
+				st.sendLatency.ObserveAt(si, uint64(lat))
+			}
+		}
+		if st.checkSeq && pc.seqValid && m.Seq != pc.lastSeq+1 {
+			viol := &policy.Violation{PID: m.PID, Op: m.Op, Policy: "seq",
+				Reason: seqViolationReason(m.Seq, pc.lastSeq)}
+			pc.violations = append(pc.violations, viol)
+			st.violCount++
+			// Integrity violations are always fatal (§3.1.1).
+			pc.dead = true
+			out = append(out, gateAction{pid: m.PID, kill: true, reason: viol.Reason})
+			st.killCount++
+			continue
+		}
+		pc.lastSeq, pc.seqValid = m.Seq, true
+
+		var violated *policy.Violation
+		for _, p := range pc.chain {
+			cur = p
+			viol := p.Handle(*m)
+			if viol != nil {
+				if viol.Policy == "" {
+					viol.Policy = p.Name()
+				}
+				violated = viol
+				pc.violations = append(pc.violations, viol)
+				st.violCount++
+			}
+		}
+		cur = nil
+		if violated != nil && st.killOnViolation {
+			pc.dead = true
+			out = append(out, gateAction{pid: m.PID, kill: true, reason: violated.Reason})
+			st.killCount++
+			continue
+		}
+		if m.Op == ipc.OpSyscall {
+			// A System-Call message indicates all outstanding messages
+			// have been processed; resume the syscall unless a prior
+			// violation is pending and fatal (§2.2).
+			if len(pc.violations) == 0 || !st.killOnViolation {
+				out = append(out, gateAction{pid: m.PID})
+				st.syncCount++
+			}
+		}
+	}
+	return out
+}
+
+// safeDeliver is the pipeline worker's delivery entry point and the outer
+// ring of panic containment. Policy panics never reach it — deliverSegment
+// converts those into an attributed kill of the one offending process — so a
+// panic arriving here is a bug in the delivery path itself, and the shard's
+// state can no longer be trusted. The shard is poisoned — every process
 // resident on it is killed fail-closed, and everything subsequently routed
 // to it dies on arrival — instead of the panic tearing down the whole
 // verifier process and silently un-gating every monitored program.
@@ -776,8 +956,9 @@ func (v *Verifier) Entries(pid int32) (cur, max int) {
 	return cur, max
 }
 
-// Policy returns the first attached policy of pid matching name, for
-// examples and tests that read policy state (e.g. counter values).
+// Policy returns the first attached policy of pid matching name — a registry
+// name such as "cfi" or "counter" (policy.Names) — for examples and tests
+// that read policy state (e.g. counter values).
 func (v *Verifier) Policy(pid int32, name string) policy.Policy {
 	s := v.shardFor(pid)
 	s.mu.Lock()

@@ -145,7 +145,7 @@ func TestForkClonesPolicyState(t *testing.T) {
 func TestForkOfUnknownParentStartsFresh(t *testing.T) {
 	v := New(cfiFactory, newFakeGate())
 	v.ProcessForked(77, 78)
-	if v.Policy(78, "hq-cfi") == nil {
+	if v.Policy(78, "cfi") == nil {
 		t.Error("child of unknown parent has no policies")
 	}
 }
@@ -154,7 +154,7 @@ func TestProcessExitedDestroysContext(t *testing.T) {
 	v := New(cfiFactory, newFakeGate())
 	v.ProcessStarted(1)
 	v.ProcessExited(1)
-	if v.Policy(1, "hq-cfi") != nil {
+	if v.Policy(1, "cfi") != nil {
 		t.Error("context survived exit")
 	}
 }
@@ -414,8 +414,8 @@ func TestDeliverBatchMixedPIDsMatchesScalar(t *testing.T) {
 		if vb.Messages(pid) != vs.Messages(pid) {
 			t.Errorf("pid %d: batch=%d scalar=%d messages", pid, vb.Messages(pid), vs.Messages(pid))
 		}
-		cb := vb.Policy(pid, "hq-counter").(*policy.Counter)
-		cs := vs.Policy(pid, "hq-counter").(*policy.Counter)
+		cb := vb.Policy(pid, "counter").(*policy.Counter)
+		cs := vs.Policy(pid, "counter").(*policy.Counter)
 		if cb.Count(uint64(pid)) != cs.Count(uint64(pid)) {
 			t.Errorf("pid %d: counter batch=%d scalar=%d", pid, cb.Count(uint64(pid)), cs.Count(uint64(pid)))
 		}
@@ -593,7 +593,7 @@ func TestPumpDrainsChannel(t *testing.T) {
 	}
 	ch.Close()
 	<-done
-	cnt := v.Policy(1, "hq-counter").(*policy.Counter)
+	cnt := v.Policy(1, "counter").(*policy.Counter)
 	if cnt.Count(3) != 20 {
 		t.Errorf("counter = %d, want 20", cnt.Count(3))
 	}

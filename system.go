@@ -77,9 +77,27 @@ func WithMetrics(m *Metrics) SystemOption {
 	return func(c *systemConfig) { c.sup.Metrics = m }
 }
 
-// WithPolicies sets the factory building each monitored process's verifier
-// policy set (default: CFI + memory safety + counter + DFI).
-func WithPolicies(f PolicyFactory) SystemOption {
+// WithPolicies selects each monitored process's verifier policy set by
+// registry name — e.g. WithPolicies("cfi", "memsafety", "hmac"). Policies()
+// lists the registered names; the default set (when neither WithPolicies nor
+// WithPolicyFactory is given) is cfi + memsafety + counter + dfi.
+//
+// An unknown name panics at NewSystem time: policy names are configuration
+// constants, and a misspelling must not silently construct an unprotected
+// system. Use PolicySet to resolve names with an error return instead.
+func WithPolicies(names ...string) SystemOption {
+	f, err := PolicySet(names...)
+	if err != nil {
+		panic("herqules.WithPolicies: " + err.Error())
+	}
+	return func(c *systemConfig) { c.sup.Policies = f }
+}
+
+// WithPolicyFactory sets an explicit factory building each monitored
+// process's policy set — for policy implementations that are not (or cannot
+// be) registered by name, or sets needing per-construction state. Most
+// callers should prefer WithPolicies.
+func WithPolicyFactory(f PolicyFactory) SystemOption {
 	return func(c *systemConfig) { c.sup.Policies = f }
 }
 
