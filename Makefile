@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify policy-smoke policies
+.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify policy-smoke policies forensics-smoke forensics
 
 all: check
 
@@ -29,6 +29,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) policy-smoke
+	$(MAKE) forensics-smoke
 	$(MAKE) verify-smoke
 	$(MAKE) bench-smoke
 
@@ -62,9 +63,24 @@ policy-smoke:
 		./internal/policy ./internal/ipc ./internal/verifier ./internal/supervisor .
 	$(GO) run ./cmd/hqbench -exp policies -quick >/dev/null
 
-# policies prints the full detection matrix and per-policy overhead table.
+# policies prints the full detection matrix and per-policy overhead table and
+# persists it as JSON alongside the other committed benchmark artifacts.
 policies:
-	$(GO) run ./cmd/hqbench -exp policies
+	$(GO) run ./cmd/hqbench -exp policies -out BENCH_policies.json
+
+# forensics-smoke exercises the flight-recorder layer under the race detector:
+# the recorder/forensics unit tests, then the quick acceptance experiment
+# (kill attribution for every fault class, recorder overhead, zero-alloc
+# stamp) built with -race as well. Deterministic attribution — safe for CI.
+forensics-smoke:
+	$(GO) test -race -count=1 -run 'Flight|Forensic|Violations' \
+		./internal/telemetry ./internal/verifier ./internal/supervisor ./internal/obs
+	$(GO) run -race ./cmd/hqbench -exp forensics -quick >/dev/null
+
+# forensics prints the full attribution matrix and overhead measurement and
+# persists the JSON artifact.
+forensics:
+	$(GO) run ./cmd/hqbench -exp forensics -out BENCH_forensics.json
 
 # verify-smoke model-checks the gate protocol at the 2-proc x 2-shard scope:
 # exhaustive exploration must be clean AND the checker must catch each

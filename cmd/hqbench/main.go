@@ -21,12 +21,18 @@
 //	hqbench -exp scaling        # shard-scaling ladder: shards x backend msgs/sec
 //	hqbench -exp verify         # model-check the gate protocol (exhaustive small-scope)
 //	hqbench -exp policies       # policy registry: detection matrix + per-policy overhead
+//	hqbench -exp forensics      # flight recorder: kill attribution, overhead, zero-alloc stamp
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats/chaos
 //	hqbench -seed N             # fault-schedule seed for the chaos soak
 //	hqbench -quick              # shrink the scaling ladder for smoke runs
-//	hqbench -out FILE           # also write the scaling report as JSON
+//	hqbench -out FILE           # also write the report as JSON (scaling, policies, forensics)
+//
+// -out with -exp scaling writes on any run including -exp all (the original
+// behaviour); for policies and forensics it writes only when that experiment
+// was selected by name, so `-exp all -out FILE` cannot have three experiments
+// clobbering one file.
 package main
 
 import (
@@ -41,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, policies, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, policies, forensics, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
@@ -171,14 +177,7 @@ func main() {
 		rep := experiments.Scaling(scalingMsgs, reps)
 		fmt.Print(experiments.FormatScaling(rep))
 		if *outFile != "" {
-			data, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *outFile)
+			writeJSON(*outFile, rep)
 		}
 	}
 	if want("verify") {
@@ -197,10 +196,25 @@ func main() {
 	if want("policies") {
 		ran = true
 		header("Policy registry: fault-detection matrix and per-policy drain overhead")
-		out, err := experiments.Policies(*msgs, *quick)
+		out, rep, err := experiments.Policies(*msgs, *quick)
 		fmt.Print(out)
 		if err != nil {
 			fatal(err)
+		}
+		if *outFile != "" && *exp == "policies" {
+			writeJSON(*outFile, rep)
+		}
+	}
+	if want("forensics") {
+		ran = true
+		header("Flight recorder: kill attribution, drain overhead, zero-alloc stamp")
+		out, rep, err := experiments.Forensics(*msgs, *quick)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+		if *outFile != "" && *exp == "forensics" {
+			writeJSON(*outFile, rep)
 		}
 	}
 	if !ran {
@@ -216,4 +230,17 @@ func header(s string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// writeJSON persists one experiment's report artifact, indented with a
+// trailing newline (the BENCH_*.json convention).
+func writeJSON(file string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", file)
 }

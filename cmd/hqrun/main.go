@@ -7,7 +7,8 @@
 //	hqrun [-design baseline|hq-sfestk|hq-retptr|clang-cfi|ccfi|cpi]
 //	      [-channel inline|fpga|model|shm|mq]
 //	      [-entry main] [-monitor] [-print]
-//	      [-metrics] [-trace events.jsonl] [-serve addr] program.mir
+//	      [-metrics] [-trace events.jsonl] [-serve addr]
+//	      [-forensics report.json] program.mir
 //
 // With -monitor the verifier records violations without killing; -print
 // dumps the instrumented program before running it. -metrics prints the
@@ -17,11 +18,18 @@
 // file. Both artifacts are written on every exit path — including kills,
 // crashes and violations, which is exactly when the trace matters. -serve
 // exposes the live observability endpoints (/metrics, /healthz, /procs,
-// /trace, /debug/pprof/) on the given address for the duration of the run.
+// /trace, /violations, /debug/pprof/) on the given address for the duration
+// of the run.
+//
+// The flight recorder is always armed: when the run ends in a kill, the
+// frozen ForensicReport (attributed policy, kill reason, last-message window,
+// decision trail) is dumped to stderr as the exit artifact, and additionally
+// written to the file given with -forensics.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +62,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "print system stats to stderr after the run")
 	traceOut := flag.String("trace", "", "write the JSONL event trace to this file")
 	serve := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :8080)")
+	forensicsOut := flag.String("forensics", "", "on a kill, also write the ForensicReport JSON to this file")
 	flag.Parse()
 
 	fail := func(err error) int {
@@ -94,7 +103,13 @@ func run() int {
 		}
 	}
 
-	sysOpts := []hq.SystemOption{hq.WithKillOnViolation(!*monitor)}
+	// The flight recorder is cheap enough to always arm: one slot store per
+	// verified message, no allocation — and a kill without a postmortem is a
+	// support ticket.
+	sysOpts := []hq.SystemOption{
+		hq.WithKillOnViolation(!*monitor),
+		hq.WithFlightRecorder(hq.DefaultFlightSlots),
+	}
 	if tm != nil {
 		sysOpts = append(sysOpts, hq.WithMetrics(tm))
 	}
@@ -174,6 +189,7 @@ func run() int {
 		out.ExitCode, out.MessagesProcessed, out.Stats.Instructions)
 	if out.Killed {
 		fmt.Fprintf(os.Stderr, "KILLED: %s\n", out.KillReason)
+		dumpForensics(sys, p.PID(), *forensicsOut)
 		return 137
 	}
 	if out.Err != nil {
@@ -184,4 +200,28 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "violation: %s\n", v.Reason)
 	}
 	return int(out.ExitCode)
+}
+
+// dumpForensics prints the killed process's frozen black box to stderr (and
+// to file, when given) — the exit artifact of every kill path. A missing
+// report is itself reported: it means the kill predated registration or the
+// recorder window was lost, and the operator should know that rather than
+// see nothing.
+func dumpForensics(sys *hq.System, pid int32, file string) {
+	rep, ok := sys.Forensics(pid)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hqrun: no forensic report for pid %d\n", pid)
+		return
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqrun: encoding forensic report:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- forensics (pid %d) ---\n%s\n", pid, doc)
+	if file != "" {
+		if werr := os.WriteFile(file, append(doc, '\n'), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "hqrun:", werr)
+		}
+	}
 }

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"herqules/internal/ipc"
+	"herqules/internal/policy"
+	"herqules/internal/verifier"
+)
+
+// This file implements `hqbench -exp forensics`: the acceptance experiment
+// for the flight-recorder layer. It asserts three properties end to end:
+//
+//  1. Attribution: every injected fault class from the -exp policies matrix
+//     yields a frozen ForensicReport attributing the kill to the policy that
+//     caught it, with a non-empty message window and a fatal decision in the
+//     trail — and the clean stream yields no report under any policy.
+//  2. Overhead: stamping the recorder on every verified message costs at
+//     most a few percent of drain throughput (target ≤5%).
+//  3. Allocation: the per-message stamp allocates nothing — the recorder is
+//     a fixed ring written in place under the shard lock.
+
+// ForensicAttributionRow is one (injector, policy) cell of the attribution
+// sweep: did the kill produce a report, and did it blame the right policy?
+type ForensicAttributionRow struct {
+	Injector   string `json:"injector"`
+	Policy     string `json:"policy"`     // policy expected to catch the fault
+	Attributed string `json:"attributed"` // report.Policy actually recorded
+	KillReason string `json:"kill_reason,omitempty"`
+	Window     int    `json:"window"` // flight records frozen in the report
+	Decisions  int    `json:"decisions"`
+	OK         bool   `json:"ok"`
+}
+
+// ForensicsReport is the JSON artifact `hqbench -exp forensics -out` writes.
+type ForensicsReport struct {
+	GOMAXPROCS         int                      `json:"gomaxprocs"`
+	NumCPU             int                      `json:"num_cpu"`
+	Messages           int                      `json:"messages"`
+	Reps               int                      `json:"reps"`
+	Attribution        []ForensicAttributionRow `json:"attribution"`
+	BaselineMsgsPerSec float64                  `json:"baseline_msgs_per_sec"`
+	RecorderMsgsPerSec float64                  `json:"recorder_msgs_per_sec"`
+	OverheadPct        float64                  `json:"overhead_pct"`
+	AllocsPerMsg       float64                  `json:"allocs_per_msg"`
+}
+
+// runForensicCell reruns one (policy, injector) matrix cell with the flight
+// recorder armed and interrogates the frozen report instead of the violation
+// list: the postmortem, not the live state, is what an operator gets.
+func runForensicCell(name string, inj policyInjector) (ForensicAttributionRow, error) {
+	row := ForensicAttributionRow{Injector: inj.name, Policy: name}
+	factory, err := policy.SetFactory(name)
+	if err != nil {
+		return row, fmt.Errorf("%s/%s: %v", name, inj.name, err)
+	}
+	g := &policyKillGate{kills: make(map[int32]string)}
+	v := verifier.New(factory, g)
+	v.KillOnViolation = true
+	v.EnableFlightRecorder(128)
+	kr := policy.NewKeyringSeeded(0xbadc0de)
+	v.SetKeyring(kr)
+	kr.Program(1)
+	kr.Program(2)
+	v.ProcessStarted(1)
+
+	sealed := name == "hmac"
+	victim, _ := kr.Key(1)
+	foreign, _ := kr.Key(2)
+	for _, m := range inj.build(sealed, victim, foreign) {
+		v.Deliver(m)
+	}
+
+	rep, ok := v.Forensics(1)
+	if len(inj.caughtBy) == 0 {
+		// Clean stream: no kill, so no report may exist.
+		if ok {
+			return row, fmt.Errorf("%s/%s: clean stream produced a forensic report (policy %q, reason %q)",
+				name, inj.name, rep.Policy, rep.KillReason)
+		}
+		row.OK = true
+		return row, nil
+	}
+	if !ok {
+		return row, fmt.Errorf("%s/%s: fault caught but no forensic report frozen", name, inj.name)
+	}
+	row.Attributed = rep.Policy
+	row.KillReason = rep.KillReason
+	row.Window = len(rep.Window)
+	row.Decisions = len(rep.Decisions)
+	switch {
+	case rep.Policy != name:
+		return row, fmt.Errorf("%s/%s: report attributes the kill to %q", name, inj.name, rep.Policy)
+	case rep.KillReason == "":
+		return row, fmt.Errorf("%s/%s: report has no kill reason", name, inj.name)
+	case len(rep.Window) == 0:
+		return row, fmt.Errorf("%s/%s: report window is empty", name, inj.name)
+	}
+	fatal := false
+	for _, d := range rep.Decisions {
+		if d.Fatal && d.Policy == name {
+			fatal = true
+		}
+	}
+	if !fatal {
+		return row, fmt.Errorf("%s/%s: no fatal %s decision in the trail", name, inj.name, name)
+	}
+	if reason := g.reason(1); reason == "" {
+		return row, fmt.Errorf("%s/%s: report frozen but no kill reached the gate", name, inj.name)
+	}
+	row.OK = true
+	return row, nil
+}
+
+// forensicAttribution sweeps every fault class against every policy expected
+// to catch it, plus the clean negative control against every registered
+// policy.
+func forensicAttribution() ([]ForensicAttributionRow, error) {
+	var rows []ForensicAttributionRow
+	var faults []string
+	for _, inj := range policyInjectors() {
+		var names []string
+		if len(inj.caughtBy) == 0 {
+			names = policy.Names() // clean control: every policy must stay silent
+		} else {
+			for name := range inj.caughtBy {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			row, err := runForensicCell(name, inj)
+			rows = append(rows, row)
+			if err != nil {
+				faults = append(faults, err.Error())
+			}
+		}
+	}
+	if len(faults) > 0 {
+		return rows, fmt.Errorf("forensics: %d attribution failure(s):\n  %s",
+			len(faults), strings.Join(faults, "\n  "))
+	}
+	return rows, nil
+}
+
+// forensicOverhead measures the sharded drain rate with and without the
+// flight recorder, over identical replayed pointer-integrity streams. reps
+// are round-robined with an untimed warm-up rep, as in policyOverhead.
+func forensicOverhead(messages, reps int) (baseline, recorder float64) {
+	const procs = 4
+	stream := throughputStream(procs, messages)
+	factory, err := policy.SetFactory("cfi")
+	if err != nil {
+		panic(err) // unreachable: cfi is a registry constant
+	}
+
+	type run struct {
+		slots int
+		rp    *ipc.Replay
+		min   time.Duration
+	}
+	runs := []run{
+		{slots: 0, rp: ipc.NewReplay(stream)},
+		{slots: 256, rp: ipc.NewReplay(stream)},
+	}
+	for rep := 0; rep <= reps; rep++ {
+		for i := range runs {
+			v := verifier.NewSharded(factory, nil, 0)
+			if runs[i].slots > 0 {
+				v.EnableFlightRecorder(runs[i].slots)
+			}
+			for pid := 1; pid <= procs; pid++ {
+				v.ProcessStarted(int32(pid))
+			}
+			runs[i].rp.Rewind()
+			start := time.Now()
+			v.Pump(runs[i].rp)
+			elapsed := time.Since(start)
+			if rep == 1 || (rep > 1 && elapsed < runs[i].min) {
+				runs[i].min = elapsed
+			}
+		}
+	}
+	baseline = float64(messages) / runs[0].min.Seconds()
+	recorder = float64(messages) / runs[1].min.Seconds()
+	return baseline, recorder
+}
+
+// forensicAllocs measures allocations per message on the drain path with the
+// recorder disarmed and armed. The stamp is one store into a preallocated
+// slot, so arming it must add exactly zero allocations; DeliverBatch itself
+// carries a small constant per-call bookkeeping cost (~8 allocs regardless
+// of batch size), which the per-message figure amortizes over a large batch.
+func forensicAllocs() (perMsg, delta float64) {
+	const procs, messages = 2, 1 << 15
+	measure := func(slots int) float64 {
+		stream := throughputStream(procs, messages)
+		factory, err := policy.SetFactory("cfi")
+		if err != nil {
+			panic(err) // unreachable: cfi is a registry constant
+		}
+		v := verifier.NewSharded(factory, nil, 1)
+		if slots > 0 {
+			v.EnableFlightRecorder(slots)
+		}
+		for pid := 1; pid <= procs; pid++ {
+			v.ProcessStarted(int32(pid))
+		}
+		v.DeliverBatch(stream) // warm the policy tables and arena
+		return testing.AllocsPerRun(5, func() { v.DeliverBatch(stream) })
+	}
+	off, on := measure(0), measure(256)
+	return on / float64(messages), on - off
+}
+
+// Forensics runs the flight-recorder acceptance experiment behind
+// `hqbench -exp forensics` and `make forensics-smoke`. Under quick the
+// overhead figure is informational; a full run fails only past 25% (CI
+// machines are noisy), with the ≤5% target printed either way. The alloc
+// assertion is exact in both modes.
+func Forensics(messages int, quick bool) (string, *ForensicsReport, error) {
+	if messages <= 0 {
+		messages = 1 << 19
+	}
+	reps := 3
+	if quick {
+		messages, reps = 1<<17, 2
+	}
+
+	rows, aerr := forensicAttribution()
+
+	var sb strings.Builder
+	sb.WriteString("Attribution: every fault class must freeze a report blaming the catching policy:\n")
+	fmt.Fprintf(&sb, "%-12s %-10s %-10s %7s %10s  %s\n",
+		"fault", "policy", "blamed", "window", "decisions", "kill reason")
+	for _, r := range rows {
+		blamed := r.Attributed
+		if blamed == "" {
+			blamed = "-"
+		}
+		status := r.KillReason
+		if len(status) > 48 {
+			status = status[:45] + "..."
+		}
+		if r.Attributed == "" && r.OK {
+			status = "(clean: no report, as required)"
+		}
+		fmt.Fprintf(&sb, "%-12s %-10s %-10s %7d %10d  %s\n",
+			r.Injector, r.Policy, blamed, r.Window, r.Decisions, status)
+	}
+	if aerr != nil {
+		sb.WriteString("\n")
+		sb.WriteString(aerr.Error())
+		sb.WriteString("\n")
+		return sb.String(), nil, aerr
+	}
+
+	baseline, recorder := forensicOverhead(messages, reps)
+	overhead := (baseline/recorder - 1) * 100
+	sb.WriteString("\nRecorder overhead (cfi sharded drain, identical streams, best of reps):\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s\n", "recorder", "messages", "msgs/sec")
+	fmt.Fprintf(&sb, "%-14s %12d %12.0f\n", "off", messages, baseline)
+	fmt.Fprintf(&sb, "%-14s %12d %12.0f\n", "on (256)", messages, recorder)
+	fmt.Fprintf(&sb, "overhead: %+.1f%% (target <= 5%%)\n", overhead)
+
+	allocs, allocDelta := forensicAllocs()
+	fmt.Fprintf(&sb, "\nAllocations per message with recorder armed: %.5f; added by the recorder: %.1f (must be 0)\n",
+		allocs, allocDelta)
+
+	rep := &ForensicsReport{
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		Messages:           messages,
+		Reps:               reps,
+		Attribution:        rows,
+		BaselineMsgsPerSec: baseline,
+		RecorderMsgsPerSec: recorder,
+		OverheadPct:        overhead,
+		AllocsPerMsg:       allocs,
+	}
+
+	if allocDelta > 0 || allocs > 0.001 {
+		return sb.String(), rep, fmt.Errorf("forensics: recorder alloc cost %.1f/batch, %.5f/msg — want 0 added", allocDelta, allocs)
+	}
+	if !quick && overhead > 25 {
+		return sb.String(), rep, fmt.Errorf("forensics: recorder overhead %.1f%% exceeds the 25%% hard ceiling (target 5%%)", overhead)
+	}
+	return sb.String(), rep, nil
+}

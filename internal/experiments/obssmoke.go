@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"herqules/internal/compiler"
+	"herqules/internal/ipc"
 	"herqules/internal/mir"
 	"herqules/internal/obs"
 	"herqules/internal/supervisor"
@@ -18,8 +20,9 @@ import (
 
 // ObsSmoke is the observability-plane smoke test behind `make obs-smoke`:
 // it stands up a resident System with the observability server on a
-// loopback port, runs a couple of monitored programs through it, scrapes
-// /metrics and /healthz over real HTTP, and fails unless the exposition is
+// loopback port, runs a couple of monitored programs through it plus one
+// synthetic violator, scrapes /metrics, /healthz and the /violations
+// postmortem endpoints over real HTTP, and fails unless the exposition is
 // non-empty and carries the series an operator would alert on. It returns a
 // short human-readable summary on success.
 func ObsSmoke() (string, error) {
@@ -30,6 +33,10 @@ func ObsSmoke() (string, error) {
 		// Sample every message: the smoke run is tiny and must still land
 		// send → validate observations.
 		LatencySampleEvery: 1,
+		// Kill-on-violation plus an armed flight recorder: the smoke run
+		// includes a synthetic violator so /violations serves a real report.
+		KillOnViolation: true,
+		FlightRecorder:  64,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -110,7 +117,72 @@ func ObsSmoke() (string, error) {
 		return "", fmt.Errorf("obs-smoke: /healthz status %d body %s", code, health)
 	}
 
+	// Synthetic violator: register a kernel context and replay a define/check
+	// pair with a corrupted pointer, so the cfi policy kills and freezes a
+	// report the /violations endpoints must then serve.
+	vpid := sys.Kernel().Register()
+	v := sys.Verifier()
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: vpid, Arg1: 0x40, Arg2: 0x1000, Seq: 1})
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: vpid, Arg1: 0x40, Arg2: 0xbad, Seq: 2})
+
+	code, idxBody, err := fetch("/violations")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("obs-smoke: /violations status %d", code)
+	}
+	var idx []struct {
+		PID        int32  `json:"pid"`
+		Policy     string `json:"policy"`
+		KillReason string `json:"kill_reason"`
+		Window     int    `json:"window"`
+	}
+	if err := json.Unmarshal([]byte(idxBody), &idx); err != nil {
+		return "", fmt.Errorf("obs-smoke: /violations is not JSON: %w", err)
+	}
+	if len(idx) != 1 || idx[0].PID != vpid {
+		return "", fmt.Errorf("obs-smoke: /violations index %+v, want one row for pid %d", idx, vpid)
+	}
+	if idx[0].Policy != "cfi" || idx[0].KillReason == "" || idx[0].Window == 0 {
+		return "", fmt.Errorf("obs-smoke: /violations row %+v: want policy=cfi, a kill reason, a window", idx[0])
+	}
+
+	code, repBody, err := fetch(fmt.Sprintf("/violations/%d", vpid))
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("obs-smoke: /violations/%d status %d", vpid, code)
+	}
+	var report supervisor.ForensicReport
+	if err := json.Unmarshal([]byte(repBody), &report); err != nil {
+		return "", fmt.Errorf("obs-smoke: /violations/%d is not JSON: %w", vpid, err)
+	}
+	if report.Policy != "cfi" || report.KillReason == "" || len(report.Window) == 0 {
+		return "", fmt.Errorf("obs-smoke: report pid %d: policy %q reason %q window %d — want an attributed cfi postmortem",
+			vpid, report.Policy, report.KillReason, len(report.Window))
+	}
+
+	// The kill must also surface on the metric plane: the per-policy counter
+	// and at least one per-shard depth gauge.
+	code, metrics, err = fetch("/metrics")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("obs-smoke: /metrics re-scrape status %d", code)
+	}
+	for _, want := range []string{
+		`herqules_violations_total{policy="cfi"} 1`,
+		`herqules_shard_queue_depth{shard="0"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			return "", fmt.Errorf("obs-smoke: /metrics missing %q after the kill", want)
+		}
+	}
+
 	lines := strings.Count(metrics, "\n")
-	return fmt.Sprintf("obs-smoke ok: %d procs, %d exposition lines on %s, /healthz up\n",
-		procs, lines, addr), nil
+	return fmt.Sprintf("obs-smoke ok: %d procs, %d exposition lines on %s, /healthz up, postmortem for pid %d (cfi) served\n",
+		procs, lines, addr, vpid), nil
 }

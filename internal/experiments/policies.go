@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -160,9 +161,11 @@ func policyInjectors() []policyInjector {
 
 // PolicyMatrixCell is one (policy, injector) measurement.
 type PolicyMatrixCell struct {
-	Policy, Injector string
-	Caught, Expected bool
-	Reason           string // kill reason when caught
+	Policy   string `json:"policy"`
+	Injector string `json:"injector"`
+	Caught   bool   `json:"caught"`
+	Expected bool   `json:"expected"`
+	Reason   string `json:"reason,omitempty"` // kill reason when caught
 }
 
 // DetectionMatrix runs every injected fault against every registered policy
@@ -241,11 +244,26 @@ func runMatrixCell(name string, inj policyInjector) (PolicyMatrixCell, error) {
 // PolicyOverheadRow is the drain throughput of cfi plus one extra policy,
 // against the cfi-only baseline.
 type PolicyOverheadRow struct {
-	Set        string
-	Messages   int
-	Elapsed    time.Duration
-	MsgsPerSec float64
-	Overhead   float64 // percent vs the cfi-only baseline
+	Set        string        `json:"set"`
+	Messages   int           `json:"messages"`
+	ElapsedNs  int64         `json:"elapsed_ns"`
+	MsgsPerSec float64       `json:"msgs_per_sec"`
+	Overhead   float64       `json:"overhead_pct"` // percent vs the cfi-only baseline
+	Elapsed    time.Duration `json:"-"`
+}
+
+// PoliciesReport is the JSON artifact `hqbench -exp policies -out` writes:
+// the full detection matrix and the per-policy overhead sweep, plus the
+// environment facts needed to interpret the rates later (the -exp scaling
+// convention).
+type PoliciesReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Messages   int                 `json:"messages"`
+	Reps       int                 `json:"reps"`
+	Policies   []string            `json:"policies"`
+	Matrix     []PolicyMatrixCell  `json:"matrix"`
+	Overhead   []PolicyOverheadRow `json:"overhead"`
 }
 
 // policyOverhead measures the sharded drain rate for cfi-only and for
@@ -320,7 +338,7 @@ func policyOverhead(messages, reps int) []PolicyOverheadRow {
 		rate := float64(messages) / runs[i].min.Seconds()
 		row := PolicyOverheadRow{
 			Set: strings.Join(set, "+"), Messages: messages,
-			Elapsed: runs[i].min, MsgsPerSec: rate,
+			Elapsed: runs[i].min, ElapsedNs: runs[i].min.Nanoseconds(), MsgsPerSec: rate,
 		}
 		if baseline == 0 {
 			baseline = rate
@@ -333,8 +351,10 @@ func policyOverhead(messages, reps int) []PolicyOverheadRow {
 }
 
 // Policies runs the detection matrix and the overhead sweep behind
-// `hqbench -exp policies` and `make policy-smoke`.
-func Policies(messages int, quick bool) (string, error) {
+// `hqbench -exp policies` and `make policy-smoke`. The returned report is
+// the JSON artifact written by -out (nil when the matrix failed, so a broken
+// run never overwrites a good artifact).
+func Policies(messages int, quick bool) (string, *PoliciesReport, error) {
 	if messages <= 0 {
 		messages = 1 << 19
 	}
@@ -380,12 +400,13 @@ func Policies(messages int, quick bool) (string, error) {
 		sb.WriteString("\n")
 		sb.WriteString(merr.Error())
 		sb.WriteString("\n")
-		return sb.String(), merr
+		return sb.String(), nil, merr
 	}
 
+	overhead := policyOverhead(messages, reps)
 	sb.WriteString("\nThroughput overhead vs cfi-only baseline (sharded drain, identical streams):\n")
 	fmt.Fprintf(&sb, "%-16s %12s %12s %10s\n", "set", "messages", "msgs/sec", "overhead")
-	for _, r := range policyOverhead(messages, reps) {
+	for _, r := range overhead {
 		oh := "baseline"
 		if r.Overhead != 0 || r.Set != "cfi" {
 			oh = fmt.Sprintf("%+.1f%%", r.Overhead)
@@ -393,5 +414,14 @@ func Policies(messages int, quick bool) (string, error) {
 		fmt.Fprintf(&sb, "%-16s %12d %12.0f %10s\n", r.Set, r.Messages, r.MsgsPerSec, oh)
 	}
 	sb.WriteString("\nregistry: " + strings.Join(policy.Names(), ", ") + "\n")
-	return sb.String(), nil
+	rep := &PoliciesReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Messages:   messages,
+		Reps:       reps,
+		Policies:   policy.Names(),
+		Matrix:     cells,
+		Overhead:   overhead,
+	}
+	return sb.String(), rep, nil
 }

@@ -131,14 +131,15 @@ func TestConcurrentProducerConsumer(t *testing.T) {
 	for {
 		m, ok, err := ch.Receiver.Recv()
 		if err != nil {
-			// Drops are possible with a small buffer and no
-			// synchronization — but here receiver keeps pace via
-			// blocking sends? The AFU drops instead of blocking, so
-			// tolerate integrity errors only if drops occurred.
+			// The AFU drops on overrun instead of blocking, so counter
+			// gaps are expected whenever the producer outruns this loop.
+			// The errored Recv still consumed one buffered message; keep
+			// draining so the accounting below closes.
 			if dev.Dropped() == 0 {
 				t.Fatalf("integrity error without drops: %v", err)
 			}
-			break
+			count++
+			continue
 		}
 		if !ok {
 			break
@@ -149,6 +150,8 @@ func TestConcurrentProducerConsumer(t *testing.T) {
 	if err := <-errs; err != nil {
 		t.Fatal(err)
 	}
+	// Conservation: every sent message was either dropped by the AFU at
+	// overrun or consumed by a Recv (verified or gap-flagged) above.
 	if count+int(dev.Dropped()) != n {
 		t.Errorf("received %d + dropped %d != sent %d", count, dev.Dropped(), n)
 	}

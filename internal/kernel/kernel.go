@@ -181,6 +181,7 @@ type Kernel struct {
 	watchdog    Watchdog
 	degraded    DegradedPolicy
 	keys        KeyProgrammer
+	flight      telemetry.FlightStamper
 
 	// Epoch is the synchronization timeout (§2.2). Zero means
 	// DefaultEpoch.
@@ -272,6 +273,17 @@ func (k *Kernel) SetKeyring(kp KeyProgrammer) {
 func (k *Kernel) SetWatchdog(wd Watchdog) {
 	k.mu.Lock()
 	k.watchdog = wd
+	k.mu.Unlock()
+}
+
+// SetFlightStamper attaches the per-process flight recorder relay: the gate
+// stamps its lifecycle events (stalls, epoch expiries, degraded bypasses)
+// into each process's black box. The stamper takes verifier shard locks, so
+// the kernel only invokes it outside k.mu — the same discipline as listener
+// callbacks. Must be set before concurrent use, like the other setters.
+func (k *Kernel) SetFlightStamper(fs telemetry.FlightStamper) {
+	k.mu.Lock()
+	k.flight = fs
 	k.mu.Unlock()
 }
 
@@ -459,6 +471,7 @@ func (k *Kernel) Exit(pid int32) {
 func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 	k.mu.Lock()
 	tm := k.tm
+	fs := k.flight
 	p, ok := k.procs[pid]
 	if !ok {
 		k.mu.Unlock()
@@ -476,12 +489,18 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 		k.mu.Unlock()
 		return fmt.Errorf("kernel: pid %d killed: %s", pid, reason)
 	}
-	var expired, wedged, logOnly bool
+	var expired, wedged, logOnly, stalled bool
+	var stallNs uint64
 	if !p.syncReady {
+		stalled = true
 		p.stats.SyncStalls++
 		var stallStart time.Time
 		if tm != nil {
 			tm.stalls.Inc()
+		}
+		// The stall clock feeds both the telemetry histograms and the flight
+		// recorder's gate timeline; start it when either consumer is wired.
+		if tm != nil || fs != nil {
 			stallStart = time.Now()
 		}
 		epoch := k.Epoch
@@ -540,13 +559,15 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 			p.cond.Wait()
 		}
 		timer.Stop()
+		if tm != nil || fs != nil {
+			stallNs = uint64(time.Since(stallStart))
+		}
 		if tm != nil {
-			stall := uint64(time.Since(stallStart))
-			tm.stallNs.Observe(stall)
+			tm.stallNs.Observe(stallNs)
 			// Per-PID attribution: fold the same stall into this process's
 			// private distribution (k.mu is held here — cond.Wait
 			// reacquired it — so the single-writer Record is safe).
-			p.stats.StallNs.Record(stall)
+			p.stats.StallNs.Record(stallNs)
 		}
 	}
 	if p.exited && !p.killed {
@@ -565,6 +586,11 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 			tm.degraded.Inc()
 			tm.m.Event("kernel.degraded_allow", pid, uint64(syscallNo))
 		}
+		if fs != nil {
+			fs.StampFlightEvent(pid, telemetry.FlightGateStall, stallNs)
+			fs.StampFlightEvent(pid, telemetry.FlightEpochExpired, uint64(syscallNo))
+			fs.StampFlightEvent(pid, telemetry.FlightDegradedAllow, uint64(syscallNo))
+		}
 		return nil
 	}
 	if p.killed {
@@ -580,6 +606,13 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 				}
 				tm.m.Event("kernel.epoch_expired", pid, uint64(syscallNo))
 			}
+			// Stamp the gate timeline BEFORE ProcessKilled: the kill listener
+			// freezes the flight ring, and the stall + expiry that triggered
+			// this kill belong inside the frozen window.
+			if fs != nil {
+				fs.StampFlightEvent(pid, telemetry.FlightGateStall, stallNs)
+				fs.StampFlightEvent(pid, telemetry.FlightEpochExpired, uint64(syscallNo))
+			}
 			if kl, ok := l.(KillListener); ok {
 				kl.ProcessKilled(pid, reason)
 			}
@@ -589,6 +622,9 @@ func (k *Kernel) SyscallEnter(pid int32, syscallNo int) error {
 	// Reset the synchronization variable upon resumption (§3.3).
 	p.syncReady = false
 	k.mu.Unlock()
+	if fs != nil && stalled {
+		fs.StampFlightEvent(pid, telemetry.FlightGateStall, stallNs)
+	}
 	return nil
 }
 

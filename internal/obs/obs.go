@@ -22,6 +22,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 
 	"herqules/internal/supervisor"
@@ -36,6 +38,10 @@ type System interface {
 	Stats() supervisor.Stats
 	// Health returns the liveness summary.
 	Health() supervisor.Health
+	// Forensics returns the kill postmortem for pid, when one exists.
+	Forensics(pid int32) (supervisor.ForensicReport, bool)
+	// AllForensics returns every available kill postmortem, ascending by PID.
+	AllForensics() []supervisor.ForensicReport
 }
 
 // Server serves the observability endpoints for one System. Construct with
@@ -43,7 +49,7 @@ type System interface {
 // bind and serve on a dedicated listener.
 type Server struct {
 	sys System
-	m   *telemetry.Metrics // may be nil: /trace then 404s
+	m   *telemetry.Metrics // may be nil: /trace then serves an empty document
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -59,18 +65,22 @@ func NewServer(sys System, m *telemetry.Metrics) *Server {
 
 // Handler returns the endpoint mux:
 //
-//	/metrics       Prometheus text exposition (counters, peaks, histograms,
-//	               per-PID series)
-//	/healthz       liveness JSON; 200 while up, 503 once shutdown has begun
-//	/procs         per-PID attribution JSON (the Stats serialization)
-//	/trace         event ring as JSONL; 404 until tracing is enabled
-//	/debug/pprof/  Go runtime profiler
+//	/metrics          Prometheus text exposition (counters, peaks, histograms,
+//	                  per-PID and per-shard series, per-policy violations)
+//	/healthz          liveness JSON; 200 while up, 503 once shutdown has begun
+//	/procs            per-PID attribution JSON (the Stats serialization)
+//	/trace            event ring as JSONL; empty until tracing is enabled
+//	/violations       kill-postmortem index (one summary per ForensicReport)
+//	/violations/<pid> full ForensicReport JSON for one killed process
+//	/debug/pprof/     Go runtime profiler
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/procs", s.handleProcs)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/violations", s.handleViolations)
+	mux.HandleFunc("/violations/", s.handleViolation)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -154,14 +164,64 @@ func (s *Server) handleProcs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	var t *telemetry.Trace
 	if s.m != nil {
 		t = s.m.Trace()
 	}
 	if t == nil {
-		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		// Tracing never enabled: an empty event document, not an error — a
+		// scraper polling a fleet must not have to know which instances were
+		// started with tracing.
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = t.WriteJSONL(w)
+}
+
+// violationSummary is one row of the /violations index: enough to triage and
+// build the per-PID link, without shipping every report's full window.
+type violationSummary struct {
+	PID             int32  `json:"pid"`
+	Policy          string `json:"policy,omitempty"`
+	KillReason      string `json:"kill_reason"`
+	Shard           int    `json:"shard"`
+	Window          int    `json:"window"` // retained flight records
+	FrozenUnixNanos int64  `json:"frozen_unix_nanos"`
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
+	reports := s.sys.AllForensics()
+	idx := make([]violationSummary, len(reports))
+	for i, r := range reports {
+		idx[i] = violationSummary{
+			PID:             r.PID,
+			Policy:          r.Policy,
+			KillReason:      r.KillReason,
+			Shard:           r.Shard,
+			Window:          len(r.Window),
+			FrozenUnixNanos: r.FrozenUnixNanos,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(idx)
+}
+
+func (s *Server) handleViolation(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/violations/")
+	pid64, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || pid64 <= 0 {
+		http.Error(w, "bad pid", http.StatusBadRequest)
+		return
+	}
+	rep, ok := s.sys.Forensics(int32(pid64))
+	if !ok {
+		http.Error(w, "no forensic report for pid", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"herqules/internal/compiler"
+	"herqules/internal/ipc"
 	"herqules/internal/mir"
 	"herqules/internal/supervisor"
 	"herqules/internal/telemetry"
@@ -68,13 +69,18 @@ func get(t *testing.T, url string) (int, string) {
 // sampleLine matches one exposition sample: name, optional label set, value.
 var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+(?:\.\d+)?|\+Inf)$`)
 
+// typeLine matches one `# TYPE name kind` comment.
+var typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+
 // checkExposition parses body as Prometheus text exposition: every
-// non-comment line must match the sample grammar, and every histogram's
+// non-comment line must match the sample grammar, every sample's metric
+// family must have been declared with a `# TYPE` line, and every histogram's
 // cumulative buckets must be monotone non-decreasing with the +Inf bucket
 // equal to its _count. Returns the parsed samples keyed by name{labels}.
 func checkExposition(t *testing.T, body string) map[string]float64 {
 	t.Helper()
 	samples := make(map[string]float64)
+	typed := make(map[string]string) // family name -> declared type
 	type bucketSeries struct {
 		order []float64 // le bounds in emission order
 		cum   []float64
@@ -87,7 +93,23 @@ func checkExposition(t *testing.T, body string) map[string]float64 {
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
+			if tm := typeLine.FindStringSubmatch(line); tm != nil {
+				typed[tm[1]] = tm[2]
+			}
 			continue
+		}
+		// Before the first sample of a family, its `# TYPE` must have appeared.
+		if name := sampleLine.FindStringSubmatch(line); name != nil {
+			fam := name[1]
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(fam, suf); base != fam && typed[base] == "histogram" {
+					fam = base
+					break
+				}
+			}
+			if _, ok := typed[fam]; !ok {
+				t.Errorf("sample %q has no preceding # TYPE for family %s", line, fam)
+			}
 		}
 		mm := sampleLine.FindStringSubmatch(line)
 		if mm == nil {
@@ -289,8 +311,9 @@ func TestMetricsEndpointLiveSystem(t *testing.T) {
 	}
 }
 
-// TestTraceEndpointDisabled: without a trace ring the endpoint 404s rather
-// than serving an empty document that looks like "no events happened".
+// TestTraceEndpointDisabled: without a trace ring the endpoint serves an
+// empty 200 document — a fleet scraper must not have to know which instances
+// were started with tracing, and the handler must not panic on the nil ring.
 func TestTraceEndpointDisabled(t *testing.T) {
 	m := telemetry.New(0)
 	sys := supervisor.New(supervisor.Config{Metrics: m})
@@ -299,9 +322,25 @@ func TestTraceEndpointDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if code, _ := get(t, "http://"+srv.Addr()+"/trace"); code != http.StatusNotFound {
-		t.Errorf("/trace without ring: status %d, want 404", code)
+	code, body := get(t, "http://"+srv.Addr()+"/trace")
+	if code != http.StatusOK {
+		t.Errorf("/trace without ring: status %d, want 200", code)
 	}
+	if strings.TrimSpace(body) != "" {
+		t.Errorf("/trace without ring: non-empty body %q", body)
+	}
+
+	// A server built with no Metrics at all must behave identically.
+	srv2 := NewServer(degradedSystem{}, nil)
+	if err := srv2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	code, body = get(t, "http://"+srv2.Addr()+"/trace")
+	if code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("/trace with nil metrics: status %d body %q, want empty 200", code, body)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := sys.Shutdown(ctx); err != nil {
@@ -363,6 +402,56 @@ func TestWriteMetricsSynthetic(t *testing.T) {
 	}
 }
 
+// TestWriteMetricsViolationAndShardSeries: the forensics series — per-policy
+// violation counters with escaped label values, and per-shard occupancy
+// gauges — must render as well-formed exposition even for hostile policy
+// names.
+func TestWriteMetricsViolationAndShardSeries(t *testing.T) {
+	st := supervisor.Stats{
+		ViolationsByPolicy: map[string]uint64{
+			"cfi":         3,
+			`evil"name`:   1,
+			"back\\slash": 2,
+			"multi\nline": 4,
+			"seq":         7,
+		},
+		Shards: []supervisor.ShardRow{
+			{Shard: 0, Procs: 2, Dead: 1, QueueDepth: 5, QueueCap: 64},
+			{Shard: 1, Procs: 0, QueueDepth: 0, QueueCap: 64, Poisoned: true},
+		},
+	}
+	var b strings.Builder
+	WriteMetrics(&b, st)
+	body := b.String()
+	samples := checkExposition(t, body)
+
+	for key, want := range map[string]float64{
+		`herqules_violations_total{policy="cfi"}`:         3,
+		`herqules_violations_total{policy="seq"}`:         7,
+		`herqules_violations_total{policy="evil\"name"}`:  1,
+		`herqules_violations_total{policy="back\\slash"}`: 2,
+		`herqules_violations_total{policy="multi\nline"}`: 4,
+		`herqules_shard_queue_depth{shard="0"}`:           5,
+		`herqules_shard_queue_cap{shard="1"}`:             64,
+		`herqules_shard_procs{shard="0"}`:                 2,
+		`herqules_shard_dead_procs{shard="0"}`:            1,
+		`herqules_shard_poisoned{shard="1"}`:              1,
+		`herqules_shard_poisoned{shard="0"}`:              0,
+	} {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %v, want %v\n%s", key, got, want, body)
+		}
+	}
+	// Raw (unescaped) quote or newline inside a label value would have failed
+	// checkExposition's line grammar already; double-check the escapes landed.
+	if !strings.Contains(body, `policy="evil\"name"`) {
+		t.Errorf("quote not escaped in exposition:\n%s", body)
+	}
+	if !strings.Contains(body, `policy="multi\nline"`) {
+		t.Errorf("newline not escaped in exposition:\n%s", body)
+	}
+}
+
 // degradedSystem is a synthetic System whose Health reports poisoned shards.
 type degradedSystem struct{ poisoned int }
 
@@ -371,6 +460,10 @@ func (d degradedSystem) Health() supervisor.Health {
 	return supervisor.Health{Up: true, Shards: 4, PoisonedShards: d.poisoned,
 		DegradedPolicy: "fail-closed"}
 }
+func (d degradedSystem) Forensics(pid int32) (supervisor.ForensicReport, bool) {
+	return supervisor.ForensicReport{}, false
+}
+func (d degradedSystem) AllForensics() []supervisor.ForensicReport { return nil }
 
 // TestHealthzReportsDegradedAs503: a poisoned verifier shard is permanent
 // lost capacity — the probe must go unhealthy even though the system is
@@ -401,5 +494,137 @@ func TestHealthzReportsDegradedAs503(t *testing.T) {
 	defer srv2.Close()
 	if code, _ := get(t, "http://"+srv2.Addr()+"/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz healthy system: status %d, want 200", code)
+	}
+}
+
+// TestViolationsEndpointsLiveSystem drives a real System with the flight
+// recorder armed, provokes a CFI kill by hand-delivering a corrupted
+// pointer-check message, and validates the /violations index, the per-PID
+// report document, and the per-policy violation counter on /metrics.
+func TestViolationsEndpointsLiveSystem(t *testing.T) {
+	sys := supervisor.New(supervisor.Config{
+		KillOnViolation: true,
+		FlightRecorder:  64,
+	})
+	srv := NewServer(sys, nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Before any kill, the index is an empty JSON array and a lookup 404s.
+	code, body := get(t, base+"/violations")
+	if code != http.StatusOK {
+		t.Fatalf("/violations empty: status %d", code)
+	}
+	var empty []map[string]any
+	if err := json.Unmarshal([]byte(body), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("/violations empty: want [] got %q (err %v)", body, err)
+	}
+	if code, _ := get(t, base+"/violations/12345"); code != http.StatusNotFound {
+		t.Errorf("/violations/12345 with no report: status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/violations/nonsense"); code != http.StatusBadRequest {
+		t.Errorf("/violations/nonsense: status %d, want 400", code)
+	}
+
+	// Synthetic violator: register a kernel context, define a code pointer,
+	// then check it against a corrupted value — the cfi policy must kill.
+	pid := sys.Kernel().Register()
+	v := sys.Verifier()
+	v.Deliver(ipc.Message{Op: ipc.OpPointerDefine, PID: pid, Arg1: 0x40, Arg2: 0x1000, Seq: 1})
+	v.Deliver(ipc.Message{Op: ipc.OpPointerCheck, PID: pid, Arg1: 0x40, Arg2: 0xbad, Seq: 2})
+
+	code, body = get(t, base+"/violations")
+	if code != http.StatusOK {
+		t.Fatalf("/violations: status %d", code)
+	}
+	var idx []struct {
+		PID             int32  `json:"pid"`
+		Policy          string `json:"policy"`
+		KillReason      string `json:"kill_reason"`
+		Window          int    `json:"window"`
+		FrozenUnixNanos int64  `json:"frozen_unix_nanos"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("/violations: bad JSON: %v\n%s", err, body)
+	}
+	if len(idx) != 1 || idx[0].PID != pid {
+		t.Fatalf("/violations rows = %+v, want one row for pid %d", idx, pid)
+	}
+	if idx[0].Policy != "cfi" {
+		t.Errorf("index policy = %q, want cfi", idx[0].Policy)
+	}
+	if idx[0].KillReason == "" || idx[0].Window == 0 || idx[0].FrozenUnixNanos == 0 {
+		t.Errorf("index row incomplete: %+v", idx[0])
+	}
+
+	code, body = get(t, fmt.Sprintf("%s/violations/%d", base, pid))
+	if code != http.StatusOK {
+		t.Fatalf("/violations/%d: status %d", pid, code)
+	}
+	var rep struct {
+		PID        int32  `json:"pid"`
+		Policy     string `json:"policy"`
+		KillReason string `json:"kill_reason"`
+		State      string `json:"state"`
+		Window     []struct {
+			Kind string `json:"kind"`
+			Code string `json:"code"`
+			Op   string `json:"op,omitempty"`
+		} `json:"window"`
+		Decisions []struct {
+			Policy string `json:"policy"`
+			Fatal  bool   `json:"fatal"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/violations/%d: bad JSON: %v\n%s", pid, err, body)
+	}
+	if rep.PID != pid || rep.Policy != "cfi" || rep.KillReason == "" {
+		t.Errorf("report header = pid=%d policy=%q reason=%q", rep.PID, rep.Policy, rep.KillReason)
+	}
+	if rep.State != "killed" {
+		t.Errorf("report state = %q, want killed", rep.State)
+	}
+	if len(rep.Window) == 0 {
+		t.Errorf("report window empty:\n%s", body)
+	}
+	fatal := false
+	for _, d := range rep.Decisions {
+		if d.Fatal && d.Policy == "cfi" {
+			fatal = true
+		}
+	}
+	if !fatal {
+		t.Errorf("no fatal cfi decision in trail: %+v", rep.Decisions)
+	}
+
+	// The kill must surface on /metrics as an attributed violation counter,
+	// and the shard gauges must be present on a live system.
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	samples := checkExposition(t, body)
+	if got := samples[`herqules_violations_total{policy="cfi"}`]; got != 1 {
+		t.Errorf(`herqules_violations_total{policy="cfi"} = %v, want 1`, got)
+	}
+	foundShard := false
+	for key := range samples {
+		if strings.HasPrefix(key, "herqules_shard_queue_depth{") {
+			foundShard = true
+			break
+		}
+	}
+	if !foundShard {
+		t.Errorf("no per-shard queue depth gauges in exposition:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }

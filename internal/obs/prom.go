@@ -26,6 +26,20 @@ func WriteMetrics(w io.Writer, st supervisor.Stats) {
 	writeScalar(w, "herqules_procs_active", "gauge", "", st.Active)
 	writeScalar(w, "herqules_messages_verified_total", "counter", "", st.MessagesVerified)
 
+	// Per-policy violation attribution, wired from Violation.Policy. Policy
+	// names are registry identifiers in practice, but the label value is
+	// escaped regardless — a hostile or buggy name must not corrupt the
+	// exposition.
+	if len(st.ViolationsByPolicy) > 0 {
+		fmt.Fprintf(w, "# TYPE herqules_violations_total counter\n")
+		for _, name := range sortedKeys(st.ViolationsByPolicy) {
+			fmt.Fprintf(w, "herqules_violations_total{policy=\"%s\"} %d\n",
+				escapeLabel(name), st.ViolationsByPolicy[name])
+		}
+	}
+
+	writeShardSeries(w, st.Shards)
+
 	// Registry counters, sorted for a stable exposition.
 	for _, name := range sortedKeys(st.Snapshot.Counters) {
 		writeScalar(w, metricName(name)+"_total", "counter", "", st.Snapshot.Counters[name].Total)
@@ -82,7 +96,62 @@ func writeProcSeries(w io.Writer, procs []supervisor.ProcStats) {
 	}
 }
 
+// writeShardSeries emits the per-shard occupancy gauges — queue depth and
+// bound, resident/dead contexts, poisoned flag — the series a shard
+// rebalancer (the planned hqd daemon) watches.
+func writeShardSeries(w io.Writer, shards []supervisor.ShardRow) {
+	if len(shards) == 0 {
+		return
+	}
+	type column struct {
+		name  string
+		value func(r supervisor.ShardRow) uint64
+	}
+	cols := []column{
+		{"herqules_shard_queue_depth", func(r supervisor.ShardRow) uint64 { return uint64(r.QueueDepth) }},
+		{"herqules_shard_queue_cap", func(r supervisor.ShardRow) uint64 { return uint64(r.QueueCap) }},
+		{"herqules_shard_procs", func(r supervisor.ShardRow) uint64 { return uint64(r.Procs) }},
+		{"herqules_shard_dead_procs", func(r supervisor.ShardRow) uint64 { return uint64(r.Dead) }},
+		{"herqules_shard_poisoned", func(r supervisor.ShardRow) uint64 {
+			if r.Poisoned {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for _, c := range cols {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", c.name)
+		for _, r := range shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", c.name, r.Shard, c.value(r))
+		}
+	}
+}
+
 func pidLabel(pid int32) string { return strconv.FormatInt(int64(pid), 10) }
+
+// escapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote and newline are the only characters that
+// need escaping inside a quoted label value.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
 
 func writeScalar(w io.Writer, name, typ, labels string, v uint64) {
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)

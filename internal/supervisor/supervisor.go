@@ -96,6 +96,14 @@ type Config struct {
 	// (1024); values are rounded up to a power of two; negative disables
 	// sampling. Ignored when Metrics is nil.
 	LatencySampleEvery int
+
+	// FlightRecorder, when > 0, arms a per-process flight recorder of that
+	// many slots (rounded up to a power of two): the verifier stamps every
+	// delivered message's policy-chain outcome, the kernel stamps gate/epoch
+	// lifecycle events, and a kill freezes the ring into a ForensicReport
+	// served by System.Forensics and the /violations endpoint. 0 disables —
+	// no ring, no per-message stamp, no reports.
+	FlightRecorder int
 }
 
 // DefaultPolicies installs the standard policy set, resolved through the
@@ -221,10 +229,11 @@ const maxProcRecords = 4096
 // context and the channel's pending peak; once it finishes, the final row is
 // frozen here (the live sources tear their state down on exit).
 type procRecord struct {
-	pid     int32
-	started int64           // UnixNano at launch
-	peak    ipc.PeakPender  // per-channel pending high-water; nil without telemetry or channel
-	final   *ProcStats      // frozen at exit; nil while running
+	pid      int32
+	started  int64           // UnixNano at launch
+	peak     ipc.PeakPender  // per-channel pending high-water; nil without telemetry or channel
+	final    *ProcStats      // frozen at exit; nil while running
+	forensic *ForensicReport // kill postmortem, retained past verifier teardown
 }
 
 // New constructs a System: kernel and verifier are created once, wired
@@ -250,6 +259,13 @@ func New(cfg Config) *System {
 	// kill under the configured degraded policy.
 	k.SetWatchdog(v)
 	k.SetDegradedPolicy(cfg.Degraded)
+	if cfg.FlightRecorder > 0 {
+		// Arm the black box before any registration, then point the kernel's
+		// lifecycle stamps at the verifier-owned rings. The stamper locks
+		// verifier shards, which the kernel only calls outside its own mutex.
+		v.EnableFlightRecorder(cfg.FlightRecorder)
+		k.SetFlightStamper(v)
+	}
 	s := &System{
 		cfg:     cfg,
 		k:       k,
@@ -479,6 +495,15 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 		}
 		final.FinishedUnixNanos = time.Now().UnixNano()
 
+		// Retain the kill postmortem (if one was frozen) before Exit tears
+		// the verifier context — and the report hanging off it — down.
+		var forensic *ForensicReport
+		if fr, ok := s.forensicsLive(pid, rec.started); ok {
+			fr.State = final.State
+			fr.FinishedUnixNanos = final.FinishedUnixNanos
+			forensic = &fr
+		}
+
 		// Interleaving point: the program's channel is fully drained and its
 		// outcome frozen, but the kernel context still exists.
 		dsched.Yield(dsched.PointProcFinished, pid)
@@ -492,6 +517,7 @@ func (s *System) Launch(ins *compiler.Instrumented, opts LaunchOptions) (*Proc, 
 			s.killed++
 		}
 		rec.final = &final
+		rec.forensic = forensic
 		s.doneFIFO = append(s.doneFIFO, pid)
 		for len(s.doneFIFO) > maxProcRecords {
 			delete(s.records, s.doneFIFO[0])
@@ -682,6 +708,15 @@ type Stats struct {
 	MessagesVerified                   uint64
 	Procs                              []ProcStats
 	Snapshot                           telemetry.Snapshot
+
+	// ViolationsByPolicy counts recorded violations keyed by the attributed
+	// policy name (Violation.Policy) — the source of the
+	// herqules_violations_total{policy=...} exposition.
+	ViolationsByPolicy map[string]uint64
+
+	// Shards is the per-shard occupancy snapshot (contexts, dead contexts,
+	// live queue depth/bound, poisoned flag) behind the per-shard gauges.
+	Shards []ShardRow
 }
 
 // statsHist is the compact histogram form Stats.MarshalJSON emits: the
@@ -719,25 +754,29 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		hists[name] = compactHist(h)
 	}
 	return json.Marshal(struct {
-		Launched         uint64               `json:"launched"`
-		Active           uint64               `json:"active"`
-		Finished         uint64               `json:"finished"`
-		Killed           uint64               `json:"killed"`
-		MessagesVerified uint64               `json:"messages_verified"`
-		Procs            []ProcStats          `json:"procs"`
-		Counters         map[string]uint64    `json:"counters,omitempty"`
-		Peaks            map[string]uint64    `json:"peaks,omitempty"`
-		Histograms       map[string]statsHist `json:"histograms,omitempty"`
+		Launched           uint64               `json:"launched"`
+		Active             uint64               `json:"active"`
+		Finished           uint64               `json:"finished"`
+		Killed             uint64               `json:"killed"`
+		MessagesVerified   uint64               `json:"messages_verified"`
+		Procs              []ProcStats          `json:"procs"`
+		ViolationsByPolicy map[string]uint64    `json:"violations_by_policy,omitempty"`
+		Shards             []ShardRow           `json:"shards,omitempty"`
+		Counters           map[string]uint64    `json:"counters,omitempty"`
+		Peaks              map[string]uint64    `json:"peaks,omitempty"`
+		Histograms         map[string]statsHist `json:"histograms,omitempty"`
 	}{
-		Launched:         st.Launched,
-		Active:           st.Active,
-		Finished:         st.Finished,
-		Killed:           st.Killed,
-		MessagesVerified: st.MessagesVerified,
-		Procs:            st.Procs,
-		Counters:         counters,
-		Peaks:            st.Snapshot.Peaks,
-		Histograms:       hists,
+		Launched:           st.Launched,
+		Active:             st.Active,
+		Finished:           st.Finished,
+		Killed:             st.Killed,
+		MessagesVerified:   st.MessagesVerified,
+		Procs:              st.Procs,
+		ViolationsByPolicy: st.ViolationsByPolicy,
+		Shards:             st.Shards,
+		Counters:           counters,
+		Peaks:              st.Snapshot.Peaks,
+		Histograms:         hists,
 	})
 }
 
@@ -777,6 +816,8 @@ func (s *System) Stats() Stats {
 	s.mu.Unlock()
 	st.MessagesVerified = s.v.TotalMessages()
 	st.Procs = s.ProcStats()
+	st.ViolationsByPolicy = s.v.ViolationsByPolicy()
+	st.Shards = s.shardRows()
 	if s.m != nil {
 		st.Snapshot = s.m.Snapshot().Diff(s.base)
 	}

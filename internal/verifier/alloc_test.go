@@ -18,7 +18,8 @@ func counterOnlyFactory() []policy.Policy {
 // pushing messages through the full drain → route → shard-worker → policy
 // path allocates nothing. CheckSeq stays off and telemetry unattached — both
 // are orthogonal features the alloc budget of the hot path proper must not
-// depend on.
+// depend on. The flight recorder IS armed: its per-message stamp rides the
+// hot path, and the zero-alloc budget must hold with the black box recording.
 func TestDrainSteadyStateZeroAlloc(t *testing.T) {
 	const nmsgs = 4 * blockSlots // several block turnovers per run
 	msgs := make([]ipc.Message, nmsgs)
@@ -28,6 +29,8 @@ func TestDrainSteadyStateZeroAlloc(t *testing.T) {
 	r := ipc.NewReplay(msgs)
 
 	v := NewSharded(counterOnlyFactory, nil, 1)
+	v.EnableFlightRecorder(64)
+	v.ProcessStarted(1)
 	p := v.newPipeline()
 	defer p.stop()
 

@@ -338,6 +338,27 @@ func (ps *PumpSet) Sources() int {
 	return ps.active
 }
 
+// QueueDepths reports each shard queue's current occupancy in batches — the
+// live backpressure signal behind the herqules_shard_queue_depth gauges (the
+// series ROADMAP earmarks for hqd rebalancing). Channel len is safe to read
+// concurrently; the values are instantaneous, not a high-water mark.
+func (ps *PumpSet) QueueDepths() []int {
+	out := make([]int, len(ps.p.queues))
+	for i, q := range ps.p.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// QueueCap reports the per-shard queue bound in batches (QueueDepth or its
+// default), the denominator for queue occupancy.
+func (ps *PumpSet) QueueCap() int {
+	if len(ps.p.queues) == 0 {
+		return 0
+	}
+	return cap(ps.p.queues[0])
+}
+
 // Close waits for every attached source to finish draining, then stops the
 // shard workers after they have delivered all enqueued batches. Attach fails
 // with ErrPumpClosed from the moment Close is entered; Close itself is

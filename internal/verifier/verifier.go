@@ -64,6 +64,13 @@ type procCtx struct {
 	dropped    uint64 // messages dropped after the context went dead
 	lastSeq    uint64
 	seqValid   bool
+	// flight is the per-process black-box ring (nil unless
+	// EnableFlightRecorder ran before registration). Accessed only under the
+	// owning shard's mutex — see the concurrency note in telemetry/flight.go.
+	flight *telemetry.FlightRecorder
+	// report is the frozen postmortem, built exactly once at the kill
+	// decision (freezeLocked) and immutable afterwards.
+	report *ForensicReport
 	// dead marks a context whose process has been (or is being) killed:
 	// subsequent messages are dropped instead of evaluated, which both
 	// bounds the context's memory (the violations slice stops growing)
@@ -150,7 +157,55 @@ type Verifier struct {
 	// sealer) as process contexts are created.
 	keyring *policy.Keyring
 
+	// flightSlots, when non-zero, arms a per-process flight recorder of that
+	// many slots on every context created afterwards (EnableFlightRecorder).
+	flightSlots int
+
+	// vbp counts recorded violations by attributed policy name, feeding the
+	// herqules_violations_total{policy=...} exposition. Guarded by vbpMu, a
+	// leaf lock taken only on the (cold) violation paths — never contended by
+	// clean traffic.
+	vbpMu sync.Mutex
+	vbp   map[string]uint64
+
 	tm *verifierMetrics
+}
+
+// EnableFlightRecorder arms a flight recorder of the given slot count (see
+// telemetry.NewFlightRecorder for rounding) on every process context created
+// after the call. Like EnableTelemetry and SetKeyring it must run before
+// registrations; already-live contexts are not retrofitted.
+func (v *Verifier) EnableFlightRecorder(slots int) {
+	if slots <= 0 {
+		slots = 0
+	}
+	v.flightSlots = slots
+}
+
+// noteViolation charges one recorded violation to the attributed policy name.
+func (v *Verifier) noteViolation(name string) {
+	v.vbpMu.Lock()
+	if v.vbp == nil {
+		v.vbp = make(map[string]uint64)
+	}
+	v.vbp[name]++
+	v.vbpMu.Unlock()
+}
+
+// ViolationsByPolicy returns a copy of the violation counts keyed by the
+// attributed policy name (Violation.Policy; "seq" for counter violations,
+// "sealer" for an unnamed sealer reject).
+func (v *Verifier) ViolationsByPolicy() map[string]uint64 {
+	v.vbpMu.Lock()
+	defer v.vbpMu.Unlock()
+	if len(v.vbp) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(v.vbp))
+	for k, n := range v.vbp {
+		out[k] = n
+	}
+	return out
 }
 
 // SetKeyring attaches the message-authentication keyring consulted by
@@ -168,9 +223,9 @@ type verifierMetrics struct {
 	violations *telemetry.Counter
 	kills      *telemetry.Counter
 	syncs      *telemetry.Counter
-	poisons    *telemetry.Counter // shards poisoned by worker panics
-	retries    *telemetry.Counter // transient receive errors retried by drains
-	recvErrs   *telemetry.Counter // terminal receive errors that stopped a drain
+	poisons    *telemetry.Counter   // shards poisoned by worker panics
+	retries    *telemetry.Counter   // transient receive errors retried by drains
+	recvErrs   *telemetry.Counter   // terminal receive errors that stopped a drain
 	batchSize  *telemetry.Histogram // deliverShardBatch run lengths
 	queueDepth *telemetry.Histogram // per-shard queue occupancy at enqueue
 	pumpStall  *telemetry.Histogram // ns the drain loop spent in RecvBatch
@@ -249,11 +304,20 @@ func (v *Verifier) shardIndex(pid int32) int {
 	return int(h % uint32(len(v.shards)))
 }
 
+// newFlightRecorder allocates the per-context ring when the feature is armed.
+// Called outside the shard lock (ring allocation is not hot-path work).
+func (v *Verifier) newFlightRecorder() *telemetry.FlightRecorder {
+	if v.flightSlots == 0 {
+		return nil
+	}
+	return telemetry.NewFlightRecorder(v.flightSlots)
+}
+
 // newProcCtx builds a context around an already-prepared policy set,
 // splitting sealers from the rest of the chain once at birth so the delivery
 // path never type-asserts per message.
-func newProcCtx(pid int32, policies []policy.Policy, dead bool) *procCtx {
-	pc := &procCtx{pid: pid, policies: policies, dead: dead, seqValid: true}
+func newProcCtx(pid int32, policies []policy.Policy, fr *telemetry.FlightRecorder, dead bool) *procCtx {
+	pc := &procCtx{pid: pid, policies: policies, flight: fr, dead: dead, seqValid: true}
 	hasSealer := false
 	for _, p := range policies {
 		if _, ok := p.(policy.Sealer); ok {
@@ -303,6 +367,7 @@ func (v *Verifier) ProcessStarted(pid int32) {
 	for _, p := range policies {
 		p.ProcessStarted(pid)
 	}
+	fr := v.newFlightRecorder()
 	s.mu.Lock()
 	// seqValid from birth: the sender-side counter starts at registration
 	// (§3.1.1, every IPC backend stamps the first Send with Seq 1), so the
@@ -311,7 +376,20 @@ func (v *Verifier) ProcessStarted(pid int32) {
 	// dropped first message establish a bogus baseline and pass CheckSeq —
 	// a blind spot the model checker (internal/verify) flushes out as a
 	// gate-invariant violation.
-	s.procs[pid] = newProcCtx(pid, policies, poisoned)
+	pc := newProcCtx(pid, policies, fr, poisoned)
+	s.procs[pid] = pc
+	if fr != nil {
+		fr.StampEvent(pid, telemetry.FlightRegistered, 0)
+	}
+	if poisoned {
+		// Born dead on a poisoned shard: close the black box immediately —
+		// the kill below may race teardown, and the report must exist by the
+		// time the gate echo arrives.
+		if fr != nil {
+			fr.StampEvent(pid, telemetry.FlightShardPoisoned, uint64(si))
+		}
+		v.freezeLocked(pc, si, nil, v.poisonReason(si))
+	}
 	s.mu.Unlock()
 	if poisoned && v.gate != nil {
 		v.gate.Kill(pid, v.poisonReason(si))
@@ -347,11 +425,15 @@ func (v *Verifier) ProcessForked(parent, child int32) {
 			p.ProcessForked(parent, child)
 		}
 	}
+	fr := v.newFlightRecorder()
 	cs := v.shardFor(child)
 	cs.mu.Lock()
 	// The child gets its own channel, whose counter restarts at 1 — same
 	// known-baseline rule as ProcessStarted.
-	cs.procs[child] = newProcCtx(child, policies, false)
+	cs.procs[child] = newProcCtx(child, policies, fr, false)
+	if fr != nil {
+		fr.StampEvent(child, telemetry.FlightForked, uint64(uint32(parent)))
+	}
 	cs.mu.Unlock()
 }
 
@@ -367,13 +449,19 @@ func (v *Verifier) ProcessExited(pid int32) {
 // was killed (a verifier-requested kill echoing back, or an epoch-expiry
 // kill the verifier never saw). The context is marked dead so messages still
 // in flight are dropped rather than evaluated, keeping the context's memory
-// bounded between the kill and the eventual ProcessExited.
+// bounded between the kill and the eventual ProcessExited. This is also the
+// freeze point for kernel-originated kills (epoch expiry, wedged verifier):
+// the flight ring stops here and the postmortem is built with the kernel's
+// reason. For verifier-originated kills the echo is a no-op — freezeLocked
+// already ran at the violation and is idempotent.
 func (v *Verifier) ProcessKilled(pid int32, reason string) {
-	s := v.shardFor(pid)
+	si := v.shardIndex(pid)
+	s := &v.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if pc, ok := s.procs[pid]; ok {
 		pc.dead = true
+		v.freezeLocked(pc, si, nil, reason)
 	}
 }
 
@@ -570,6 +658,12 @@ func (v *Verifier) deliverSegment(s *shard, si int, ms []ipc.Message, st *delive
 		st.pc.violations = append(st.pc.violations, viol)
 		st.violCount++
 		st.pc.dead = true
+		v.noteViolation(name)
+		if fr := st.pc.flight; fr != nil {
+			m := &ms[st.i]
+			fr.StampMessage(m.PID, uint16(m.Op), m.Seq, m.Arg1^m.Arg2^m.Arg3, telemetry.FlightPolicyPanic)
+		}
+		v.freezeLocked(st.pc, si, viol, viol.Reason)
 		out = append(out, gateAction{pid: st.pc.pid, kill: true, reason: viol.Reason})
 		st.killCount++
 		st.i++ // resume after the detonating message
@@ -619,6 +713,11 @@ func (v *Verifier) deliverSegment(s *shard, si int, ms []ipc.Message, st *delive
 			// to the process, so continuing to evaluate would validate an
 			// attacker-controlled stream.
 			pc.dead = true
+			v.noteViolation(sealViol.Policy)
+			if fr := pc.flight; fr != nil {
+				fr.StampMessage(m.PID, uint16(m.Op), m.Seq, m.Arg1^m.Arg2^m.Arg3, telemetry.FlightSealerReject)
+			}
+			v.freezeLocked(pc, si, sealViol, sealViol.Reason)
 			out = append(out, gateAction{pid: m.PID, kill: true, reason: sealViol.Reason})
 			st.killCount++
 			continue
@@ -638,6 +737,11 @@ func (v *Verifier) deliverSegment(s *shard, si int, ms []ipc.Message, st *delive
 			st.violCount++
 			// Integrity violations are always fatal (§3.1.1).
 			pc.dead = true
+			v.noteViolation(viol.Policy)
+			if fr := pc.flight; fr != nil {
+				fr.StampMessage(m.PID, uint16(m.Op), m.Seq, m.Arg1^m.Arg2^m.Arg3, telemetry.FlightSeqGap)
+			}
+			v.freezeLocked(pc, si, viol, viol.Reason)
 			out = append(out, gateAction{pid: m.PID, kill: true, reason: viol.Reason})
 			st.killCount++
 			continue
@@ -652,14 +756,28 @@ func (v *Verifier) deliverSegment(s *shard, si int, ms []ipc.Message, st *delive
 				if viol.Policy == "" {
 					viol.Policy = p.Name()
 				}
-				violated = viol
+				if violated == nil {
+					violated = viol
+				}
 				pc.violations = append(pc.violations, viol)
 				st.violCount++
+				v.noteViolation(viol.Policy)
 			}
 		}
 		cur = nil
+		// Flight stamp: exactly one record per evaluated message with its
+		// final policy-chain outcome. This is the hot-path cost of the black
+		// box — a nil check on clean configs, one ring store when armed.
+		if fr := pc.flight; fr != nil {
+			code := telemetry.FlightOK
+			if violated != nil {
+				code = telemetry.FlightViolated
+			}
+			fr.StampMessage(m.PID, uint16(m.Op), m.Seq, m.Arg1^m.Arg2^m.Arg3, code)
+		}
 		if violated != nil && st.killOnViolation {
 			pc.dead = true
+			v.freezeLocked(pc, si, violated, violated.Reason)
 			out = append(out, gateAction{pid: m.PID, kill: true, reason: violated.Reason})
 			st.killCount++
 			continue
@@ -713,6 +831,13 @@ func (v *Verifier) poisonShard(si int, reason string) {
 			pc.dead = true
 			pids = append(pids, pid)
 		}
+		// Every resident — already-dead ones included — gets its black box
+		// closed out with the poison event: the shard's state is suspect
+		// from here on, so no later stamp may be trusted.
+		if fr := pc.flight; fr != nil {
+			fr.StampEvent(pid, telemetry.FlightShardPoisoned, uint64(si))
+		}
+		v.freezeLocked(pc, si, nil, reason)
 	}
 	s.mu.Unlock()
 	if tm := v.tm; tm != nil {
@@ -767,6 +892,10 @@ func (v *Verifier) poisonedDrop(si int, ms []ipc.Message) {
 		if !pc.dead {
 			pc.dead = true
 			killPIDs = append(killPIDs, pc.pid)
+			if fr := pc.flight; fr != nil {
+				fr.StampEvent(pc.pid, telemetry.FlightShardPoisoned, uint64(si))
+			}
+			v.freezeLocked(pc, si, nil, v.poisonReason(si))
 		}
 	}
 	s.mu.Unlock()

@@ -161,9 +161,37 @@ func WithLatencySampling(everyN int) SystemOption {
 	return func(c *systemConfig) { c.sup.LatencySampleEvery = everyN }
 }
 
+// ForensicReport is the kill postmortem captured by the flight recorder: the
+// attributed policy, kill reason, last-N message window, per-policy decision
+// trail and shard health frozen at the instant of the kill, wrapped with the
+// kernel's syscall-gate figures and lifecycle timestamps. Retrieve with
+// System.Forensics, or scrape /violations when an HTTP endpoint is attached.
+type ForensicReport = supervisor.ForensicReport
+
+// DefaultFlightSlots is the flight-recorder ring capacity WithFlightRecorder
+// uses when given n <= 0.
+const DefaultFlightSlots = telemetry.DefaultFlightSlots
+
+// WithFlightRecorder arms a per-process black box: a fixed-size ring of the
+// last n verified messages (with per-message policy outcomes) plus lifecycle
+// events (register, fork, gate stalls, epoch expiries, kill), frozen at the
+// moment a process is killed and served as a ForensicReport. n is rounded to
+// a power of two; n <= 0 selects DefaultFlightSlots. The stamp is one store
+// into a preallocated slot under the shard lock the verifier already holds —
+// no allocation, no extra synchronization — so it is safe to leave on in
+// production.
+func WithFlightRecorder(n int) SystemOption {
+	return func(c *systemConfig) {
+		if n <= 0 {
+			n = DefaultFlightSlots
+		}
+		c.sup.FlightRecorder = n
+	}
+}
+
 // WithHTTPAddr serves the observability endpoints on addr (host:port;
 // ":8080" or "127.0.0.1:0" both work): /metrics in Prometheus text format,
-// /healthz, /procs, /trace and /debug/pprof/. If no Metrics registry is
+// /healthz, /procs, /trace, /violations and /debug/pprof/. If no Metrics registry is
 // attached, one is created and wired automatically (with the default event
 // ring enabled, so /trace serves). A bind failure does not fail NewSystem —
 // the enforcement stack is independent of the scrape endpoint — but is
@@ -296,3 +324,11 @@ func (s *System) Shutdown(ctx context.Context) error {
 
 // Stats returns the system's aggregate snapshot.
 func (s *System) Stats() SystemStats { return s.s.Stats() }
+
+// Forensics returns the kill postmortem for pid. ok is false when pid was
+// never killed, the flight recorder was not armed (WithFlightRecorder), or
+// the report has been evicted by bounded retention.
+func (s *System) Forensics(pid int32) (ForensicReport, bool) { return s.s.Forensics(pid) }
+
+// AllForensics returns every retained kill postmortem, ascending by PID.
+func (s *System) AllForensics() []ForensicReport { return s.s.AllForensics() }
