@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify policy-smoke policies forensics-smoke forensics
+.PHONY: all build test race vet check bench bench-smoke throughput scaling stats multiproc multiproc-smoke obs-smoke chaos-smoke chaos latency verify-smoke verify policy-smoke policies forensics-smoke forensics hqd-smoke hqd
 
 all: check
 
@@ -31,6 +31,7 @@ check:
 	$(MAKE) policy-smoke
 	$(MAKE) forensics-smoke
 	$(MAKE) verify-smoke
+	$(MAKE) hqd-smoke
 	$(MAKE) bench-smoke
 
 # multiproc-smoke re-runs the concurrent-supervisor tests under the race
@@ -94,6 +95,21 @@ verify-smoke:
 # (~550k states; takes minutes).
 verify:
 	$(GO) run ./cmd/hqbench -exp verify
+
+# hqd-smoke exercises the networked attestation plane under the race
+# detector: the session/lease/resume unit tests, the socketpair framing and
+# connection-fault tests, then the quick hqd soak — a daemon+client round
+# trip over TCP and Unix sockets with chaos conn drops (mid-frame and at
+# frame boundaries), a lease-expiry kill, and the handshake-abuse battery.
+# Deterministic seed — safe for CI.
+hqd-smoke:
+	$(GO) test -race -count=1 ./internal/hqnet
+	$(GO) test -race -count=1 -run 'Conn|Socketpair|Frame' ./internal/chaos
+	$(GO) run -race ./cmd/hqbench -exp hqd -quick >/dev/null
+
+# hqd runs the full networked soak and persists the JSON artifact.
+hqd:
+	$(GO) run ./cmd/hqbench -exp hqd -out BENCH_hqd.json
 
 # chaos runs the full soak with report output (override: make chaos SEED=99).
 SEED ?= 0xda0517

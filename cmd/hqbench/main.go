@@ -22,6 +22,7 @@
 //	hqbench -exp verify         # model-check the gate protocol (exhaustive small-scope)
 //	hqbench -exp policies       # policy registry: detection matrix + per-policy overhead
 //	hqbench -exp forensics      # flight recorder: kill attribution, overhead, zero-alloc stamp
+//	hqbench -exp hqd            # networked attestation plane soak: fail-closed connection lifecycle
 //	hqbench -scale test|train|ref (default ref)
 //	hqbench -msgs N             # messages per throughput/stats measurement
 //	hqbench -procs N            # concurrent monitored processes for stats/chaos
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, policies, forensics, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, table4, table5, fig3, fig4, fig5, table6, metrics, throughput, stats, multiproc, latency, obs, chaos, scaling, verify, policies, forensics, hqd, all")
 	scaleFlag := flag.String("scale", "ref", "input scale for performance runs: test, train, ref")
 	msgs := flag.Int("msgs", 1<<20, "messages per throughput/stats measurement")
 	procs := flag.Int("procs", 8, "concurrent monitored processes for the stats and chaos experiments")
@@ -214,6 +215,18 @@ func main() {
 			fatal(err)
 		}
 		if *outFile != "" && *exp == "forensics" {
+			writeJSON(*outFile, rep)
+		}
+	}
+	if want("hqd") {
+		ran = true
+		header("Networked attestation plane soak: fail-closed connection lifecycle")
+		out, rep, err := experiments.HQD(*seed, *procs, *quick)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+		if *outFile != "" && *exp == "hqd" {
 			writeJSON(*outFile, rep)
 		}
 	}

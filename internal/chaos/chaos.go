@@ -45,19 +45,33 @@ const (
 	FaultSendErr         // Send returns a transient error (message not sent)
 	FaultRecvErr         // RecvBatch returns a transient error (per call)
 	FaultStall           // RecvBatch stalls, then delivers the backlog burst
+
+	// Connection-level faults for the networked attestation plane
+	// (internal/hqnet): they act on a net.Conn wrapper rather than on a
+	// Sender/Receiver pair.
+	FaultConnDrop         // transport dies mid-frame: half a frame written, then closed
+	FaultConnDropBoundary // transport dies exactly at a frame boundary: whole frames, then closed
+	FaultConnStall        // one write stalls (a frozen network path)
+	FaultDupHello         // per connection: client sends a duplicate HELLO (protocol abuse)
+	FaultStaleResume      // per connection: client resumes with a forged/stale token
 	numFaults
 )
 
 var faultNames = [...]string{
-	FaultNone:      "none",
-	FaultDrop:      "drop",
-	FaultDuplicate: "duplicate",
-	FaultReorder:   "reorder",
-	FaultCorrupt:   "corrupt",
-	FaultDelay:     "delay",
-	FaultSendErr:   "send-err",
-	FaultRecvErr:   "recv-err",
-	FaultStall:     "stall",
+	FaultNone:             "none",
+	FaultDrop:             "drop",
+	FaultDuplicate:        "duplicate",
+	FaultReorder:          "reorder",
+	FaultCorrupt:          "corrupt",
+	FaultDelay:            "delay",
+	FaultSendErr:          "send-err",
+	FaultRecvErr:          "recv-err",
+	FaultStall:            "stall",
+	FaultConnDrop:         "conn-drop",
+	FaultConnDropBoundary: "conn-drop-boundary",
+	FaultConnStall:        "conn-stall",
+	FaultDupHello:         "dup-hello",
+	FaultStaleResume:      "stale-resume",
 }
 
 func (f Fault) String() string {
@@ -77,18 +91,27 @@ type Counts struct {
 	SendErrors uint64 `json:"send_errors"`
 	RecvErrors uint64 `json:"recv_errors"`
 	Stalls     uint64 `json:"stalls"`
+
+	// Connection-level faults (networked attestation plane).
+	ConnDrops          uint64 `json:"conn_drops"`
+	ConnDropBoundaries uint64 `json:"conn_drop_boundaries"`
+	ConnStalls         uint64 `json:"conn_stalls"`
+	DupHellos          uint64 `json:"dup_hellos"`
+	StaleResumes       uint64 `json:"stale_resumes"`
 }
 
 // Total sums every fired fault.
 func (c Counts) Total() uint64 {
 	return c.Dropped + c.Duplicated + c.Reordered + c.Corrupted +
-		c.Delayed + c.SendErrors + c.RecvErrors + c.Stalls
+		c.Delayed + c.SendErrors + c.RecvErrors + c.Stalls +
+		c.ConnDrops + c.ConnDropBoundaries + c.ConnStalls + c.DupHellos + c.StaleResumes
 }
 
 func (c Counts) String() string {
-	return fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d delay=%d senderr=%d recverr=%d stall=%d",
+	return fmt.Sprintf("drop=%d dup=%d reorder=%d corrupt=%d delay=%d senderr=%d recverr=%d stall=%d conndrop=%d conndropbound=%d connstall=%d duphello=%d staleresume=%d",
 		c.Dropped, c.Duplicated, c.Reordered, c.Corrupted,
-		c.Delayed, c.SendErrors, c.RecvErrors, c.Stalls)
+		c.Delayed, c.SendErrors, c.RecvErrors, c.Stalls,
+		c.ConnDrops, c.ConnDropBoundaries, c.ConnStalls, c.DupHellos, c.StaleResumes)
 }
 
 // config holds the per-fault rates and parameters. Rates are probabilities
@@ -106,6 +129,13 @@ type config struct {
 	recvErr   float64
 	stall     float64
 	stallFor  time.Duration
+
+	connDrop         float64
+	connDropBoundary float64
+	connStall        float64
+	connStallFor     time.Duration
+	dupHello         float64
+	staleResume      float64
 }
 
 // Option configures an Injector.
@@ -179,6 +209,60 @@ func WithStall(rate float64, d time.Duration) Option {
 	}
 }
 
+// WithConnDrop kills a wrapped connection mid-frame with probability rate,
+// evaluated per written frame: half the frame's bytes go out, then the
+// transport closes. The far side observes a truncated frame — on the local
+// fd channels a terminal integrity violation, on the networked plane a
+// severed connection the client must survive by resuming. Call-scoped
+// against the transport write sequence: excluded from the schedule hash.
+func WithConnDrop(rate float64) Option {
+	return func(c *config) { c.connDrop = clampRate(rate) }
+}
+
+// WithConnDropAtBoundary kills a wrapped connection exactly at a frame
+// boundary with probability rate, evaluated per write: half the frames of
+// the write (rounded down to a whole frame) go out, then the transport
+// closes. Unlike the mid-frame drop this truncation is INVISIBLE to the
+// framing layer — the far side's decoder observes a clean end-of-stream with
+// no carry and no integrity error — so the loss can only be caught above
+// framing: by the session lease (the sender goes silent) or by CheckSeq (the
+// surviving stream has a sequence gap). Call-scoped against the transport
+// write sequence: excluded from the schedule hash.
+func WithConnDropAtBoundary(rate float64) Option {
+	return func(c *config) { c.connDropBoundary = clampRate(rate) }
+}
+
+// WithConnStall freezes a wrapped connection's write for d with probability
+// rate, modelling a stalled network path. A stall that outlives the
+// session lease must surface as a fail-closed lease kill, never as an
+// unattributed hang. Call-scoped: excluded from the schedule hash.
+func WithConnStall(rate float64, d time.Duration) Option {
+	return func(c *config) {
+		c.connStall = clampRate(rate)
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		c.connStallFor = d
+	}
+}
+
+// WithDupHello makes a chaos-driven client, with probability rate per
+// connection, send a second HELLO after admission — a protocol violation
+// the daemon must answer by severing the transport (and letting the lease
+// dispose of the process), not by corrupting any session state.
+// Per-connection: folded into the schedule hash.
+func WithDupHello(rate float64) Option {
+	return func(c *config) { c.dupHello = clampRate(rate) }
+}
+
+// WithStaleResume makes a chaos-driven client, with probability rate per
+// connection, attempt a resume with a forged token before its real
+// handshake. The daemon must reject it without touching any live session.
+// Per-connection: folded into the schedule hash.
+func WithStaleResume(rate float64) Option {
+	return func(c *config) { c.staleResume = clampRate(rate) }
+}
+
 func clampRate(r float64) float64 {
 	if r < 0 {
 		return 0
@@ -213,6 +297,12 @@ type Injector struct {
 	recvErrs   atomic.Uint64
 	stalls     atomic.Uint64
 
+	connDrops          atomic.Uint64
+	connDropBoundaries atomic.Uint64
+	connStalls         atomic.Uint64
+	dupHellos          atomic.Uint64
+	staleResumes       atomic.Uint64
+
 	tm *chaosMetrics
 }
 
@@ -225,6 +315,12 @@ type chaosMetrics struct {
 	sendErrs   *telemetry.Counter
 	recvErrs   *telemetry.Counter
 	stalls     *telemetry.Counter
+
+	connDrops          *telemetry.Counter
+	connDropBoundaries *telemetry.Counter
+	connStalls         *telemetry.Counter
+	dupHellos          *telemetry.Counter
+	staleResumes       *telemetry.Counter
 }
 
 // NewInjector builds an injector for seed with the given fault options.
@@ -252,6 +348,12 @@ func (inj *Injector) EnableTelemetry(m *telemetry.Metrics) {
 		sendErrs:   m.Counter("chaos.send_errors"),
 		recvErrs:   m.Counter("chaos.recv_errors"),
 		stalls:     m.Counter("chaos.stalls"),
+
+		connDrops:          m.Counter("chaos.conn_drops"),
+		connDropBoundaries: m.Counter("chaos.conn_drop_boundaries"),
+		connStalls:         m.Counter("chaos.conn_stalls"),
+		dupHellos:          m.Counter("chaos.dup_hellos"),
+		staleResumes:       m.Counter("chaos.stale_resumes"),
 	}
 }
 
@@ -266,6 +368,12 @@ func (inj *Injector) Counts() Counts {
 		SendErrors: inj.sendErrs.Load(),
 		RecvErrors: inj.recvErrs.Load(),
 		Stalls:     inj.stalls.Load(),
+
+		ConnDrops:          inj.connDrops.Load(),
+		ConnDropBoundaries: inj.connDropBoundaries.Load(),
+		ConnStalls:         inj.connStalls.Load(),
+		DupHellos:          inj.dupHellos.Load(),
+		StaleResumes:       inj.staleResumes.Load(),
 	}
 }
 
@@ -310,6 +418,31 @@ func (inj *Injector) count(f Fault) {
 		inj.stalls.Add(1)
 		if inj.tm != nil {
 			inj.tm.stalls.Inc()
+		}
+	case FaultConnDrop:
+		inj.connDrops.Add(1)
+		if inj.tm != nil {
+			inj.tm.connDrops.Inc()
+		}
+	case FaultConnDropBoundary:
+		inj.connDropBoundaries.Add(1)
+		if inj.tm != nil {
+			inj.tm.connDropBoundaries.Inc()
+		}
+	case FaultConnStall:
+		inj.connStalls.Add(1)
+		if inj.tm != nil {
+			inj.tm.connStalls.Inc()
+		}
+	case FaultDupHello:
+		inj.dupHellos.Add(1)
+		if inj.tm != nil {
+			inj.tm.dupHellos.Inc()
+		}
+	case FaultStaleResume:
+		inj.staleResumes.Add(1)
+		if inj.tm != nil {
+			inj.tm.staleResumes.Inc()
 		}
 	}
 }

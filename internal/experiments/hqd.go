@@ -1,0 +1,548 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"herqules/internal/chaos"
+	"herqules/internal/compiler"
+	"herqules/internal/hqnet"
+	"herqules/internal/ipc"
+	"herqules/internal/kernel"
+	"herqules/internal/policy"
+	"herqules/internal/supervisor"
+	"herqules/internal/telemetry"
+	"herqules/internal/vm"
+)
+
+// The hqd soak drives the networked attestation plane the way a hostile
+// deployment would: real monitored programs running on the far side of real
+// TCP and Unix-domain sockets, with the chaos plane severing transports
+// mid-frame, stalling them past the lease, and abusing the handshake
+// protocol. The invariants are the connection lifecycle's fail-closed
+// contract:
+//
+//   - no violator ever passes a gate, network or not;
+//   - a severed clean process survives by resuming — it is never killed,
+//     and in particular never killed by a counter gap the transport loss
+//     itself manufactured;
+//   - a process whose session goes silent past the lease dies with exactly
+//     kernel.ReasonLeaseExpired, visible in forensics;
+//   - protocol abuse (duplicate HELLO, stale resume) severs or rejects but
+//     never corrupts another session, and the abused process's death is the
+//     lease's, attributably;
+//   - the per-connection fault schedule is a pure function of the seed;
+//   - nothing leaks: goroutines settle back to the pre-soak baseline.
+const (
+	hqdLease      = 500 * time.Millisecond
+	hqdAbuseLease = 150 * time.Millisecond
+	hqdEpoch      = time.Second
+	hqdWallBudget = 90 * time.Second
+)
+
+// HQDReport is the machine-readable soak artifact (`hqbench -exp hqd -out`).
+type HQDReport struct {
+	Seed      uint64 `json:"seed"`
+	Procs     int    `json:"procs"`
+	Violators int    `json:"violators"`
+
+	// Enforcement phase (mixed workload over TCP + UDS, hmac-sealed).
+	CleanOK         int          `json:"clean_ok"`
+	ViolatorsKilled int          `json:"violators_killed"`
+	Resumes         uint64       `json:"resumes"`
+	EnforceFaults   chaos.Counts `json:"enforce_faults"`
+
+	// Lease phase.
+	LeaseKillReason string `json:"lease_kill_reason"`
+
+	// Protocol-abuse phase (run twice for reproducibility).
+	AbuseConns   int    `json:"abuse_conns"`
+	DupHellos    uint64 `json:"dup_hellos"`
+	StaleResumes uint64 `json:"stale_resumes"`
+	AbusePattern string `json:"abuse_pattern"`
+	ScheduleHash string `json:"schedule_hash"`
+	Reproducible bool   `json:"reproducible"`
+
+	GoroutineBaseline int   `json:"goroutine_baseline"`
+	GoroutineSettled  int   `json:"goroutine_settled"`
+	ElapsedMs         int64 `json:"elapsed_ms"`
+}
+
+// hqdWait polls cond for up to d.
+func hqdWait(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+// hqdKillReason reports a kill for pid whether the kernel context is still
+// live or the supervisor has already frozen the attribution row.
+func hqdKillReason(sys *supervisor.System, pid int32) (bool, string) {
+	if killed, reason := sys.Kernel().Killed(pid); killed {
+		return true, reason
+	}
+	for _, p := range sys.Stats().Procs {
+		if p.PID == pid && p.KillReason != "" {
+			return true, p.KillReason
+		}
+	}
+	return false, ""
+}
+
+// hqdRunProc executes one instrumented program as a remote monitored process:
+// the program's messages cross the session (sealed when the daemon runs an
+// authenticated policy set), its syscalls gate through the networked kernel,
+// and its kill signal arrives as a gate verdict or kill notice.
+func hqdRunProc(c *hqnet.Client, ins *compiler.Instrumented) (*vm.Result, error) {
+	cfg := ins.VMConfig()
+	cfg.PID = c.PID()
+	cfg.Kernel = c
+	cfg.Killed = c.Killed
+	sender := c.Sender()
+	cfg.Emit = sender.Send
+	p, err := vm.NewProcess(ins.Mod, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hqd: load %s: %w", ins.Mod.Name, err)
+	}
+	return p.Run("main"), nil
+}
+
+// hqdEnforce is the enforcement phase: procs mixed clean/violating programs
+// (every third violating) over alternating TCP and Unix-domain transports,
+// under the default policy set plus the hmac sealer, CheckSeq on, kills on —
+// with the chaos plane killing connections mid-frame and stalling writes.
+func hqdEnforce(seed uint64, procs int, rep *HQDReport, sockDir string) error {
+	names := append(append([]string{}, policy.DefaultSet...), "hmac")
+	factory, err := policy.SetFactory(names...)
+	if err != nil {
+		return fmt.Errorf("hqd: policy set: %w", err)
+	}
+	sys := supervisor.New(supervisor.Config{
+		Policies:        factory,
+		KillOnViolation: true,
+		CheckSeq:        true,
+		Epoch:           hqdEpoch,
+		Shards:          2,
+	})
+	srv := hqnet.NewServer(hqnet.Config{Sys: sys, Lease: hqdLease})
+	tcp, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("hqd: tcp listen: %w", err)
+	}
+	sock := filepath.Join(sockDir, "hqd.sock")
+	if _, err := srv.Listen("unix", sock); err != nil {
+		return fmt.Errorf("hqd: unix listen: %w", err)
+	}
+
+	// Write-side connection faults only: drops sever mid-frame (the far
+	// side's decoder must see truncation, the client must resume),
+	// boundary drops sever at an exact frame boundary (a clean-looking EOF
+	// the session layer alone must catch), stalls freeze a write well under
+	// the lease.
+	inj := chaos.NewInjector(seed,
+		chaos.WithConnDrop(0.015),
+		chaos.WithConnDropAtBoundary(0.01),
+		chaos.WithConnStall(0.01, 2*time.Millisecond),
+	)
+
+	cleanMod, err := chaosVictim(false)
+	if err != nil {
+		return err
+	}
+	attackMod, err := chaosVictim(true)
+	if err != nil {
+		return err
+	}
+	cleanIns, err := compiler.Instrument(cleanMod, compiler.HQSfeStk, compiler.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("hqd: instrument clean: %w", err)
+	}
+	attackIns, err := compiler.Instrument(attackMod, compiler.HQSfeStk, compiler.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("hqd: instrument attack: %w", err)
+	}
+
+	type result struct {
+		i       int
+		res     *vm.Result
+		resumes uint64
+		err     error
+	}
+	results := make(chan result, procs)
+	for i := 0; i < procs; i++ {
+		ins := cleanIns
+		if i%3 == 2 {
+			ins = attackIns
+			rep.Violators++
+		}
+		network, addr := "tcp", tcp.Addr().String()
+		if i%2 == 1 {
+			network, addr = "unix", sock
+		}
+		go func(i int, ins *compiler.Instrumented, network, addr string) {
+			c, err := hqnet.Dial(context.Background(), hqnet.ClientConfig{
+				Network: network, Addr: addr,
+				Tenant:   uint64(i % 4),
+				WrapConn: inj.Conn,
+			})
+			if err != nil {
+				results <- result{i: i, err: fmt.Errorf("dial %s: %w", network, err)}
+				return
+			}
+			res, err := hqdRunProc(c, ins)
+			resumes := c.Resumes()
+			c.Close()
+			results <- result{i: i, res: res, resumes: resumes, err: err}
+		}(i, ins, network, addr)
+	}
+
+	var invariantErrs []string
+	timeout := time.After(hqdWallBudget)
+	for n := 0; n < procs; n++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				return fmt.Errorf("hqd: proc %d: %w", r.i, r.err)
+			}
+			rep.Resumes += r.resumes
+			if r.i%3 == 2 {
+				// Violator: the gate must refuse — network transparency
+				// cannot weaken bounded asynchronous validation.
+				if !r.res.Killed {
+					invariantErrs = append(invariantErrs,
+						fmt.Sprintf("violator %d was not killed", r.i))
+				} else {
+					rep.ViolatorsKilled++
+					if r.res.ExitCode == 99 {
+						invariantErrs = append(invariantErrs,
+							fmt.Sprintf("violator %d: gated payload committed", r.i))
+					}
+				}
+				continue
+			}
+			// Clean process: transport loss must be invisible — resume, not
+			// a kill, and certainly not a counter-gap kill manufactured by
+			// the severed connection.
+			if r.res.Killed {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("clean %d killed: %q (severed transports must resume, not kill)",
+						r.i, r.res.KillReason))
+				continue
+			}
+			if len(r.res.Output) != 1 || r.res.Output[0] != 42 {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("clean %d: output %v, want [42]", r.i, r.res.Output))
+				continue
+			}
+			rep.CleanOK++
+		case <-timeout:
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_ = srv.Shutdown(ctx)
+			return fmt.Errorf("hqd: wall budget %v exceeded with %d/%d procs outstanding",
+				hqdWallBudget, procs-n, procs)
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("hqd: shutdown: %w", err)
+	}
+	rep.EnforceFaults = inj.Counts()
+	drops := rep.EnforceFaults.ConnDrops + rep.EnforceFaults.ConnDropBoundaries
+	if drops == 0 {
+		invariantErrs = append(invariantErrs,
+			"no connection drops fired: the resume path was never exercised")
+	}
+	if drops > 0 && rep.Resumes == 0 {
+		invariantErrs = append(invariantErrs,
+			fmt.Sprintf("%d conn drops fired but no session resumed", drops))
+	}
+	if len(invariantErrs) > 0 {
+		return fmt.Errorf("hqd: enforcement phase: %d invariant violation(s):\n  %s",
+			len(invariantErrs), strings.Join(invariantErrs, "\n  "))
+	}
+	return nil
+}
+
+// hqdLeasePhase goes silent past the lease and asserts the one legitimate
+// path from transport failure to process death: attributable lease expiry.
+func hqdLeasePhase(rep *HQDReport) error {
+	m := telemetry.New(0)
+	sys := supervisor.New(supervisor.Config{
+		Metrics:         m,
+		KillOnViolation: true,
+		FlightRecorder:  64,
+		Epoch:           hqdEpoch,
+	})
+	srv := hqnet.NewServer(hqnet.Config{Sys: sys, Lease: hqdAbuseLease, Metrics: m})
+	tcp, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("hqd: lease listen: %w", err)
+	}
+	c, err := hqnet.Dial(context.Background(), hqnet.ClientConfig{
+		Network: "tcp", Addr: tcp.Addr().String(),
+		HeartbeatEvery: time.Hour, // stalled client: never renews
+	})
+	if err != nil {
+		return fmt.Errorf("hqd: lease dial: %w", err)
+	}
+	defer c.Close()
+
+	if !hqdWait(10*time.Second, func() bool {
+		killed, _ := hqdKillReason(sys, c.PID())
+		return killed
+	}) {
+		return fmt.Errorf("hqd: stalled session never killed (lease %v)", hqdAbuseLease)
+	}
+	_, reason := hqdKillReason(sys, c.PID())
+	rep.LeaseKillReason = reason
+	if reason != kernel.ReasonLeaseExpired {
+		return fmt.Errorf("hqd: stall kill reason %q, want %q (death must be the lease's, not a counter gap's)",
+			reason, kernel.ReasonLeaseExpired)
+	}
+	// Attributable in forensics and in the metrics registry.
+	if !hqdWait(10*time.Second, func() bool {
+		fr, ok := sys.Forensics(c.PID())
+		return ok && fr.KillReason == kernel.ReasonLeaseExpired
+	}) {
+		return fmt.Errorf("hqd: no forensic report attributing the lease kill")
+	}
+	if got := m.Snapshot().Counters["hqnet.lease.expired"].Total; got != 1 {
+		return fmt.Errorf("hqd: hqnet.lease.expired = %d, want 1", got)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("hqd: lease shutdown: %w", err)
+	}
+	return nil
+}
+
+// hqdAbuse runs the protocol-abuse pass: conns raw-driven frames, each
+// drawing its chaos decisions (stale resume first, duplicate HELLO after
+// admission) from the seeded injector. Returns the decision pattern and the
+// injector's schedule hash so a second run can assert reproducibility.
+func hqdAbuse(seed uint64, conns int, rep *HQDReport) (string, uint64, error) {
+	sys := supervisor.New(supervisor.Config{KillOnViolation: true, Epoch: hqdEpoch})
+	srv := hqnet.NewServer(hqnet.Config{Sys: sys, Lease: hqdAbuseLease})
+	tcp, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", 0, fmt.Errorf("hqd: abuse listen: %w", err)
+	}
+	addr := tcp.Addr().String()
+	inj := chaos.NewInjector(seed,
+		chaos.WithDupHello(0.5),
+		chaos.WithStaleResume(0.5),
+	)
+
+	dial := func() (net.Conn, *ipc.FrameWriter, *ipc.FrameDecoder, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return nc, ipc.NewFrameWriter(nc), ipc.NewFrameDecoder(nc), nil
+	}
+	readOne := func(dec *ipc.FrameDecoder) (ipc.Message, bool) {
+		var one [1]ipc.Message
+		n, _, _ := dec.Decode(one[:])
+		return one[0], n == 1
+	}
+
+	var pattern strings.Builder
+	var invariantErrs []string
+	var leaseKillPids []int32
+	for k := 0; k < conns; k++ {
+		stream := inj.NextStream()
+		dup := inj.DupHello(stream)
+		stale := inj.StaleResume(stream)
+		switch {
+		case dup && stale:
+			pattern.WriteByte('B')
+		case dup:
+			pattern.WriteByte('D')
+		case stale:
+			pattern.WriteByte('S')
+		default:
+			pattern.WriteByte('-')
+		}
+
+		if stale {
+			// Forged/stale token: the daemon must reject and touch nothing.
+			nc, fw, dec, err := dial()
+			if err != nil {
+				return "", 0, fmt.Errorf("hqd: abuse dial: %w", err)
+			}
+			_ = fw.WriteMessage(ipc.Message{Op: ipc.OpResume, PID: 12345, Arg1: 0xbad0bad0 ^ uint64(k)})
+			m, ok := readOne(dec)
+			if !ok || m.Op != ipc.OpReject || m.Arg1 != hqnet.RejectUnknownSession {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("conn %d: stale resume answered %+v, want RejectUnknownSession", k, m))
+			}
+			nc.Close()
+		}
+
+		nc, fw, dec, err := dial()
+		if err != nil {
+			return "", 0, fmt.Errorf("hqd: abuse dial: %w", err)
+		}
+		_ = fw.WriteMessage(ipc.Message{Op: ipc.OpHello, Arg1: hqnet.WireVersion, Arg2: uint64(k)})
+		welcome, ok := readOne(dec)
+		if !ok || welcome.Op != ipc.OpWelcome {
+			nc.Close()
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("conn %d: handshake answered %+v, want OpWelcome", k, welcome))
+			continue
+		}
+		pid := welcome.PID
+
+		if dup {
+			// Duplicate HELLO after admission: the daemon severs (the read
+			// returns) and the lease — nothing else — disposes of the proc.
+			_ = fw.WriteMessage(ipc.Message{Op: ipc.OpHello, Arg1: hqnet.WireVersion, Arg2: uint64(k)})
+			if _, ok := readOne(dec); ok {
+				invariantErrs = append(invariantErrs,
+					fmt.Sprintf("conn %d: daemon answered a duplicate HELLO instead of severing", k))
+			}
+			nc.Close()
+			leaseKillPids = append(leaseKillPids, pid)
+			continue
+		}
+
+		// Well-behaved control: clean goodbye, no kill.
+		_ = fw.WriteMessage(ipc.Message{Op: ipc.OpGoodbye, PID: pid})
+		nc.Close()
+		if !hqdWait(10*time.Second, func() bool {
+			for _, p := range sys.Stats().Procs {
+				if p.PID == pid && p.State != "running" {
+					return p.State == "exited"
+				}
+			}
+			return false
+		}) {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("conn %d (pid %d): goodbye did not finalize cleanly", k, pid))
+		}
+	}
+
+	// Every severed-by-abuse process dies by lease, attributably.
+	for _, pid := range leaseKillPids {
+		pid := pid
+		if !hqdWait(10*time.Second, func() bool {
+			killed, _ := hqdKillReason(sys, pid)
+			return killed
+		}) {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("pid %d: severed session never lease-killed", pid))
+			continue
+		}
+		if _, reason := hqdKillReason(sys, pid); reason != kernel.ReasonLeaseExpired {
+			invariantErrs = append(invariantErrs,
+				fmt.Sprintf("pid %d: killed for %q, want %q", pid, reason, kernel.ReasonLeaseExpired))
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return "", 0, fmt.Errorf("hqd: abuse shutdown: %w", err)
+	}
+	c := inj.Counts()
+	rep.DupHellos, rep.StaleResumes = c.DupHellos, c.StaleResumes
+	if c.DupHellos+c.StaleResumes == 0 {
+		invariantErrs = append(invariantErrs, "abuse schedule fired nothing: phase proved nothing")
+	}
+	if len(invariantErrs) > 0 {
+		return "", 0, fmt.Errorf("hqd: abuse phase: %d invariant violation(s):\n  %s",
+			len(invariantErrs), strings.Join(invariantErrs, "\n  "))
+	}
+	return pattern.String(), inj.ScheduleHash(), nil
+}
+
+// HQD is the networked-attestation-plane soak behind `hqbench -exp hqd` and
+// `make hqd-smoke`: enforcement over real sockets with chaos-severed
+// connections, lease expiry, protocol abuse (run twice to prove the schedule
+// is a pure function of the seed), and a goroutine-leak check over it all.
+func HQD(seed uint64, procs int, quick bool) (string, *HQDReport, error) {
+	if procs <= 0 {
+		procs = 9
+	}
+	if quick && procs > 6 {
+		procs = 6
+	}
+	abuseConns := 12
+	if quick {
+		abuseConns = 8
+	}
+	rep := &HQDReport{Seed: seed, Procs: procs, AbuseConns: abuseConns}
+	rep.GoroutineBaseline = runtime.NumGoroutine()
+	start := time.Now()
+
+	sockDir, err := os.MkdirTemp("", "hqd-soak-")
+	if err != nil {
+		return "", nil, err
+	}
+	defer os.RemoveAll(sockDir)
+
+	if err := hqdEnforce(seed, procs, rep, sockDir); err != nil {
+		return "", rep, err
+	}
+	if err := hqdLeasePhase(rep); err != nil {
+		return "", rep, err
+	}
+	pat1, hash1, err := hqdAbuse(seed, abuseConns, rep)
+	if err != nil {
+		return "", rep, err
+	}
+	pat2, hash2, err := hqdAbuse(seed, abuseConns, rep)
+	if err != nil {
+		return "", rep, err
+	}
+	rep.AbusePattern, rep.ScheduleHash = pat1, fmt.Sprintf("%#016x", hash1)
+	rep.Reproducible = pat1 == pat2 && hash1 == hash2
+	if !rep.Reproducible {
+		return "", rep, fmt.Errorf(
+			"hqd: seed %#x is not reproducible:\n  run1 %s hash=%#016x\n  run2 %s hash=%#016x",
+			seed, pat1, hash1, pat2, hash2)
+	}
+
+	// Zero leaked goroutines across three servers, every client, and the
+	// chaos plane.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > rep.GoroutineBaseline {
+		if time.Now().After(deadline) {
+			rep.GoroutineSettled = runtime.NumGoroutine()
+			return "", rep, fmt.Errorf("hqd: goroutines leaked: %d running, baseline %d",
+				rep.GoroutineSettled, rep.GoroutineBaseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.GoroutineSettled = runtime.NumGoroutine()
+	rep.ElapsedMs = time.Since(start).Milliseconds()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed %#x, %d procs (%d violating) over tcp+unix, lease %v (abuse %v)\n",
+		seed, rep.Procs, rep.Violators, hqdLease, hqdAbuseLease)
+	fmt.Fprintf(&sb, "enforce:  %d clean finished via resume (%d session resumes), %d/%d violators killed at the gate\n",
+		rep.CleanOK, rep.Resumes, rep.ViolatorsKilled, rep.Violators)
+	fmt.Fprintf(&sb, "faults:   %v\n", rep.EnforceFaults)
+	fmt.Fprintf(&sb, "lease:    silent session killed with %q, forensics + hqnet.lease.expired agree\n",
+		rep.LeaseKillReason)
+	fmt.Fprintf(&sb, "abuse:    %d conns, pattern %s (dup-hello=%d stale-resume=%d), schedule hash %s, reproducible=%t\n",
+		rep.AbuseConns, rep.AbusePattern, rep.DupHellos, rep.StaleResumes, rep.ScheduleHash, rep.Reproducible)
+	fmt.Fprintf(&sb, "teardown: goroutines %d -> %d (baseline), elapsed %v\n",
+		rep.GoroutineBaseline, rep.GoroutineSettled, time.Duration(rep.ElapsedMs)*time.Millisecond)
+	return sb.String(), rep, nil
+}

@@ -23,7 +23,8 @@ import (
 //     cannot fail proves nothing.
 //
 // full additionally explores the 3-process scope (~550k states, minutes);
-// the smoke scope (~11k states) finishes in seconds.
+// the smoke scope (~71k states with the connection-churn family) finishes in
+// about ten seconds.
 func Verify(full bool) (string, error) {
 	var b strings.Builder
 	var firstErr error
@@ -68,13 +69,19 @@ func Verify(full bool) (string, error) {
 	}
 
 	b.WriteString("Exhaustive exploration (all fixes in place):\n")
-	clean("2 procs x 2 shards, all families, CheckSeq", verify.Defaults())
+	clean("2 procs x 2 shards, all families + churn", verify.Defaults())
 	if full {
+		// The 3-proc scope runs without the connection-churn family: churn
+		// triples the per-process state and the 3-proc product does not
+		// close under any tractable bound. Churn is covered exhaustively at
+		// 2 procs above — the resume protocol is per-session, so its bugs
+		// need one severed process plus one bystander, not three.
 		cfg := verify.Defaults()
 		cfg.Procs = 3
+		cfg.Conn = false
 		cfg.MaxDepth = 30
 		cfg.MaxStates = 5_000_000
-		clean("3 procs x 2 shards, all families, CheckSeq", cfg)
+		clean("3 procs x 2 shards, all families, no churn", cfg)
 	} else {
 		b.WriteString("  (3-proc scope skipped; run without -quick for the full exploration)\n")
 	}
@@ -89,6 +96,10 @@ func Verify(full bool) (string, error) {
 	catches("message reorder without CheckSeq",
 		verify.Config{Reorder: true, CheckSeq: false, MaxDepth: 12, MaxStates: 4000},
 		verify.InvGate)
+	catches("resume replay trimmed on write, not on ack",
+		verify.Config{Conn: true, UnsafeSeverDrop: true, CheckSeq: true,
+			MaxSends: 2, MaxDepth: 10, MaxStates: 4000},
+		verify.InvChurn)
 
 	if firstErr == nil {
 		b.WriteString("\nverify: PASS — protocol clean under exhaustive exploration; checker demonstrably catches each reverted fix\n")

@@ -1,8 +1,10 @@
 package ipc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,14 +66,54 @@ const (
 	RetryBackoffMax = time.Millisecond
 )
 
-// RetryBackoff returns the sleep preceding retry attempt n (1-based):
-// exponential from retryBackoffBase, capped at RetryBackoffMax.
+// RetryBackoff returns the deterministic backoff ceiling preceding retry
+// attempt n (1-based): exponential from retryBackoffBase, capped at
+// RetryBackoffMax. The contract is total over int: attempt <= 1 (including
+// zero and negatives, which are out-of-domain but must not misbehave) clamps
+// to retryBackoffBase, and attempts past the top of the ladder saturate at
+// RetryBackoffMax. Callers that sleep should prefer JitteredBackoff; this
+// function is the monotone envelope it draws under.
 func RetryBackoff(attempt int) time.Duration {
-	d := retryBackoffBase << uint(attempt-1)
-	if d <= 0 || d > RetryBackoffMax {
+	if attempt <= 1 {
+		// Previously attempt <= 0 shifted by 2^64-ish and happened to land on
+		// the RetryBackoffMax branch via signed overflow — the *maximum*
+		// backoff for the *first* retry. Clamp to the bottom of the ladder
+		// instead so the contract is explicit, not an overflow accident.
+		return retryBackoffBase
+	}
+	shift := uint(attempt - 1)
+	// 1µs << 30 ≈ 18 minutes: far past RetryBackoffMax yet nowhere near
+	// int64 overflow, so bounding the shift first makes the comparison below
+	// safe for every attempt value.
+	if shift >= 30 {
+		return RetryBackoffMax
+	}
+	d := retryBackoffBase << shift
+	if d > RetryBackoffMax {
 		return RetryBackoffMax
 	}
 	return d
+}
+
+// jitterState seeds JitteredBackoff's lock-free splitmix64 stream. A shared
+// atomic counter decorrelates concurrent retriers (each Add claims a distinct
+// stream position) without consulting a global RNG.
+var jitterState atomic.Uint64
+
+// JitteredBackoff returns a full-jitter sleep for retry attempt n: uniform in
+// [1, RetryBackoff(n)]. Deterministic backoff synchronizes retry stampedes —
+// every connection that failed together retries together, re-colliding at
+// each rung of the ladder — so sleeps are drawn uniformly under the
+// exponential envelope instead of sitting on it.
+func JitteredBackoff(attempt int) time.Duration {
+	ceil := RetryBackoff(attempt)
+	x := jitterState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 + time.Duration(x%uint64(ceil))
 }
 
 // SendWithRetry sends m through s, retrying transient failures with
@@ -81,8 +123,20 @@ func RetryBackoff(attempt int) time.Duration {
 // one — a transport that fails persistently is indistinguishable from a
 // broken one, and the enforcement path must degrade fail-closed, not spin.
 func SendWithRetry(s Sender, m Message, attempts int) error {
+	return SendWithRetryCtx(context.Background(), s, m, attempts)
+}
+
+// SendWithRetryCtx is SendWithRetry with a cancellation point at every rung
+// of the backoff ladder: a canceled context interrupts the sleep and returns
+// the context's error (terminal — cancellation is not a transport fault, so
+// it is deliberately not marked Transient). Sleeps use JitteredBackoff so
+// connections that failed together do not retry in lockstep.
+func SendWithRetryCtx(ctx context.Context, s Sender, m Message, attempts int) error {
 	if attempts <= 0 {
 		attempts = DefaultSendAttempts
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("ipc: send canceled: %w", err)
 	}
 	var err error
 	for try := 1; try <= attempts; try++ {
@@ -91,7 +145,15 @@ func SendWithRetry(s Sender, m Message, attempts int) error {
 			return err
 		}
 		if try < attempts {
-			time.Sleep(RetryBackoff(try))
+			t := time.NewTimer(JitteredBackoff(try))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				// %v for the send error: the terminal result must not unwrap
+				// to the TransientError (see the exhaustion return below).
+				return fmt.Errorf("ipc: send canceled after %d attempts (%v): %w", try, err, ctx.Err())
+			case <-t.C:
+			}
 		}
 	}
 	// %v, not %w: the returned error must NOT unwrap to the TransientError,

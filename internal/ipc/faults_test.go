@@ -21,7 +21,7 @@ func fdFramingPair(t *testing.T) (*os.File, *Channel, *telemetry.Metrics) {
 	m := telemetry.New(1)
 	ch := &Channel{
 		Sender:   &fdSender{w: pw, pending: new(atomic.Int64)},
-		Receiver: &fdReceiver{r: pr, pending: new(atomic.Int64)},
+		Receiver: newFDReceiver(pr, new(atomic.Int64)),
 	}
 	ch.EnableTelemetry(m)
 	return pw, ch, m

@@ -1,7 +1,7 @@
 package ipc
 
 import (
-	"fmt"
+	"errors"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -51,13 +51,13 @@ func (s *fdSender) Close() error {
 }
 
 // fdReceiver reads framed messages from a file descriptor. Reads pull
-// whatever burst the kernel has buffered in one read(2); a trailing partial
-// frame is carried in buf until the next call, so the receive syscall cost is
-// amortized across the burst instead of paid per message.
+// whatever burst the kernel has buffered in one read(2); the shared
+// FrameDecoder carries a trailing partial frame until the next call, so the
+// receive syscall cost is amortized across the burst instead of paid per
+// message.
 type fdReceiver struct {
 	r       *os.File
-	buf     []byte // staging buffer; buf[:n] holds undecoded bytes
-	n       int
+	dec     *FrameDecoder
 	pending *atomic.Int64 // shared with the paired fdSender
 
 	// carries counts bursts that ended in a partial frame carried to the
@@ -67,6 +67,10 @@ type fdReceiver struct {
 	// streams truncated mid-frame (set by Channel.EnableTelemetry, nil
 	// otherwise).
 	frameErrs *telemetry.Counter
+}
+
+func newFDReceiver(r *os.File, pending *atomic.Int64) *fdReceiver {
+	return &fdReceiver{r: r, dec: NewFrameDecoder(r), pending: pending}
 }
 
 // countFrameErr bumps the framing-failure counter when telemetry is wired.
@@ -86,79 +90,33 @@ func (r *fdReceiver) Recv() (Message, bool, error) {
 }
 
 // RecvBatch implements BatchReceiver: one read(2) per burst, then frame
-// decoding in process. A decode failure cannot be attributed to a process —
-// a corrupted stream may carry a stale PID — so the error is returned bare.
+// decoding in process (FrameDecoder). A decode failure cannot be attributed
+// to a process — a corrupted stream may carry a stale PID — so the error is
+// returned bare. On a local kernel channel there is no resume protocol, so a
+// stream truncated mid-frame stays a terminal integrity failure — silently
+// dropping the trailing bytes would hide a lost (possibly violating)
+// message. Unattributable: the partial frame may not even carry a complete
+// PID field.
 func (r *fdReceiver) RecvBatch(out []Message) (int, bool, error) {
-	if len(out) == 0 {
-		return 0, true, nil
+	n, ok, err := r.dec.Decode(out)
+	r.pending.Add(int64(-n))
+	if err != nil {
+		r.countFrameErr()
 	}
-	want := len(out) * MessageSize
-	if want < r.n {
-		want = r.n // never truncate bytes carried from a larger burst
-	}
-	if cap(r.buf) < want {
-		grown := make([]byte, want)
-		copy(grown, r.buf[:r.n])
-		r.buf = grown
-	}
-	r.buf = r.buf[:want]
-	// Block until at least one complete frame is buffered; frames carried
-	// from a previous burst are served without touching the kernel.
-	for r.n < MessageSize {
-		nr, err := r.r.Read(r.buf[r.n:])
-		if nr > 0 {
-			r.n += nr
-		}
-		if err != nil {
-			if r.n >= MessageSize {
-				break
-			}
+	if !ok {
+		// Stream over (cleanly or not): release the fd eagerly, matching the
+		// pre-decoder behavior that freed the descriptor at EOF. A decode
+		// failure keeps the fd: the stream is poisoned either way, and the
+		// caller sees the same terminal error on every subsequent call.
+		if err == nil || errors.As(err, new(*TruncatedFrameError)) {
 			r.r.Close()
-			if r.n > 0 {
-				// The stream ended inside a frame. Silently dropping the
-				// trailing bytes would hide a lost (possibly violating)
-				// message, so truncation is a terminal integrity failure —
-				// never a skipped frame. Unattributable: the partial frame
-				// may not even carry a complete PID field.
-				trailing := r.n
-				r.n = 0
-				r.countFrameErr()
-				return 0, false, fmt.Errorf(
-					"ipc: truncated frame: stream ended with %d trailing bytes (frame is %d): %w",
-					trailing, MessageSize, ErrIntegrity)
-			}
-			return 0, false, nil // closed and drained
 		}
+		return n, false, err
 	}
-	cnt := r.n / MessageSize
-	if cnt > len(out) {
-		cnt = len(out)
-	}
-	for i := 0; i < cnt; i++ {
-		m, err := DecodeMessage(r.buf[i*MessageSize:])
-		if err != nil {
-			r.consume(i * MessageSize)
-			r.pending.Add(int64(-i))
-			r.countFrameErr()
-			// Terminal, not transient: a corrupted byte stream cannot be
-			// resynchronized — every subsequent frame boundary is suspect.
-			return i, false, fmt.Errorf("ipc: frame decode failed: %v: %w", err, ErrIntegrity)
-		}
-		out[i] = m
-	}
-	r.consume(cnt * MessageSize)
-	r.pending.Add(int64(-cnt))
-	if r.carries != nil && r.n%MessageSize != 0 {
+	if r.carries != nil && r.dec.Carried() {
 		r.carries.Inc()
 	}
-	return cnt, true, nil
-}
-
-// consume discards the first k decoded bytes, sliding a partial trailing
-// frame to the front of the staging buffer.
-func (r *fdReceiver) consume(k int) {
-	copy(r.buf, r.buf[k:r.n])
-	r.n -= k
+	return n, true, nil
 }
 
 // Pending reports messages written but not yet received. The kernel's own
@@ -194,7 +152,7 @@ func NewPipe() *Channel {
 	pending := new(atomic.Int64)
 	return &Channel{
 		Sender:   &fdSender{w: pw, pending: pending},
-		Receiver: &fdReceiver{r: pr, pending: pending},
+		Receiver: newFDReceiver(pr, pending),
 		Props:    props,
 	}
 }
@@ -244,7 +202,7 @@ func newSocketpairChannel(typ int, props Properties) *Channel {
 	pending := new(atomic.Int64)
 	return &Channel{
 		Sender:   &fdSender{w: w, pending: pending},
-		Receiver: &fdReceiver{r: r, pending: pending},
+		Receiver: newFDReceiver(r, pending),
 		Props:    props,
 	}
 }

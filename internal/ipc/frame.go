@@ -1,0 +1,146 @@
+package ipc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the reusable core of the fd framing: fixed-size AppendWrite
+// frames over an arbitrary byte stream, with a trailing partial frame carried
+// between reads. It was extracted from fdchan.go so the networked attestation
+// plane (internal/hqnet) speaks exactly the wire format the kernel-backed
+// channels already speak — one framing layer, two transports.
+
+// TruncatedFrameError reports a byte stream that ended inside a frame.
+// Silently dropping the trailing bytes would hide a lost (possibly violating)
+// message, so local channels treat it as a terminal integrity failure (it
+// unwraps to ErrIntegrity). The networked plane distinguishes it by type: a
+// TCP connection severed mid-frame is a *connection* death, not a *process*
+// violation — the partial frame is discarded, the session lease keeps
+// running, and the client retransmits the whole frame on resume.
+type TruncatedFrameError struct {
+	// Trailing is the number of staged bytes the stream ended with
+	// (0 < Trailing < MessageSize).
+	Trailing int
+}
+
+func (e *TruncatedFrameError) Error() string {
+	return fmt.Sprintf("ipc: truncated frame: stream ended with %d trailing bytes (frame is %d): %v",
+		e.Trailing, MessageSize, ErrIntegrity)
+}
+
+// Unwrap classifies truncation as an integrity failure for errors.Is.
+func (e *TruncatedFrameError) Unwrap() error { return ErrIntegrity }
+
+// FrameDecoder decodes fixed-size message frames from a byte stream. Reads
+// pull whatever burst the transport has buffered; a trailing partial frame is
+// staged until the next call, so per-message costs are amortized across the
+// burst. Not safe for concurrent use: a frame stream has exactly one reader.
+type FrameDecoder struct {
+	r   io.Reader
+	buf []byte // staging buffer; buf[:n] holds undecoded bytes
+	n   int
+}
+
+// NewFrameDecoder returns a decoder over r. The decoder never closes r; the
+// owner reacts to the terminal results of Decode.
+func NewFrameDecoder(r io.Reader) *FrameDecoder { return &FrameDecoder{r: r} }
+
+// Carried reports whether a partial frame is currently staged — bytes read
+// from the stream but not yet completing a frame.
+func (d *FrameDecoder) Carried() bool { return d.n%MessageSize != 0 }
+
+// Buffered reports how many complete frames are staged and decodable without
+// touching the underlying reader.
+func (d *FrameDecoder) Buffered() int { return d.n / MessageSize }
+
+// Decode fills out with up to len(out) messages, blocking until at least one
+// complete frame is available or the stream ends. Results:
+//
+//   - n > 0, ok == true: n frames decoded.
+//   - n == 0, ok == false, err == nil: the stream ended cleanly at a frame
+//     boundary and is fully drained.
+//   - err != nil: a *TruncatedFrameError (stream ended mid-frame) or a frame
+//     decode failure; both wrap ErrIntegrity and both are terminal — a byte
+//     stream cannot be resynchronized, every subsequent frame boundary is
+//     suspect. The first n messages of out are still valid and must be
+//     processed before the caller acts on the error.
+func (d *FrameDecoder) Decode(out []Message) (int, bool, error) {
+	if len(out) == 0 {
+		return 0, true, nil
+	}
+	want := len(out) * MessageSize
+	if want < d.n {
+		want = d.n // never truncate bytes carried from a larger burst
+	}
+	if cap(d.buf) < want {
+		grown := make([]byte, want)
+		copy(grown, d.buf[:d.n])
+		d.buf = grown
+	}
+	d.buf = d.buf[:want]
+	// Block until at least one complete frame is staged; frames carried from
+	// a previous burst are served without touching the transport.
+	for d.n < MessageSize {
+		nr, err := d.r.Read(d.buf[d.n:])
+		if nr > 0 {
+			d.n += nr
+		}
+		if err != nil {
+			if d.n >= MessageSize {
+				break
+			}
+			if d.n > 0 {
+				trailing := d.n
+				d.n = 0
+				return 0, false, &TruncatedFrameError{Trailing: trailing}
+			}
+			return 0, false, nil // closed and drained
+		}
+	}
+	cnt := d.n / MessageSize
+	if cnt > len(out) {
+		cnt = len(out)
+	}
+	for i := 0; i < cnt; i++ {
+		m, err := DecodeMessage(d.buf[i*MessageSize:])
+		if err != nil {
+			d.consume(i * MessageSize)
+			return i, false, fmt.Errorf("ipc: frame decode failed: %v: %w", err, ErrIntegrity)
+		}
+		out[i] = m
+	}
+	d.consume(cnt * MessageSize)
+	return cnt, true, nil
+}
+
+// consume discards the first k decoded bytes, sliding a partial trailing
+// frame to the front of the staging buffer.
+func (d *FrameDecoder) consume(k int) {
+	copy(d.buf, d.buf[k:d.n])
+	d.n -= k
+}
+
+// FrameWriter serializes messages onto a byte stream, one frame per message.
+// Unlike the fd channel's sender it assigns no sequence numbers: the caller
+// owns Seq (and Mac) — the networked plane's resume protocol depends on
+// retransmitted frames carrying their original sequence numbers verbatim.
+// Safe for concurrent use; frames from concurrent writers never interleave.
+type FrameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf [MessageSize]byte
+}
+
+// NewFrameWriter returns a writer over w. The writer never closes w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteMessage encodes m and writes exactly one frame.
+func (fw *FrameWriter) WriteMessage(m Message) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	m.Encode(fw.buf[:])
+	_, err := fw.w.Write(fw.buf[:])
+	return err
+}

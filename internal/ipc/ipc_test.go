@@ -346,7 +346,7 @@ func TestFdReceiverCarriesPartialFrames(t *testing.T) {
 	if err != nil {
 		t.Skip("pipes unavailable")
 	}
-	r := &fdReceiver{r: pr, pending: new(atomic.Int64)}
+	r := newFDReceiver(pr, new(atomic.Int64))
 	var frame [2 * MessageSize]byte
 	Message{Op: OpCounterInc, Arg1: 1, Seq: 1}.Encode(frame[:])
 	Message{Op: OpCounterInc, Arg1: 2, Seq: 2}.Encode(frame[MessageSize:])
@@ -527,7 +527,7 @@ func TestTelemetryCountsPartialFrameCarries(t *testing.T) {
 	m := telemetry.New(1)
 	ch := &Channel{
 		Sender:   &fdSender{w: pw, pending: new(atomic.Int64)},
-		Receiver: &fdReceiver{r: pr, pending: new(atomic.Int64)},
+		Receiver: newFDReceiver(pr, new(atomic.Int64)),
 	}
 	ch.EnableTelemetry(m)
 	var frame [2 * MessageSize]byte

@@ -63,6 +63,27 @@ const (
 	OpDFISet     // store at address Arg1 by writer Arg2
 	OpDFICheck   // load at address Arg1 must have last writer in set Arg2
 
+	// Session-control operations for the networked attestation plane
+	// (internal/hqnet). They share the 48-byte AppendWrite frame so one
+	// framing layer serves both planes, but they terminate at the connection
+	// layer: the daemon never forwards them to the verifier's policy chain,
+	// and a control op arriving through a local channel is just an unknown
+	// op to every policy (ignored, like OpNop). IsSessionOp partitions the
+	// space.
+
+	OpHello        // client→daemon: admission request (Arg1 ver, Arg2 tenant, Arg3 nonce)
+	OpResume       // client→daemon: resume session (Arg1 token, Arg2 tenant)
+	OpWelcome      // daemon→client: grant (Arg1 token, Arg2 lease ns, Arg3 flags; Seq = acked)
+	OpReject       // daemon→client: refusal (Arg1 reason code)
+	OpSessionKey   // daemon→client: MAC key delivery (Arg1 K0, Arg2 K1)
+	OpHeartbeat    // client→daemon: lease renewal (Arg1 ordinal)
+	OpHeartbeatAck // daemon→client: renewal confirm (Seq = cumulative acked data seq)
+	OpAck          // daemon→client: cumulative receive acknowledgement (Seq = acked)
+	OpGateEnter    // client→daemon: run the syscall gate (Arg1 syscall no, Arg2 ordinal)
+	OpGateResult   // daemon→client: gate verdict (Arg1 verdict, Arg2 reason, Arg3 ordinal)
+	OpKillNotice   // daemon→client: the resident proc was killed (Arg1 reason code)
+	OpGoodbye      // client→daemon: clean session close
+
 	numOps // sentinel
 )
 
@@ -87,6 +108,18 @@ var opNames = [...]string{
 	OpDFIDeclare:             "dfi-declare",
 	OpDFISet:                 "dfi-set",
 	OpDFICheck:               "dfi-check",
+	OpHello:                  "hello",
+	OpResume:                 "resume",
+	OpWelcome:                "welcome",
+	OpReject:                 "reject",
+	OpSessionKey:             "session-key",
+	OpHeartbeat:              "heartbeat",
+	OpHeartbeatAck:           "heartbeat-ack",
+	OpAck:                    "ack",
+	OpGateEnter:              "gate-enter",
+	OpGateResult:             "gate-result",
+	OpKillNotice:             "kill-notice",
+	OpGoodbye:                "goodbye",
 }
 
 func (o Op) String() string {
@@ -98,6 +131,11 @@ func (o Op) String() string {
 
 // Valid reports whether o is a defined operation code.
 func (o Op) Valid() bool { return o < numOps }
+
+// IsSessionOp reports whether o belongs to the connection plane: a
+// session-control frame that the hqnet daemon consumes (or emits) at the
+// connection layer and never forwards into the verifier's policy chain.
+func (o Op) IsSessionOp() bool { return o >= OpHello && o < numOps }
 
 // MessageSize is the wire size of an encoded message in bytes: a 4-byte
 // operation code, a 4-byte process identifier, three 8-byte arguments, an

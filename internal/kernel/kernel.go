@@ -42,6 +42,13 @@ var ErrProcessExited = errors.New("process exited")
 const (
 	ReasonEpochExpired   = "synchronization epoch expired"
 	ReasonWedgedVerifier = "synchronization epoch expired: verifier wedged"
+	// ReasonLeaseExpired is recorded by the networked attestation plane
+	// (internal/hqnet) when a resident process's connection lease runs out:
+	// the client stopped heartbeating and did not resume within the lease.
+	// Distinct from ReasonEpochExpired so forensics can separate "the
+	// transport died" from "validation fell behind" — a severed connection
+	// must never masquerade as a message-counter or epoch violation.
+	ReasonLeaseExpired = "connection lease expired"
 )
 
 // DegradedPolicy selects how the kernel treats an epoch expiry — the moment

@@ -44,12 +44,35 @@ type System interface {
 	AllForensics() []supervisor.ForensicReport
 }
 
+// ConnRow is one live connection-plane session as reported by a
+// ConnReporter: the per-connection gauges on /metrics and the /conns listing
+// are rendered from these rows.
+type ConnRow struct {
+	PID               int32  `json:"pid"`
+	Tenant            uint64 `json:"tenant"`
+	Connected         bool   `json:"connected"` // transport live (false = severed, awaiting resume)
+	Resumes           uint64 `json:"resumes"`
+	ForwardedSeq      uint64 `json:"forwarded_seq"` // cumulative ack high-water
+	QueueDepth        int    `json:"queue_depth"`   // session queue backlog
+	LastRecvUnixNanos int64  `json:"last_recv_unix_nanos"`
+	LeaseNanos        int64  `json:"lease_nanos"`
+}
+
+// ConnReporter is implemented by the networked attestation plane
+// (internal/hqnet's Server): one row per admitted session. obs stays
+// decoupled — it defines the row shape, the connection plane fills it.
+type ConnReporter interface {
+	// Conns returns one row per live session.
+	Conns() []ConnRow
+}
+
 // Server serves the observability endpoints for one System. Construct with
 // NewServer, then either mount Handler into an existing mux or call Start to
 // bind and serve on a dedicated listener.
 type Server struct {
-	sys System
-	m   *telemetry.Metrics // may be nil: /trace then serves an empty document
+	sys   System
+	m     *telemetry.Metrics // may be nil: /trace then serves an empty document
+	conns ConnReporter       // may be nil: no connection plane to report
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -62,6 +85,11 @@ type Server struct {
 func NewServer(sys System, m *telemetry.Metrics) *Server {
 	return &Server{sys: sys, m: m}
 }
+
+// SetConnReporter wires the connection plane into the exposition: /metrics
+// gains per-connection gauges and /conns serves the row listing. Call before
+// Handler/Start.
+func (s *Server) SetConnReporter(r ConnReporter) { s.conns = r }
 
 // Handler returns the endpoint mux:
 //
@@ -81,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/violations", s.handleViolations)
 	mux.HandleFunc("/violations/", s.handleViolation)
+	mux.HandleFunc("/conns", s.handleConns)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -139,6 +168,23 @@ func (s *Server) Close() error {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, s.sys.Stats())
+	if s.conns != nil {
+		WriteConnMetrics(w, s.conns.Conns())
+	}
+}
+
+// handleConns lists the connection plane's live sessions as JSON; an empty
+// array when no connection plane is wired, so a fleet scraper needs no
+// per-instance knowledge of which daemons serve remote sessions.
+func (s *Server) handleConns(w http.ResponseWriter, _ *http.Request) {
+	rows := []ConnRow{}
+	if s.conns != nil {
+		rows = s.conns.Conns()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rows)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

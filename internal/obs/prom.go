@@ -127,6 +127,41 @@ func writeShardSeries(w io.Writer, shards []supervisor.ShardRow) {
 	}
 }
 
+// WriteConnMetrics emits the connection plane's per-session gauges: one
+// series per live session, labeled by pid and tenant. Appended to the
+// /metrics exposition when a ConnReporter is wired — the transport-level
+// signals (severed vs connected, resume counts, replay ack high-water,
+// session-queue backlog) an operator needs to tell "the network is flapping"
+// from "the verifier is behind".
+func WriteConnMetrics(w io.Writer, rows []ConnRow) {
+	writeScalar(w, "herqules_conn_sessions", "gauge", "", uint64(len(rows)))
+	if len(rows) == 0 {
+		return
+	}
+	type column struct {
+		name  string
+		value func(r ConnRow) uint64
+	}
+	cols := []column{
+		{"herqules_conn_connected", func(r ConnRow) uint64 {
+			if r.Connected {
+				return 1
+			}
+			return 0
+		}},
+		{"herqules_conn_resumes_total", func(r ConnRow) uint64 { return r.Resumes }},
+		{"herqules_conn_forwarded_seq", func(r ConnRow) uint64 { return r.ForwardedSeq }},
+		{"herqules_conn_queue_depth", func(r ConnRow) uint64 { return uint64(r.QueueDepth) }},
+		{"herqules_conn_last_recv_unix_nanos", func(r ConnRow) uint64 { return uint64(r.LastRecvUnixNanos) }},
+	}
+	for _, c := range cols {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", c.name)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s{pid=%q,tenant=\"%d\"} %d\n", c.name, pidLabel(r.PID), r.Tenant, c.value(r))
+		}
+	}
+}
+
 func pidLabel(pid int32) string { return strconv.FormatInt(int64(pid), 10) }
 
 // escapeLabel escapes a Prometheus label value per the text exposition

@@ -66,6 +66,16 @@ const (
 	// FlightShardPoisoned: the verifier shard hosting this context was
 	// poisoned (value = shard index).
 	FlightShardPoisoned
+	// FlightLeaseGranted: the networked plane admitted this process and
+	// granted its connection lease (value = lease nanoseconds).
+	FlightLeaseGranted
+	// FlightLeaseRenewed: a severed session resumed before its lease ran
+	// out (value = resume count). Stamped on resume, not on every
+	// heartbeat — heartbeats would flood the bounded ring.
+	FlightLeaseRenewed
+	// FlightLeaseExpired: the connection lease ran out and the process was
+	// killed fail-closed (value = nanoseconds past the deadline).
+	FlightLeaseExpired
 )
 
 var flightCodeNames = map[FlightCode]string{
@@ -81,6 +91,9 @@ var flightCodeNames = map[FlightCode]string{
 	FlightEpochExpired:  "epoch-expired",
 	FlightDegradedAllow: "degraded-allow",
 	FlightShardPoisoned: "shard-poisoned",
+	FlightLeaseGranted:  "lease-granted",
+	FlightLeaseRenewed:  "lease-renewed",
+	FlightLeaseExpired:  "lease-expired",
 }
 
 func (c FlightCode) String() string {

@@ -1,7 +1,8 @@
 // Package verify is a small-scope model checker for the HerQules gate
 // protocol: it exhaustively enumerates interleavings of process lifecycle
 // events — launch, fork, exit, explicit kill, epoch expiry, shard poison,
-// message delivery (optionally reordered) — against the REAL kernel and
+// message delivery (optionally reordered), connection sever/resume/lease
+// expiry — against the REAL kernel and
 // verifier, driven deterministically through the internal/dsched schedule
 // hooks, and asserts the paper's core invariants in every reachable state:
 //
@@ -15,7 +16,11 @@
 //   - no-leaked-context: once a process has exited, the verifier holds no
 //     policy context for it;
 //   - gate liveness: a gate whose epoch deadline fires resolves — it is
-//     killed (fail-closed) or resumed, never stalled forever.
+//     killed (fail-closed) or resumed, never stalled forever;
+//   - no-churn-counter-kill: connection churn (sever, resume, lease
+//     expiry) never trips the §3.1.1 counter check for a process whose
+//     messages the model did not itself reorder — a correct resume
+//     protocol replays a gap-free stream.
 //
 // The checker is stateless in the Godefroid sense: each explored node is
 // reconstructed by replaying its transition prefix against a fresh world
@@ -64,6 +69,22 @@ type Config struct {
 	// design — the configuration used to prove the checker can fail.
 	CheckSeq bool
 
+	// Conn enables the connection-churn transitions of the networked
+	// attestation plane: disconnect (sever a session's transport
+	// mid-stream), connect (resume with replay from the preserved buffer),
+	// and lease-expire (the daemon's fail-closed kill of a severed session
+	// that never resumes). MaxSevers bounds disconnects per process
+	// (default 1).
+	Conn      bool
+	MaxSevers int
+
+	// UnsafeSeverDrop models a broken resume protocol that trims its replay
+	// buffer on write instead of on cumulative ack: a sever drops the
+	// oldest unforwarded frame, so the resumed stream carries a counter gap
+	// and CheckSeq kills an honest process. The knob exists to prove the
+	// churn scope can catch exactly this bug class.
+	UnsafeSeverDrop bool
+
 	// UnsafeLateNotify / UnsafeEpochTimer set the kernel's pre-fix revert
 	// knobs, so tests can demonstrate the checker catches each fixed race.
 	UnsafeLateNotify bool
@@ -97,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxGates <= 0 {
 		c.MaxGates = 1
 	}
+	if c.MaxSevers <= 0 {
+		c.MaxSevers = 1
+	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 24
 	}
@@ -114,22 +138,26 @@ func (c Config) withDefaults() Config {
 
 // Defaults is the base 2-proc × 2-shard scope with every transition family
 // enabled and CheckSeq on — the configuration `hqbench -exp verify` runs.
+// MaxDepth 28 (not the generic 24) is the measured closure depth once the
+// connection-churn family is in: longest schedules run launch, visibility,
+// sends, gate, delivers, a sever and a resume for both processes.
 func Defaults() Config {
 	return Config{
 		Fork: true, Exit: true, Kill: true, Expire: true, Poison: true,
-		Reorder: true, CheckSeq: true,
+		Reorder: true, CheckSeq: true, Conn: true, MaxDepth: 28,
 	}.withDefaults()
 }
 
 // Invariant names reported in Violation.Invariant.
 const (
-	InvGate        = "gate-invariant"    // gate passed before prior messages validated
-	InvLostMessage = "no-lost-message"   // delivered message silently ignored
-	InvOneKill     = "exactly-one-kill"  // 0 or 2+ kill notifications for one kill
-	InvLeak        = "no-leaked-context" // verifier context survives exit
-	InvLiveness    = "gate-liveness"     // gate stalled past its epoch deadline
-	InvStamp       = "liveness-stamp"    // gate passed without stamping LastSyscall
-	InvModel       = "model"             // the harness itself lost sync with the code
+	InvGate        = "gate-invariant"        // gate passed before prior messages validated
+	InvLostMessage = "no-lost-message"       // delivered message silently ignored
+	InvOneKill     = "exactly-one-kill"      // 0 or 2+ kill notifications for one kill
+	InvLeak        = "no-leaked-context"     // verifier context survives exit
+	InvLiveness    = "gate-liveness"         // gate stalled past its epoch deadline
+	InvStamp       = "liveness-stamp"        // gate passed without stamping LastSyscall
+	InvChurn       = "no-churn-counter-kill" // connection churn alone tripped CheckSeq
+	InvModel       = "model"                 // the harness itself lost sync with the code
 )
 
 // Violation is one invariant failure, carrying the minimized schedule that

@@ -134,6 +134,86 @@ func TestExpireScopeCleanWithFix(t *testing.T) {
 	}
 }
 
+// TestChurnScopeClean explores the connection-churn family — disconnect,
+// resume-with-replay, lease expiry — exhaustively at single-process scope
+// with CheckSeq on: however the connection churns, the preserved replay
+// buffer keeps the counter stream gap-free and no honest process is killed
+// by the counter check.
+func TestChurnScopeClean(t *testing.T) {
+	cfg := Config{Procs: 1, Conn: true, Expire: true, Kill: true,
+		CheckSeq: true, MaxSends: 2, MaxDepth: 16, MaxStates: 100000}
+	res := Check(cfg)
+	if !res.Clean() {
+		t.Fatalf("churn scope not clean:\n%s", res)
+	}
+	if res.Truncated {
+		t.Fatal("churn scope truncated; it is expected to close exhaustively")
+	}
+	t.Logf("churn scope: %d states, %d transitions", res.StatesExplored, res.TransitionsApplied)
+}
+
+// TestCheckerCatchesSeverDrop proves the churn scope can fail: with
+// UnsafeSeverDrop modeling a resume protocol that trims its replay buffer on
+// write instead of on cumulative ack, a sever loses the oldest unforwarded
+// frame, the resumed stream carries a counter gap, and CheckSeq kills an
+// honest process — the no-churn-counter-kill violation.
+func TestCheckerCatchesSeverDrop(t *testing.T) {
+	cfg := Config{Conn: true, UnsafeSeverDrop: true, CheckSeq: true,
+		MaxSends: 2, MaxDepth: 10, MaxStates: 4000}
+	res := Check(cfg)
+	if res.Clean() {
+		t.Fatal("UnsafeSeverDrop explored clean; churn-induced counter kills are not being caught")
+	}
+	v := res.Violations[0]
+	if v.Invariant != InvChurn {
+		t.Fatalf("violation invariant = %s, want %s\n%s", v.Invariant, InvChurn, v)
+	}
+	// The minimized schedule must replay to the same violation, and must
+	// actually contain the sever/resume pair — a counterexample without
+	// churn would mean the invariant is tripping on something else.
+	rv, err := Replay(cfg, v.Schedule)
+	if err != nil {
+		t.Fatalf("minimized schedule does not replay: %v", err)
+	}
+	if rv == nil || rv.Invariant != InvChurn {
+		t.Fatalf("minimized schedule replayed to %v, want %s", rv, InvChurn)
+	}
+	var sawDisconnect, sawConnect bool
+	for _, tr := range v.Schedule {
+		sawDisconnect = sawDisconnect || strings.HasPrefix(tr, "disconnect:")
+		sawConnect = sawConnect || strings.HasPrefix(tr, "connect:")
+	}
+	if !sawDisconnect || !sawConnect {
+		t.Fatalf("minimal schedule lacks the sever/resume pair:\n%s", v)
+	}
+	t.Logf("minimal churn-kill schedule:\n%s", v)
+}
+
+// TestLeaseExpireReleasesBlockedGate replays the fail-closed path directly: a
+// process blocks at its gate (sync still queued), its connection severs, and
+// the lease expires — the kill must release the blocked gate rather than
+// strand it, and the same schedule with a resume instead of an expiry ends
+// with the process alive and the gate passed.
+func TestLeaseExpireReleasesBlockedGate(t *testing.T) {
+	cfg := Config{Conn: true, CheckSeq: true}
+	v, err := Replay(cfg, []string{
+		"launch:A", "visible:A", "gate:A", "disconnect:A", "lease-expire:A"})
+	if err != nil {
+		t.Fatalf("lease-expiry schedule failed to replay: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("lease-expiry schedule reported a violation:\n%s", v)
+	}
+	v, err = Replay(cfg, []string{
+		"launch:A", "visible:A", "gate:A", "disconnect:A", "connect:A", "deliver:A"})
+	if err != nil {
+		t.Fatalf("resume schedule failed to replay: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("resume schedule reported a violation:\n%s", v)
+	}
+}
+
 // TestReplayRecordedSchedule replays a schedule recorded from a real
 // violating run (the UnsafeLateNotify lost-message counterexample) and
 // asserts Replay reproduces the violation deterministically — the workflow a

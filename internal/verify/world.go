@@ -52,6 +52,16 @@ type wproc struct {
 	expectValidated uint64
 
 	killed bool // model-side: any kill has been issued for this pid
+
+	// Connection-churn state (Config.Conn). A severed process's transport
+	// is down: nothing it queued can be delivered and it cannot enter a
+	// gate until it resumes. reordered records that the MODEL delivered
+	// this process's messages out of order — those procs are exempt from
+	// the no-churn-counter-kill invariant, since their counter kills are
+	// legitimate CheckSeq behavior, not resume-protocol bugs.
+	severed   bool
+	severs    int
+	reordered bool
 }
 
 // gateTap interposes the verifier's Gate (kernel) interface so the
@@ -206,13 +216,14 @@ func (w *world) enabled() []string {
 			p.sends < w.cfg.MaxSends && p.gate == nil {
 			en = append(en, "send:"+name)
 		}
-		if len(p.queue) > 0 && p.phase != phaseExited {
+		if len(p.queue) > 0 && p.phase != phaseExited && !p.severed {
 			en = append(en, "deliver:"+name)
 			if w.cfg.Reorder && len(p.queue) > 1 {
 				en = append(en, "deliver:"+name+"@1")
 			}
 		}
-		if p.phase == phaseLive && threadFree && !p.killed && p.gatesDone < w.cfg.MaxGates {
+		if p.phase == phaseLive && threadFree && !p.killed && !p.severed &&
+			p.gatesDone < w.cfg.MaxGates {
 			en = append(en, "gate:"+name)
 		}
 		if w.cfg.Expire && p.gateBlocked && w.s.TimerArmed(p.pid) {
@@ -221,12 +232,21 @@ func (w *world) enabled() []string {
 		if w.cfg.Kill && (p.phase == phaseWindow || p.phase == phaseLive) && !p.killed {
 			en = append(en, "kill:"+name)
 		}
-		if w.cfg.Exit && p.phase == phaseLive && threadFree && len(p.queue) == 0 {
+		if w.cfg.Exit && p.phase == phaseLive && threadFree && !p.severed &&
+			len(p.queue) == 0 {
 			en = append(en, "exit:"+name)
 		}
 		if w.cfg.Fork && p.phase == phaseLive && threadFree && !p.killed &&
 			len(w.order) < w.cfg.Procs {
 			en = append(en, "fork:"+name+">"+w.nextName())
+		}
+		if w.cfg.Conn && !p.killed && (p.phase == phaseWindow || p.phase == phaseLive) {
+			if !p.severed && p.severs < w.cfg.MaxSevers {
+				en = append(en, "disconnect:"+name)
+			}
+			if p.severed {
+				en = append(en, "connect:"+name, "lease-expire:"+name)
+			}
 		}
 	}
 	if w.cfg.Poison {
@@ -272,6 +292,12 @@ func (w *world) apply(tr string) (*Violation, error) {
 		return w.applyExit(arg)
 	case "exitdone":
 		return w.applyExitDone(arg)
+	case "disconnect":
+		return w.applyDisconnect(arg)
+	case "connect":
+		return w.applyConnect(arg)
+	case "lease-expire":
+		return w.applyLeaseExpire(arg)
 	case "fork":
 		parent, child, ok := strings.Cut(arg, ">")
 		if !ok {
@@ -388,11 +414,14 @@ func (w *world) applyDeliver(name string, idx int) (*Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if idx < 0 || idx >= len(p.queue) || p.phase == phaseExited {
+	if idx < 0 || idx >= len(p.queue) || p.phase == phaseExited || p.severed {
 		return nil, fmt.Errorf("deliver: index %d not available for %s", idx, name)
 	}
 	if idx > 0 && !w.cfg.Reorder {
 		return nil, fmt.Errorf("deliver: reorder disabled")
+	}
+	if idx > 0 {
+		p.reordered = true
 	}
 	m := p.queue[idx]
 	p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
@@ -409,8 +438,8 @@ func (w *world) applyGate(name string) (*Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.phase != phaseLive || p.killed || p.gate != nil || p.task != nil ||
-		p.gatesDone >= w.cfg.MaxGates {
+	if p.phase != phaseLive || p.killed || p.severed || p.gate != nil ||
+		p.task != nil || p.gatesDone >= w.cfg.MaxGates {
 		return nil, fmt.Errorf("gate: not enabled for %s", name)
 	}
 	// The program sends its System-Call message and immediately enters the
@@ -474,21 +503,81 @@ func (w *world) applyKill(name string) (*Violation, error) {
 	if !w.cfg.Kill || p.killed || (p.phase != phaseWindow && p.phase != phaseLive) {
 		return nil, fmt.Errorf("kill: not enabled for %s", name)
 	}
-	w.k.Kill(p.pid, "verify: external kill")
+	return w.killAwait(p, "verify: external kill")
+}
+
+// killAwait issues a kernel kill for p and, when its gate is blocked, awaits
+// the woken gate goroutine — fail-closed demands every kill release any gate
+// still waiting, whatever the kill's origin (supervisor sweep, lease expiry).
+func (w *world) killAwait(p *wproc, reason string) (*Violation, error) {
+	w.k.Kill(p.pid, reason)
 	p.killed = true
 	if p.gateBlocked {
 		ev, ok := w.s.Await(p.gate, w.cfg.AwaitTimeout)
 		if !ok {
 			return &Violation{Invariant: InvLiveness,
-				Detail: fmt.Sprintf("gate of %s not woken by kill", name)}, nil
+				Detail: fmt.Sprintf("gate of %s not woken by kill", p.name)}, nil
 		}
 		if ev.Kind == dsched.EventDone {
 			return w.gateResolved(p), nil
 		}
 		return &Violation{Invariant: InvLiveness,
-			Detail: fmt.Sprintf("gate of killed %s re-blocked: %v", name, ev)}, nil
+			Detail: fmt.Sprintf("gate of killed %s re-blocked: %v", p.name, ev)}, nil
 	}
 	return nil, nil
+}
+
+func (w *world) applyDisconnect(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Conn || p.severed || p.killed || p.severs >= w.cfg.MaxSevers ||
+		(p.phase != phaseWindow && p.phase != phaseLive) {
+		return nil, fmt.Errorf("disconnect: not enabled for %s", name)
+	}
+	p.severed = true
+	p.severs++
+	if w.cfg.UnsafeSeverDrop && len(p.queue) > 0 {
+		// The modeled bug: a resume protocol that trims its replay buffer
+		// on write rather than on cumulative ack loses the oldest
+		// unforwarded frame with the connection. expectValidated is NOT
+		// decremented — the loss is the client's fault in this model, and
+		// the invariant that notices is the counter gap on resume.
+		p.queue = p.queue[1:]
+	}
+	return nil, nil
+}
+
+func (w *world) applyConnect(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Conn || !p.severed || p.killed ||
+		(p.phase != phaseWindow && p.phase != phaseLive) {
+		return nil, fmt.Errorf("connect: not enabled for %s", name)
+	}
+	// Resume with replay: the queue (the replay buffer) survived the sever
+	// intact, so subsequent delivers carry the same gap-free counter stream
+	// the daemon acked up to.
+	p.severed = false
+	return nil, nil
+}
+
+func (w *world) applyLeaseExpire(name string) (*Violation, error) {
+	p, err := w.proc(name)
+	if err != nil {
+		return nil, err
+	}
+	if !w.cfg.Conn || !p.severed || p.killed ||
+		(p.phase != phaseWindow && p.phase != phaseLive) {
+		return nil, fmt.Errorf("lease-expire: not enabled for %s", name)
+	}
+	// The daemon's lease scanner fires for a severed session that never
+	// resumed: a fail-closed kill with the canonical reason, which must
+	// also release a gate still blocked on the dead connection.
+	return w.killAwait(p, kernel.ReasonLeaseExpired)
 }
 
 func (w *world) applyExit(name string) (*Violation, error) {
@@ -496,8 +585,8 @@ func (w *world) applyExit(name string) (*Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !w.cfg.Exit || p.phase != phaseLive || p.gate != nil || p.task != nil ||
-		len(p.queue) != 0 {
+	if !w.cfg.Exit || p.phase != phaseLive || p.severed || p.gate != nil ||
+		p.task != nil || len(p.queue) != 0 {
 		return nil, fmt.Errorf("exit: not enabled for %s", name)
 	}
 	pid := p.pid
@@ -678,6 +767,18 @@ func (w *world) checkInvariants() *Violation {
 			return &Violation{Invariant: InvOneKill,
 				Detail: fmt.Sprintf("process %s produced %d kill notifications", name, n)}
 		}
+		// Churn invariant: a process whose messages the model delivered in
+		// order must never die to the counter check — however many times its
+		// connection severed and resumed. Only model-driven reorders earn a
+		// legitimate CheckSeq kill.
+		if !p.reordered {
+			if killed, reason := w.k.Killed(p.pid); killed &&
+				strings.Contains(reason, "message counter") {
+				return &Violation{Invariant: InvChurn,
+					Detail: fmt.Sprintf("process %s (never reordered, %d severs) killed by the counter check: %s",
+						name, p.severs, reason)}
+			}
+		}
 		if p.phase == phaseExited {
 			if _, ok := w.v.ProcStats(p.pid); ok {
 				return &Violation{Invariant: InvLeak,
@@ -704,9 +805,10 @@ func (w *world) fingerprint() string {
 	var b strings.Builder
 	for _, name := range w.order {
 		p := w.procs[name]
-		fmt.Fprintf(&b, "%s|ph%d|k%t|sr%t|gb%t|gd%d|sq%d|ev%d|vm%d|q",
+		fmt.Fprintf(&b, "%s|ph%d|k%t|sr%t|gb%t|gd%d|sq%d|ev%d|vm%d|sv%t|sn%d|ro%t|q",
 			name, p.phase, p.killed, w.k.SyncReady(p.pid), p.gateBlocked,
-			p.gatesDone, p.nextSeq, p.expectValidated, w.v.Messages(p.pid))
+			p.gatesDone, p.nextSeq, p.expectValidated, w.v.Messages(p.pid),
+			p.severed, p.severs, p.reordered)
 		for _, m := range p.queue {
 			fmt.Fprintf(&b, "%d.%d,", m.Op, m.Seq)
 		}

@@ -16,9 +16,18 @@ package vm
 
 import (
 	"herqules/internal/ipc"
-	"herqules/internal/kernel"
 	"herqules/internal/sim"
 )
+
+// Gate is the syscall-gate dependency of bounded asynchronous validation
+// (§2.2): SyscallEnter blocks the process's pending system call until
+// validation has caught up, returning a non-nil error when the process was
+// killed instead (the error text is the kill reason). *kernel.Kernel is the
+// in-process implementation; internal/hqnet's Client implements the same
+// contract over a network session to a resident hqd daemon.
+type Gate interface {
+	SyscallEnter(pid int32, syscallNo int) error
+}
 
 // RetSlotPlacement selects where call frames keep their return-address slot
 // (§6.3.4): inline in the frame (corruptible by contiguous overflow), or on
@@ -102,7 +111,10 @@ type Config struct {
 
 	// Kernel gates system calls when non-nil (bounded asynchronous
 	// validation); PID identifies this process to kernel and verifier.
-	Kernel *kernel.Kernel
+	// *kernel.Kernel is the local implementation; the networked plane's
+	// hqnet.Client satisfies the same interface by running the gate on the
+	// remote daemon.
+	Kernel Gate
 	PID    int32
 
 	// Cost is the cycle model; nil charges nothing.
